@@ -1,0 +1,40 @@
+//! Figure 12: Busy/Sync/Mem breakdown of each scenario, normalized to
+//! Serial; benches each scenario of each workload's first invocation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use specrt_machine::{run_scenario, Scenario, SwVariant};
+use specrt_workloads::{all_workloads, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    for w in all_workloads(Scale::Smoke) {
+        let spec = w.invocations[0].clone();
+        let procs = w.procs;
+        let serial = run_scenario(&spec, Scenario::Serial, procs);
+        for (label, scenario) in [
+            ("serial", Scenario::Serial),
+            ("ideal", Scenario::Ideal),
+            ("sw", Scenario::Sw(SwVariant::ProcessorWise)),
+            ("hw", Scenario::Hw),
+        ] {
+            let r = run_scenario(&spec, scenario, procs);
+            let n = serial.total_cycles.raw() as f64;
+            println!(
+                "fig12[{}/{}]: busy {:.2} sync {:.2} mem {:.2}",
+                w.name,
+                label,
+                r.breakdown.busy.raw() as f64 / n,
+                r.breakdown.sync.raw() as f64 / n,
+                r.breakdown.mem.raw() as f64 / n
+            );
+            g.bench_function(format!("{}_{label}", w.name), |b| {
+                b.iter(|| run_scenario(&spec, scenario, procs))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 13: cost of a failed speculation (forced-failure instances).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use specrt_machine::{run_scenario, Scenario, SwVariant};
+use specrt_workloads::{all_workloads, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    for w in all_workloads(Scale::Smoke) {
+        let spec = w.failure_instance.clone();
+        let procs = w.procs;
+        let serial = run_scenario(&spec, Scenario::Serial, procs);
+        let hw = run_scenario(&spec, Scenario::Hw, procs);
+        let sw_variant = if w.name == "track" {
+            SwVariant::IterationWise
+        } else {
+            w.sw_variant
+        };
+        let sw = run_scenario(&spec, Scenario::Sw(sw_variant), procs);
+        println!(
+            "fig13[{}]: Serial 1.00  SW {:.2}  HW {:.2}",
+            w.name,
+            sw.total_cycles.raw() as f64 / serial.total_cycles.raw() as f64,
+            hw.total_cycles.raw() as f64 / serial.total_cycles.raw() as f64,
+        );
+        g.bench_function(format!("{}_hw_fail", w.name), |b| {
+            b.iter(|| run_scenario(&spec, Scenario::Hw, procs))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 14: scalability of SW and HW at 8 vs 16 processors.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use specrt_core::experiments::run_workload;
+use specrt_machine::{run_scenario, Scenario};
+use specrt_workloads::{all_workloads, Scale};
+
+fn bench(c: &mut Criterion) {
+    for w in all_workloads(Scale::Smoke) {
+        if w.name == "ocean" {
+            continue;
+        }
+        for procs in [8u32, 16] {
+            let r = run_workload(&w, procs);
+            println!(
+                "fig14[{}@{}p]: Ideal {:.2}x  SW {:.2}x  HW {:.2}x",
+                w.name,
+                procs,
+                r.speedup(&r.ideal),
+                r.speedup(&r.sw),
+                r.speedup(&r.hw)
+            );
+        }
+    }
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    for w in all_workloads(Scale::Smoke) {
+        if w.name != "p3m" {
+            continue;
+        }
+        let spec = w.invocations[0].clone();
+        for procs in [8u32, 16] {
+            g.bench_function(format!("p3m_hw_{procs}p"), |b| {
+                b.iter(|| run_scenario(&spec, Scenario::Hw, procs))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

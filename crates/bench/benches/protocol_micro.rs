@@ -1,0 +1,81 @@
+//! Microbenchmarks of the simulator's protocol paths: host-side cost of
+//! cache hits, misses, invalidations and speculation updates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use specrt_engine::Cycles;
+use specrt_ir::ArrayId;
+use specrt_mem::{ElemSize, PlacementPolicy, ProcId};
+use specrt_proto::{MemSystem, MemSystemConfig};
+use specrt_spec::{IterationNumbering, ProtocolKind, TestPlan};
+
+const A: ArrayId = ArrayId(0);
+
+fn fresh(plan: TestPlan) -> MemSystem {
+    let mut ms = MemSystem::new(MemSystemConfig::default());
+    ms.alloc_array(A, 4096, ElemSize::W8, PlacementPolicy::RoundRobin);
+    ms.configure_loop(plan, IterationNumbering::iteration_wise());
+    ms
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol");
+
+    g.bench_function("plain_hit", |b| {
+        let mut ms = fresh(TestPlan::new());
+        ms.read(ProcId(0), A, 0, Cycles(0));
+        let mut t = 1u64;
+        b.iter(|| {
+            t += 2;
+            ms.read(ProcId(0), A, 0, Cycles(t))
+        })
+    });
+
+    g.bench_function("plain_pingpong", |b| {
+        let mut ms = fresh(TestPlan::new());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1000;
+            ms.write(ProcId(0), A, 0, Cycles(t));
+            ms.write(ProcId(1), A, 0, Cycles(t + 500))
+        })
+    });
+
+    g.bench_function("nonpriv_read_hit", |b| {
+        let mut plan = TestPlan::new();
+        plan.set(A, ProtocolKind::NonPriv);
+        let mut ms = fresh(plan);
+        ms.read(ProcId(0), A, 0, Cycles(0));
+        let mut t = 1u64;
+        b.iter(|| {
+            t += 2;
+            ms.read(ProcId(0), A, 0, Cycles(t))
+        })
+    });
+
+    g.bench_function("priv_write_hit", |b| {
+        let mut plan = TestPlan::new();
+        plan.set(
+            A,
+            ProtocolKind::Priv {
+                read_in: false,
+                copy_out: false,
+            },
+        );
+        let mut ms = fresh(plan);
+        ms.begin_iteration(ProcId(0), 0);
+        ms.write(ProcId(0), A, 0, Cycles(0));
+        let mut t = 1u64;
+        let mut iter = 0u64;
+        b.iter(|| {
+            t += 2;
+            iter += 1;
+            ms.begin_iteration(ProcId(0), iter);
+            ms.write(ProcId(0), A, 0, Cycles(t))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

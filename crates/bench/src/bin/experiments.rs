@@ -1,0 +1,282 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! experiments [all|claims|fig11|fig12|fig13|fig14|state|ablation] [smoke|bench|full]
+//! ```
+//!
+//! Defaults to `all bench`. Output is the plain-text analogue of the
+//! paper's Figures 11–14 plus the §3.4 state-cost table and the §4.1
+//! ablations; `EXPERIMENTS.md` records the paper-vs-measured comparison.
+
+use specrt_core::experiments::{
+    ablation_chunking, ablation_machine, ablation_policy, ablation_track_block, evaluate_all,
+    extension_density, fig11_from, fig12_from, fig13, fig14, state_cost_table, LoopResults,
+};
+use specrt_core::report::{bar_chart, bsm, f2, stacked_bar, Table};
+use specrt_workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let scale = match args.get(1).map(String::as_str) {
+        Some("smoke") => Scale::Smoke,
+        Some("full") => Scale::Full,
+        None | Some("bench") => Scale::Bench,
+        Some(other) => {
+            eprintln!("unknown scale {other:?}; use smoke|bench|full");
+            std::process::exit(2);
+        }
+    };
+
+    let needs_eval = matches!(what, "all" | "claims" | "fig11" | "fig12");
+    let results: Vec<LoopResults> = if needs_eval {
+        eprintln!("running all scenarios on all workloads ({scale:?} scale)...");
+        evaluate_all(scale)
+    } else {
+        Vec::new()
+    };
+
+    match what {
+        "all" => {
+            print_fig11(&results);
+            print_fig12(&results);
+            print_fig13(scale);
+            print_fig14(scale);
+            print_state();
+            print_ablation(scale);
+        }
+        "claims" => print_claims(&results, scale),
+        "fig11" => print_fig11(&results),
+        "fig12" => print_fig12(&results),
+        "fig13" => print_fig13(scale),
+        "fig14" => print_fig14(scale),
+        "state" => print_state(),
+        "ablation" => print_ablation(scale),
+        other => {
+            eprintln!("unknown experiment {other:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Checks the four quantitative claims of the paper's abstract against the
+/// measured results and prints a pass/fail report.
+fn print_claims(results: &[LoopResults], scale: Scale) {
+    println!("== Reproduction report: the abstract's claims ==\n");
+    let rows = fig11_from(results);
+    let hw_mean: f64 = rows.iter().map(|r| r.hw).sum::<f64>() / rows.len() as f64;
+    let ratio_geo: f64 = rows
+        .iter()
+        .map(|r| r.hw / r.sw)
+        .product::<f64>()
+        .powf(1.0 / rows.len() as f64);
+    let all_hw_beat_sw = rows.iter().all(|r| r.hw > r.sw);
+    let f13 = fig13(scale);
+    let hw_fail: f64 = f13.iter().map(|r| r.hw.total()).sum::<f64>() / f13.len() as f64;
+    let sw_fail: f64 = f13.iter().map(|r| r.sw.total()).sum::<f64>() / f13.len() as f64;
+    let early = f13
+        .iter()
+        .all(|r| r.hw_iterations_before_abort * 4 < r.iterations.max(4));
+
+    let check = |ok: bool| if ok { "PASS" } else { "FAIL" };
+    println!(
+        "[{}] \"delivers a speedup of 7 for 16 processors\": HW mean {:.2}x (> 4 expected at reproduction scale)",
+        check(hw_mean > 4.0),
+        hw_mean
+    );
+    println!(
+        "[{}] \"twice faster than the software scheme\": geometric-mean HW/SW {:.2}x on {} loops (all HW > SW: {})",
+        check(ratio_geo > 1.5 && all_hw_beat_sw),
+        ratio_geo,
+        rows.len(),
+        all_hw_beat_sw
+    );
+    println!(
+        "[{}] \"detects serial loops very quickly\": HW aborts in the first quarter of every forced-failure loop: {}",
+        check(early),
+        early
+    );
+    println!(
+        "[{}] failure is cheap: HW {:.2}x vs SW {:.2}x serial on forced failures (paper: 1.22 vs 1.58)",
+        check(hw_fail < sw_fail && hw_fail < 1.6),
+        hw_fail,
+        sw_fail
+    );
+}
+
+fn print_fig11(results: &[LoopResults]) {
+    println!("== Figure 11: speedups of the parallel executions ==");
+    println!(
+        "(paper: HW averages 6.7 at 16 procs, SW 2.9; HW roughly half-way between SW and Ideal)\n"
+    );
+    let mut t = Table::new(vec!["loop", "procs", "Ideal", "SW", "HW", "HW/SW"]);
+    for r in fig11_from(results) {
+        t.row(vec![
+            r.workload.clone(),
+            r.procs.to_string(),
+            f2(r.ideal),
+            f2(r.sw),
+            f2(r.hw),
+            f2(r.hw / r.sw),
+        ]);
+    }
+    println!("{}", t.render());
+    let mut bars = Vec::new();
+    for r in fig11_from(results) {
+        bars.push((format!("{} Ideal", r.workload), r.ideal));
+        bars.push((format!("{} SW", r.workload), r.sw));
+        bars.push((format!("{} HW", r.workload), r.hw));
+    }
+    println!("{}", bar_chart(&bars, 50));
+}
+
+fn print_fig12(results: &[LoopResults]) {
+    println!("== Figure 12: execution time breakdown (normalized to Serial) ==");
+    println!("(bars are Busy+Sync+Mem; paper: HW has lower Busy and Mem than SW everywhere)\n");
+    let mut t = Table::new(vec!["loop", "scenario", "busy+sync+mem", "total"]);
+    let rows = fig12_from(results);
+    let scale_max = rows
+        .iter()
+        .flat_map(|r| r.bars.iter().map(|b| b.total()))
+        .fold(1.0_f64, f64::max);
+    for row in &rows {
+        for bar in &row.bars {
+            t.row(vec![
+                row.workload.clone(),
+                bar.scenario.clone(),
+                bsm(bar.busy, bar.sync, bar.mem),
+                f2(bar.total()),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("(stacked: # busy, ~ sync, . mem)");
+    for row in &rows {
+        for bar in &row.bars {
+            println!(
+                "{:<5} {:<8} |{}",
+                row.workload,
+                bar.scenario,
+                stacked_bar(bar.busy, bar.sync, bar.mem, scale_max, 60)
+            );
+        }
+    }
+    println!();
+}
+
+fn print_fig13(scale: Scale) {
+    println!("== Figure 13: execution time when the test fails (normalized to Serial) ==");
+    println!("(paper: HW averages 1.22x Serial, SW 1.58x; HW aborts almost immediately)\n");
+    let mut t = Table::new(vec![
+        "loop",
+        "Serial",
+        "SW (fail)",
+        "HW (fail)",
+        "HW iters before abort",
+    ]);
+    for r in fig13(scale) {
+        t.row(vec![
+            r.workload.clone(),
+            f2(r.serial.total()),
+            f2(r.sw.total()),
+            f2(r.hw.total()),
+            format!("{}/{}", r.hw_iterations_before_abort, r.iterations),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn print_fig14(scale: Scale) {
+    println!("== Figure 14: scalability (speedups at 8 and 16 processors) ==");
+    println!("(paper: SW saturates earlier; P3m's SW is slower at 16 than at 8)\n");
+    let mut t = Table::new(vec!["loop", "procs", "Ideal", "SW", "HW"]);
+    for r in fig14(scale) {
+        t.row(vec![
+            r.workload.clone(),
+            r.procs.to_string(),
+            f2(r.ideal),
+            f2(r.sw),
+            f2(r.hw),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn print_state() {
+    println!("== Figure 5 / section 3.4: per-element overhead state ==\n");
+    let mut t = Table::new(vec![
+        "configuration",
+        "HW dir bits",
+        "HW tag bits",
+        "SW bits",
+        "HW/SW",
+    ]);
+    for r in state_cost_table() {
+        t.row(vec![
+            r.config.clone(),
+            r.hw_dir_bits.to_string(),
+            r.hw_tag_bits.to_string(),
+            r.sw_bits.to_string(),
+            f2(r.ratio),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn print_ablation(scale: Scale) {
+    println!(
+        "== Ablation (section 4.1): superiteration chunking on the privatization protocol ==\n"
+    );
+    let mut t = Table::new(vec![
+        "chunk",
+        "HW cycles",
+        "read-first signals",
+        "stamp bits",
+    ]);
+    for r in ablation_chunking(scale) {
+        t.row(vec![
+            r.chunk.to_string(),
+            r.hw_cycles.to_string(),
+            r.read_first_signals.to_string(),
+            r.stamp_bits.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("== Ablation: machine-model sensitivity (Ocean, HW vs SW) ==\n");
+    let mut t = Table::new(vec!["machine", "HW speedup", "SW speedup"]);
+    for r in ablation_machine(scale) {
+        t.row(vec![r.config.clone(), f2(r.hw_speedup), f2(r.sw_speedup)]);
+    }
+    println!("{}", t.render());
+
+    println!("== Extension (section 2.2.4): profitability vs conflict density ==\n");
+    let mut t = Table::new(vec!["density", "pass rate", "HW/serial", "SW/serial"]);
+    for r in extension_density(scale) {
+        t.row(vec![
+            format!("{:.2}", r.density),
+            f2(r.pass_rate),
+            f2(r.hw_over_serial),
+            f2(r.sw_over_serial),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("== Ablation: abort latency and dirty-read coherence policy (Ocean) ==\n");
+    let mut t = Table::new(vec!["configuration", "HW cycles"]);
+    for r in ablation_policy(scale) {
+        t.row(vec![r.config.clone(), r.hw_cycles.to_string()]);
+    }
+    println!("{}", t.render());
+
+    println!("== Ablation (section 5.2): Track's dynamic block size under HW ==\n");
+    let mut t = Table::new(vec!["block", "passed", "HW cycles"]);
+    for r in ablation_track_block(scale) {
+        t.row(vec![
+            r.block.to_string(),
+            r.passed.to_string(),
+            r.hw_cycles.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,9 @@
+//! # specrt-bench
+//!
+//! Benchmark harness for the `specrt` reproduction: criterion benches (one
+//! per figure of the paper plus protocol microbenchmarks and ablations)
+//! and the `experiments` binary that regenerates every table and figure of
+//! the evaluation section.
+//!
+//! Run `cargo run -p specrt-bench --bin experiments -- all` for the full
+//! set at benchmark scale, or `cargo bench` for the criterion benches.

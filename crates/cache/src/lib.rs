@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # specrt-cache
+//!
+//! The per-node cache hierarchy of the simulated machine, including the
+//! paper's **access-bit arrays**.
+//!
+//! Per §5.1 of the paper each processor has a 32-KiB direct-mapped on-chip
+//! primary cache and a 512-KiB direct-mapped off-chip secondary cache, both
+//! with 64-byte lines. §4.2 adds, next to each cache's tag array, an *access
+//! bit array* holding the per-element speculation state of Figure 5, kept
+//! coherent alongside the data.
+//!
+//! This crate models:
+//!
+//! * [`ElemTag`] — the single set of per-element hardware bits, with typed
+//!   views for the non-privatization interpretation (`First`/`NoShr`/`ROnly`)
+//!   and the privatization interpretation (`Read1st`/`Write`);
+//! * [`LineTags`] — one line's worth of element tags, travelling with the
+//!   line through fills, write-backs and displacements;
+//! * [`CacheHierarchy`] — an inclusive L1/L2 pair with deterministic
+//!   direct-mapped placement, returning displacement victims (with their
+//!   access bits) so the coherence layer can merge them into the directory,
+//!   exactly as the paper's algorithm (e) requires.
+
+pub mod hierarchy;
+pub mod tags;
+
+pub use hierarchy::{CacheConfig, CacheHierarchy, HitLevel, LineState, Victim};
+pub use tags::{ElemTag, FirstTag, LineTags, MAX_ELEMS_PER_LINE};

@@ -1,0 +1,342 @@
+//! Per-element access bits stored in cache tags (paper Figure 5).
+//!
+//! The paper stresses that "there is a single set of hardware bits that is
+//! used differently depending on the algorithm used". We model that with
+//! [`ElemTag`], a single byte per element whose bits are given two typed
+//! views:
+//!
+//! * **non-privatization** (Fig. 5-a): `First` (2 bits: NONE/OWN/OTHER in
+//!   the cache — the full processor id lives only in the directory),
+//!   `NoShr`, `ROnly`;
+//! * **privatization** (Fig. 5-b/c): `Read1st` and `Write`, cleared at the
+//!   beginning of every iteration.
+
+use std::fmt;
+
+/// Maximum elements per 64-byte line (4-byte elements).
+pub const MAX_ELEMS_PER_LINE: usize = 16;
+
+/// Cache-tag view of the `First` field: whether the first processor to
+/// access the element is *this* cache's processor, some other processor, or
+/// nobody yet. Two bits in hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FirstTag {
+    /// No processor has accessed the element (that this cache knows of).
+    #[default]
+    None,
+    /// This processor was first.
+    Own,
+    /// Another processor was first.
+    Other,
+}
+
+impl fmt::Display for FirstTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FirstTag::None => f.write_str("NONE"),
+            FirstTag::Own => f.write_str("OWN"),
+            FirstTag::Other => f.write_str("OTHER"),
+        }
+    }
+}
+
+const FIRST_MASK: u8 = 0b0000_0011;
+const NOSHR_BIT: u8 = 0b0000_0100;
+const RONLY_BIT: u8 = 0b0000_1000;
+const READ1ST_BIT: u8 = 0b0001_0000;
+const WRITE_BIT: u8 = 0b0010_0000;
+
+/// The per-element access bits held in a cache tag entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ElemTag(u8);
+
+impl ElemTag {
+    /// A fully cleared tag (state at the beginning of a speculative loop).
+    pub const CLEAR: ElemTag = ElemTag(0);
+
+    // ----- non-privatization view -----
+
+    /// The `First` field.
+    pub fn first(self) -> FirstTag {
+        match self.0 & FIRST_MASK {
+            0 => FirstTag::None,
+            1 => FirstTag::Own,
+            _ => FirstTag::Other,
+        }
+    }
+
+    /// Sets the `First` field.
+    pub fn set_first(&mut self, v: FirstTag) {
+        let bits = match v {
+            FirstTag::None => 0,
+            FirstTag::Own => 1,
+            FirstTag::Other => 2,
+        };
+        self.0 = (self.0 & !FIRST_MASK) | bits;
+    }
+
+    /// The `NoShr` bit (the element has been written — called `tag.Priv` in
+    /// the paper's Figure 6 pseudo-code, `NoShr` in Figure 4; we use the
+    /// Figure 4 name throughout).
+    pub fn no_shr(self) -> bool {
+        self.0 & NOSHR_BIT != 0
+    }
+
+    /// Sets the `NoShr` bit.
+    pub fn set_no_shr(&mut self, v: bool) {
+        self.set_bit(NOSHR_BIT, v);
+    }
+
+    /// The `ROnly` bit (element known read-shared by several processors).
+    pub fn r_only(self) -> bool {
+        self.0 & RONLY_BIT != 0
+    }
+
+    /// Sets the `ROnly` bit.
+    pub fn set_r_only(&mut self, v: bool) {
+        self.set_bit(RONLY_BIT, v);
+    }
+
+    // ----- privatization view -----
+
+    /// The `Read1st` bit: the current iteration read this element before
+    /// writing it.
+    pub fn read1st(self) -> bool {
+        self.0 & READ1ST_BIT != 0
+    }
+
+    /// Sets the `Read1st` bit.
+    pub fn set_read1st(&mut self, v: bool) {
+        self.set_bit(READ1ST_BIT, v);
+    }
+
+    /// The `Write` bit: the current iteration has written this element.
+    pub fn write(self) -> bool {
+        self.0 & WRITE_BIT != 0
+    }
+
+    /// Sets the `Write` bit.
+    pub fn set_write(&mut self, v: bool) {
+        self.set_bit(WRITE_BIT, v);
+    }
+
+    /// Clears the per-iteration privatization bits (`Read1st`, `Write`).
+    /// The hardware performs this with a qualified reset line at the start
+    /// of each iteration (§4.1).
+    pub fn clear_iteration_bits(&mut self) {
+        self.0 &= !(READ1ST_BIT | WRITE_BIT);
+    }
+
+    /// Clears everything (performed at loop start with a full reset).
+    pub fn clear(&mut self) {
+        self.0 = 0;
+    }
+
+    /// Whether every bit is clear.
+    pub fn is_clear(self) -> bool {
+        self.0 == 0
+    }
+
+    fn set_bit(&mut self, mask: u8, v: bool) {
+        if v {
+            self.0 |= mask;
+        } else {
+            self.0 &= !mask;
+        }
+    }
+}
+
+impl fmt::Display for ElemTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[first={} noshr={} ronly={} r1st={} w={}]",
+            self.first(),
+            self.no_shr() as u8,
+            self.r_only() as u8,
+            self.read1st() as u8,
+            self.write() as u8
+        )
+    }
+}
+
+/// Access bits for every element of one cache line.
+///
+/// Lines hold 8 or 16 elements depending on the array's element size; lines
+/// of arrays that are *not* under test carry no tags (`LineTags::empty`),
+/// wasting no storage — mirroring the paper's §4.1 decision to keep access
+/// bits in "a dedicated memory … so we do not waste bits in the directory
+/// tags for data that uses the plain cache coherence protocol".
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LineTags {
+    elems: Vec<ElemTag>,
+}
+
+impl LineTags {
+    /// Tags for a line with `n` elements, all clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`MAX_ELEMS_PER_LINE`].
+    pub fn cleared(n: usize) -> Self {
+        assert!(
+            n <= MAX_ELEMS_PER_LINE,
+            "{n} elements exceed a 64-byte line"
+        );
+        LineTags {
+            elems: vec![ElemTag::CLEAR; n],
+        }
+    }
+
+    /// Tags for a line of a non-tested array (no state).
+    pub fn empty() -> Self {
+        LineTags { elems: Vec::new() }
+    }
+
+    /// Whether this line carries any speculation state.
+    pub fn is_tracked(&self) -> bool {
+        !self.elems.is_empty()
+    }
+
+    /// Number of tagged elements.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Whether there are no tagged elements.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Tag of element `i` within the line.
+    pub fn get(&self, i: usize) -> ElemTag {
+        self.elems[i]
+    }
+
+    /// Mutable tag of element `i` within the line.
+    pub fn get_mut(&mut self, i: usize) -> &mut ElemTag {
+        &mut self.elems[i]
+    }
+
+    /// Iterates over `(index, tag)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, ElemTag)> + '_ {
+        self.elems.iter().copied().enumerate()
+    }
+
+    /// Clears the per-iteration bits of every element (start of iteration).
+    pub fn clear_iteration_bits(&mut self) {
+        for t in &mut self.elems {
+            t.clear_iteration_bits();
+        }
+    }
+
+    /// Clears every bit of every element (start of loop).
+    pub fn clear(&mut self) {
+        for t in &mut self.elems {
+            t.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_field_round_trips() {
+        let mut t = ElemTag::CLEAR;
+        assert_eq!(t.first(), FirstTag::None);
+        t.set_first(FirstTag::Own);
+        assert_eq!(t.first(), FirstTag::Own);
+        t.set_first(FirstTag::Other);
+        assert_eq!(t.first(), FirstTag::Other);
+        t.set_first(FirstTag::None);
+        assert_eq!(t.first(), FirstTag::None);
+    }
+
+    #[test]
+    fn flag_bits_independent() {
+        let mut t = ElemTag::CLEAR;
+        t.set_no_shr(true);
+        t.set_r_only(true);
+        t.set_read1st(true);
+        t.set_write(true);
+        t.set_first(FirstTag::Other);
+        assert!(t.no_shr() && t.r_only() && t.read1st() && t.write());
+        assert_eq!(t.first(), FirstTag::Other);
+        t.set_no_shr(false);
+        assert!(!t.no_shr());
+        assert!(t.r_only() && t.read1st() && t.write());
+        assert_eq!(t.first(), FirstTag::Other);
+    }
+
+    #[test]
+    fn clear_iteration_bits_preserves_nonpriv_view() {
+        let mut t = ElemTag::CLEAR;
+        t.set_first(FirstTag::Own);
+        t.set_no_shr(true);
+        t.set_read1st(true);
+        t.set_write(true);
+        t.clear_iteration_bits();
+        assert!(!t.read1st() && !t.write());
+        assert_eq!(t.first(), FirstTag::Own);
+        assert!(t.no_shr());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut t = ElemTag::CLEAR;
+        t.set_first(FirstTag::Own);
+        t.set_write(true);
+        t.clear();
+        assert!(t.is_clear());
+    }
+
+    #[test]
+    fn line_tags_basics() {
+        let mut l = LineTags::cleared(8);
+        assert!(l.is_tracked());
+        assert_eq!(l.len(), 8);
+        l.get_mut(3).set_write(true);
+        assert!(l.get(3).write());
+        assert!(!l.get(2).write());
+        let set: Vec<usize> = l
+            .iter()
+            .filter(|(_, t)| t.write())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(set, vec![3]);
+    }
+
+    #[test]
+    fn line_tags_iteration_clear() {
+        let mut l = LineTags::cleared(4);
+        l.get_mut(0).set_read1st(true);
+        l.get_mut(1).set_no_shr(true);
+        l.clear_iteration_bits();
+        assert!(!l.get(0).read1st());
+        assert!(l.get(1).no_shr());
+        l.clear();
+        assert!(l.get(1).is_clear());
+    }
+
+    #[test]
+    fn empty_line_tags_track_nothing() {
+        let l = LineTags::empty();
+        assert!(!l.is_tracked());
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed a 64-byte line")]
+    fn too_many_elements_panics() {
+        LineTags::cleared(17);
+    }
+
+    #[test]
+    fn display_shows_state() {
+        let mut t = ElemTag::CLEAR;
+        t.set_first(FirstTag::Own);
+        assert!(t.to_string().contains("OWN"));
+    }
+}

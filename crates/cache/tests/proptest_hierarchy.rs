@@ -1,0 +1,122 @@
+//! Property tests: the inclusive two-level cache hierarchy.
+
+use proptest::prelude::*;
+
+use specrt_cache::{CacheConfig, CacheHierarchy, HitLevel, LineState, LineTags};
+use specrt_mem::LineAddr;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Access(u64),
+    FillClean(u64),
+    FillDirty(u64),
+    Invalidate(u64),
+    MarkDirty(u64),
+}
+
+fn op_strategy(lines: u64) -> impl Strategy<Value = Op> {
+    (0..5u8, 0..lines).prop_map(|(k, l)| match k {
+        0 => Op::Access(l),
+        1 => Op::FillClean(l),
+        2 => Op::FillDirty(l),
+        3 => Op::Invalidate(l),
+        _ => Op::MarkDirty(l),
+    })
+}
+
+proptest! {
+    /// Inclusion invariant: after any operation sequence, every line
+    /// resident in L1 is also resident in L2 (probe of L1 implies not
+    /// Miss), and state/tags accessors agree with residency.
+    #[test]
+    fn inclusion_and_consistency_hold(
+        ops in proptest::collection::vec(op_strategy(64), 0..200)
+    ) {
+        let mut c = CacheHierarchy::new(CacheConfig {
+            l1_lines: 4,
+            l2_lines: 16,
+        });
+        let mut resident: std::collections::HashSet<u64> = Default::default();
+        for op in ops {
+            match op {
+                Op::Access(l) => {
+                    let line = LineAddr(l);
+                    let level = c.access(line);
+                    prop_assert_eq!(level == HitLevel::Miss, !resident.contains(&l));
+                }
+                Op::FillClean(l) | Op::FillDirty(l) => {
+                    let line = LineAddr(l);
+                    if c.probe(line) != HitLevel::Miss {
+                        continue; // fill of resident line is a caller bug
+                    }
+                    let state = if matches!(op, Op::FillDirty(_)) {
+                        LineState::Dirty
+                    } else {
+                        LineState::Clean
+                    };
+                    if let Some(v) = c.fill(line, state, LineTags::empty()) {
+                        prop_assert!(resident.remove(&v.line.0), "victim was resident");
+                    }
+                    resident.insert(l);
+                }
+                Op::Invalidate(l) => {
+                    let line = LineAddr(l);
+                    let was = c.invalidate(line);
+                    prop_assert_eq!(was.is_some(), resident.remove(&l));
+                }
+                Op::MarkDirty(l) => {
+                    let line = LineAddr(l);
+                    if resident.contains(&l) {
+                        c.mark_dirty(line);
+                        prop_assert_eq!(c.state_of(line), Some(LineState::Dirty));
+                    }
+                }
+            }
+            // Global invariants.
+            prop_assert_eq!(c.resident_lines(), resident.len());
+            for &l in &resident {
+                let line = LineAddr(l);
+                prop_assert_ne!(c.probe(line), HitLevel::Miss, "L{} lost", l);
+                prop_assert!(c.state_of(line).is_some());
+                prop_assert!(c.tags_of(line).is_some());
+            }
+        }
+        // Flush returns exactly the dirty lines.
+        let dirty_before: std::collections::HashSet<u64> = resident
+            .iter()
+            .copied()
+            .filter(|&l| c.state_of(LineAddr(l)) == Some(LineState::Dirty))
+            .collect();
+        let victims = c.flush();
+        let flushed: std::collections::HashSet<u64> =
+            victims.iter().map(|v| v.line.0).collect();
+        prop_assert_eq!(flushed, dirty_before);
+        prop_assert_eq!(c.resident_lines(), 0);
+    }
+
+    /// Direct-mapped conflict behaviour: filling more lines than one slot
+    /// can hold evicts in a deterministic, loss-free way — the set of
+    /// resident lines always matches the model.
+    #[test]
+    fn conflicting_fills_never_lose_lines(
+        lines in proptest::collection::vec(0u64..256, 1..64)
+    ) {
+        let mut c = CacheHierarchy::new(CacheConfig {
+            l1_lines: 2,
+            l2_lines: 8,
+        });
+        let mut model: std::collections::HashMap<u64, u64> = Default::default(); // slot→line
+        for l in lines {
+            if c.probe(LineAddr(l)) != HitLevel::Miss {
+                continue;
+            }
+            let victim = c.fill(LineAddr(l), LineState::Clean, LineTags::empty());
+            let slot = l % 8;
+            let expected_victim = model.insert(slot, l);
+            prop_assert_eq!(victim.map(|v| v.line.0), expected_victim);
+        }
+        for &l in model.values() {
+            prop_assert_ne!(c.probe(LineAddr(l)), HitLevel::Miss);
+        }
+    }
+}

@@ -1,0 +1,795 @@
+//! Drivers that regenerate the paper's evaluation (Figures 11–14), the
+//! §3.4 state-cost comparison, and §4.1 ablations.
+//!
+//! Every driver returns structured rows; `specrt-bench`'s `experiments`
+//! binary renders them with [`crate::report`] and they are exercised by the
+//! criterion benches. The paper's absolute numbers come from a different
+//! substrate (Tangolite + Perfect Club binaries); what these drivers are
+//! expected to reproduce is the *shape* of each figure — who wins, by
+//! roughly what factor, and where the crossovers are. `EXPERIMENTS.md`
+//! records paper-vs-measured for each one.
+
+use specrt_engine::TimeBreakdown;
+use specrt_machine::{run_scenario, RunResult, Scenario, SwVariant};
+use specrt_spec::StateCost;
+use specrt_workloads::{all_workloads, Scale, Workload};
+
+/// Aggregated totals of one scenario over all invocations of a loop.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioTotals {
+    /// Sum of wall-clock cycles over invocations.
+    pub cycles: u64,
+    /// Component-wise sum of the average-per-processor breakdowns.
+    pub breakdown: TimeBreakdown,
+    /// Invocations whose run-time test passed (speculative scenarios).
+    pub passes: u64,
+    /// Invocations whose run-time test failed.
+    pub fails: u64,
+}
+
+impl ScenarioTotals {
+    fn absorb(&mut self, r: &RunResult) {
+        self.cycles += r.total_cycles.raw();
+        self.breakdown = self.breakdown.merged(&r.breakdown);
+        match r.passed {
+            Some(true) => self.passes += 1,
+            Some(false) => self.fails += 1,
+            None => {}
+        }
+    }
+}
+
+/// All four scenarios of one loop, aggregated over its invocations.
+#[derive(Debug, Clone)]
+pub struct LoopResults {
+    /// Workload name.
+    pub workload: String,
+    /// The paper's loop identifier.
+    pub paper_loop: String,
+    /// Processors used.
+    pub procs: u32,
+    /// Serial totals.
+    pub serial: ScenarioTotals,
+    /// Ideal (doall, no test) totals.
+    pub ideal: ScenarioTotals,
+    /// Software-scheme totals (the paper's variant for this loop).
+    pub sw: ScenarioTotals,
+    /// Hardware-scheme totals.
+    pub hw: ScenarioTotals,
+}
+
+impl LoopResults {
+    /// Speedup of a scenario over serial.
+    pub fn speedup(&self, s: &ScenarioTotals) -> f64 {
+        self.serial.cycles as f64 / s.cycles as f64
+    }
+}
+
+/// Runs all four scenarios of `w` on `procs` processors, aggregating over
+/// every invocation.
+pub fn run_workload(w: &Workload, procs: u32) -> LoopResults {
+    let mut out = LoopResults {
+        workload: w.name.to_string(),
+        paper_loop: w.paper_loop.to_string(),
+        procs,
+        serial: ScenarioTotals::default(),
+        ideal: ScenarioTotals::default(),
+        sw: ScenarioTotals::default(),
+        hw: ScenarioTotals::default(),
+    };
+    for spec in &w.invocations {
+        out.serial
+            .absorb(&run_scenario(spec, Scenario::Serial, procs));
+        out.ideal
+            .absorb(&run_scenario(spec, Scenario::Ideal, procs));
+        out.sw
+            .absorb(&run_scenario(spec, Scenario::Sw(w.sw_variant), procs));
+        out.hw.absorb(&run_scenario(spec, Scenario::Hw, procs));
+    }
+    out
+}
+
+/// Runs every workload at its paper processor count.
+pub fn evaluate_all(scale: Scale) -> Vec<LoopResults> {
+    all_workloads(scale)
+        .iter()
+        .map(|w| run_workload(w, w.procs))
+        .collect()
+}
+
+// ----------------------------------------------------------------------
+// Figure 11: speedups
+// ----------------------------------------------------------------------
+
+/// One bar group of Figure 11.
+#[derive(Debug, Clone)]
+pub struct Fig11Row {
+    /// Loop name.
+    pub workload: String,
+    /// Processors (8 for Ocean, 16 otherwise).
+    pub procs: u32,
+    /// Speedup of the Ideal execution.
+    pub ideal: f64,
+    /// Speedup of the software scheme.
+    pub sw: f64,
+    /// Speedup of the hardware scheme.
+    pub hw: f64,
+}
+
+/// Figure 11 from precomputed results.
+pub fn fig11_from(results: &[LoopResults]) -> Vec<Fig11Row> {
+    results
+        .iter()
+        .map(|r| Fig11Row {
+            workload: r.workload.clone(),
+            procs: r.procs,
+            ideal: r.speedup(&r.ideal),
+            sw: r.speedup(&r.sw),
+            hw: r.speedup(&r.hw),
+        })
+        .collect()
+}
+
+/// Runs and summarizes Figure 11.
+pub fn fig11(scale: Scale) -> Vec<Fig11Row> {
+    fig11_from(&evaluate_all(scale))
+}
+
+// ----------------------------------------------------------------------
+// Figure 12: execution-time breakdown
+// ----------------------------------------------------------------------
+
+/// One bar of Figure 12: a scenario's Busy/Sync/Mem, normalized to the
+/// loop's serial execution time.
+#[derive(Debug, Clone)]
+pub struct Fig12Bar {
+    /// Scenario label (`Serial`, `Ideal`, `SW`, `HW`).
+    pub scenario: String,
+    /// Busy fraction of serial time.
+    pub busy: f64,
+    /// Sync fraction of serial time.
+    pub sync: f64,
+    /// Mem fraction of serial time.
+    pub mem: f64,
+}
+
+impl Fig12Bar {
+    /// Total normalized height of the bar.
+    pub fn total(&self) -> f64 {
+        self.busy + self.sync + self.mem
+    }
+
+    fn from(b: &TimeBreakdown, serial_cycles: u64, label: &str) -> Fig12Bar {
+        let n = serial_cycles as f64;
+        Fig12Bar {
+            scenario: label.to_string(),
+            busy: b.busy.raw() as f64 / n,
+            sync: b.sync.raw() as f64 / n,
+            mem: b.mem.raw() as f64 / n,
+        }
+    }
+}
+
+/// One bar group of Figure 12.
+#[derive(Debug, Clone)]
+pub struct Fig12Row {
+    /// Loop name.
+    pub workload: String,
+    /// Processors.
+    pub procs: u32,
+    /// Bars in Serial/Ideal/SW/HW order.
+    pub bars: Vec<Fig12Bar>,
+}
+
+/// Figure 12 from precomputed results.
+pub fn fig12_from(results: &[LoopResults]) -> Vec<Fig12Row> {
+    results
+        .iter()
+        .map(|r| {
+            let n = r.serial.cycles;
+            Fig12Row {
+                workload: r.workload.clone(),
+                procs: r.procs,
+                bars: vec![
+                    Fig12Bar::from(&r.serial.breakdown, n, "Serial1"),
+                    Fig12Bar::from(&r.ideal.breakdown, n, &format!("Ideal{}", r.procs)),
+                    Fig12Bar::from(&r.sw.breakdown, n, &format!("SW{}", r.procs)),
+                    Fig12Bar::from(&r.hw.breakdown, n, &format!("HW{}", r.procs)),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Runs and summarizes Figure 12.
+pub fn fig12(scale: Scale) -> Vec<Fig12Row> {
+    fig12_from(&evaluate_all(scale))
+}
+
+// ----------------------------------------------------------------------
+// Figure 13: slowdown due to failure
+// ----------------------------------------------------------------------
+
+/// One bar group of Figure 13: execution time of the forced-failure
+/// instance, normalized to serial.
+#[derive(Debug, Clone)]
+pub struct Fig13Row {
+    /// Loop name.
+    pub workload: String,
+    /// Serial bar (1.0 by construction).
+    pub serial: Fig12Bar,
+    /// Software scheme (fails after running the whole loop).
+    pub sw: Fig12Bar,
+    /// Hardware scheme (fails as soon as the dependence occurs).
+    pub hw: Fig12Bar,
+    /// Iterations the hardware scheme executed before aborting.
+    pub hw_iterations_before_abort: u64,
+    /// The loop's iteration count.
+    pub iterations: u64,
+}
+
+/// Runs Figure 13: forces the failure of one instance of each loop
+/// (the §6.2 recipes baked into each workload's `failure_instance`).
+pub fn fig13(scale: Scale) -> Vec<Fig13Row> {
+    all_workloads(scale)
+        .iter()
+        .map(|w| {
+            let spec = &w.failure_instance;
+            let serial = run_scenario(spec, Scenario::Serial, w.procs);
+            // Track's recipe is "run the iteration-wise tests on the loop
+            // instantiation that needs processor-wise tests to pass"; the
+            // other loops fail under their usual variant too.
+            let sw_variant = if w.name == "track" {
+                SwVariant::IterationWise
+            } else {
+                w.sw_variant
+            };
+            let sw = run_scenario(spec, Scenario::Sw(sw_variant), w.procs);
+            let hw = run_scenario(spec, Scenario::Hw, w.procs);
+            assert_eq!(sw.passed, Some(false), "{}: SW must fail", w.name);
+            assert_eq!(hw.passed, Some(false), "{}: HW must fail", w.name);
+            let n = serial.total_cycles.raw();
+            Fig13Row {
+                workload: w.name.to_string(),
+                serial: Fig12Bar::from(&serial.breakdown, n, "Serial"),
+                sw: Fig12Bar::from(&sw.breakdown, n, "SW"),
+                hw: Fig12Bar::from(&hw.breakdown, n, "HW"),
+                hw_iterations_before_abort: hw.iterations,
+                iterations: spec.iters,
+            }
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------------
+// Figure 14: scalability
+// ----------------------------------------------------------------------
+
+/// One point of Figure 14: speedups at a processor count.
+#[derive(Debug, Clone)]
+pub struct Fig14Row {
+    /// Loop name.
+    pub workload: String,
+    /// Processor count of this point.
+    pub procs: u32,
+    /// Ideal speedup.
+    pub ideal: f64,
+    /// Software-scheme speedup.
+    pub sw: f64,
+    /// Hardware-scheme speedup.
+    pub hw: f64,
+}
+
+/// Runs Figure 14: P3m, Adm and Track at 8 and 16 processors (Ocean is
+/// too small to run with 16, as in the paper).
+pub fn fig14(scale: Scale) -> Vec<Fig14Row> {
+    let mut rows = Vec::new();
+    for w in all_workloads(scale) {
+        if w.name == "ocean" {
+            continue;
+        }
+        for procs in [8u32, 16] {
+            let r = run_workload(&w, procs);
+            rows.push(Fig14Row {
+                workload: w.name.to_string(),
+                procs,
+                ideal: r.speedup(&r.ideal),
+                sw: r.speedup(&r.sw),
+                hw: r.speedup(&r.hw),
+            });
+        }
+    }
+    rows
+}
+
+// ----------------------------------------------------------------------
+// State-cost table (Figure 5 / §3.4)
+// ----------------------------------------------------------------------
+
+/// One row of the per-element overhead-state comparison.
+#[derive(Debug, Clone)]
+pub struct StateCostRow {
+    /// Configuration label.
+    pub config: String,
+    /// Hardware directory bits per element.
+    pub hw_dir_bits: u32,
+    /// Hardware cache-tag bits per element.
+    pub hw_tag_bits: u32,
+    /// Software shadow bits per element.
+    pub sw_bits: u32,
+    /// HW / SW state ratio.
+    pub ratio: f64,
+}
+
+/// The §3.4 hardware-vs-software state comparison for the paper's machine
+/// sizes.
+pub fn state_cost_table() -> Vec<StateCostRow> {
+    let mut rows = Vec::new();
+    for (procs, iters, read_in) in [
+        (16u32, (1u64 << 16) - 1, false),
+        (16, (1 << 16) - 1, true),
+        (8, (1 << 10) - 1, false),
+        (64, (1 << 20) - 1, true),
+    ] {
+        let c = StateCost::new(procs, iters);
+        rows.push(StateCostRow {
+            config: format!(
+                "{procs} procs, 2^{} iters, read-in {}",
+                64 - iters.leading_zeros(),
+                if read_in { "yes" } else { "no" }
+            ),
+            hw_dir_bits: c.hw_dir_bits(read_in),
+            hw_tag_bits: c.hw_tag_bits(),
+            sw_bits: c.sw_bits(read_in),
+            ratio: c.hw_over_sw_ratio(read_in),
+        });
+    }
+    rows
+}
+
+// ----------------------------------------------------------------------
+// Ablations (§4.1)
+// ----------------------------------------------------------------------
+
+/// One point of the chunk-size ablation on the privatization protocol.
+#[derive(Debug, Clone)]
+pub struct ChunkAblationRow {
+    /// Superiteration size (1 = iteration-wise).
+    pub chunk: u64,
+    /// HW wall-clock cycles.
+    pub hw_cycles: u64,
+    /// Read-first signals sent to the shared directory.
+    pub read_first_signals: u64,
+    /// Stamp bits the directory needs at this chunking.
+    pub stamp_bits: u32,
+}
+
+/// A privatization workload with heavy *read-first* traffic: every
+/// iteration reads a handful of read-only table elements (each read is a
+/// read-first for its iteration, generating a shared-directory signal)
+/// before writing its own private slots. Used by the §4.1 ablation, where
+/// P3m itself would show nothing (its iterations always write before
+/// reading).
+fn read_first_heavy_loop(iters: u64) -> specrt_machine::LoopSpec {
+    use specrt_ir::{ArrayId, BinOp, Operand, ProgramBuilder, Scalar};
+    use specrt_machine::{ArrayDecl, LoopSpec, ScheduleKind};
+    use specrt_mem::ElemSize;
+    use specrt_spec::{IterationNumbering, ProtocolKind, TestPlan};
+
+    let w = ArrayId(0);
+    let out = ArrayId(1);
+    let mut b = ProgramBuilder::new();
+    // Read four read-only table slots (read-first every iteration).
+    let mut acc = b.mov(Operand::ImmF(0.0));
+    for slot in 0..4 {
+        let v = b.load(w, Operand::ImmI(slot));
+        acc = b.binop(BinOp::FAdd, Operand::Reg(acc), Operand::Reg(v));
+    }
+    // Write a private scratch slot, then read it back.
+    let e = b.binop(BinOp::Rem, Operand::Iter, Operand::ImmI(60));
+    let e2 = b.binop(BinOp::Add, Operand::Reg(e), Operand::ImmI(4));
+    b.store(w, Operand::Reg(e2), Operand::Reg(acc));
+    let rv = b.load(w, Operand::Reg(e2));
+    b.store(out, Operand::Iter, Operand::Reg(rv));
+    b.compute(30);
+    let body = b.build().expect("read-first loop verifies");
+    let mut plan = TestPlan::new();
+    plan.set(
+        w,
+        ProtocolKind::Priv {
+            read_in: true,
+            copy_out: false,
+        },
+    );
+    LoopSpec {
+        name: "read-first-heavy".into(),
+        body,
+        iters,
+        arrays: vec![
+            ArrayDecl::with_init(w, ElemSize::W8, vec![Scalar::Float(1.0); 64]),
+            ArrayDecl::zeroed(out, iters, ElemSize::W8),
+        ],
+        plan,
+        numbering: IterationNumbering::iteration_wise(),
+        schedule: ScheduleKind::Static,
+        live_after: vec![out],
+        stamp_window: None,
+    }
+}
+
+/// §4.1: "group contiguous iterations in chunks and use block cyclic
+/// scheduling … the number of read-first iterations and, in general, the
+/// number of messages and protocol tests decreases." Runs a
+/// read-first-heavy privatization loop under increasing superiteration
+/// sizes.
+pub fn ablation_chunking(scale: Scale) -> Vec<ChunkAblationRow> {
+    use specrt_machine::ScheduleKind;
+    use specrt_spec::IterationNumbering;
+    let iters = scale.pick(200, 1500, 6000);
+    let procs = 16;
+    [1u64, 4, 16, 64]
+        .into_iter()
+        .map(|chunk| {
+            let mut spec = read_first_heavy_loop(iters);
+            if chunk > 1 {
+                spec.numbering = IterationNumbering::chunked(chunk);
+                spec.schedule = ScheduleKind::BlockCyclic { block: chunk };
+            }
+            let hw = run_scenario(&spec, Scenario::Hw, procs);
+            assert_eq!(
+                hw.passed,
+                Some(true),
+                "chunked read-first loop must pass: {:?}",
+                hw.failure
+            );
+            ChunkAblationRow {
+                chunk,
+                hw_cycles: hw.total_cycles.raw(),
+                read_first_signals: hw.stats.get("priv_read_first_signals"),
+                stamp_bits: spec.numbering.stamp_bits(iters),
+            }
+        })
+        .collect()
+}
+
+/// One point of the §2.2.4 profitability sweep.
+#[derive(Debug, Clone)]
+pub struct DensityRow {
+    /// Conflict density of the generated instances.
+    pub density: f64,
+    /// Fraction of instances whose speculation passed.
+    pub pass_rate: f64,
+    /// Mean HW time, normalized to serial.
+    pub hw_over_serial: f64,
+    /// Mean SW time, normalized to serial.
+    pub sw_over_serial: f64,
+}
+
+/// §2.2.4: "the compiler can use heuristics and statistics about the
+/// parallelization success-rate … and automatically decide when run-time
+/// parallelization can be profitable." Sweeps the conflict density of a
+/// synthetic loop family and reports pass rates and expected costs: the
+/// crossover where speculation stops paying is where `hw_over_serial`
+/// crosses 1.0.
+pub fn extension_density(scale: Scale) -> Vec<DensityRow> {
+    let instances = scale.pick(3, 8, 16);
+    let iters = scale.pick(64, 128, 256);
+    let procs = 8;
+    [0.0, 0.02, 0.05, 0.1, 0.25, 0.5]
+        .into_iter()
+        .map(|density| {
+            let mut passes = 0u32;
+            let mut hw_sum = 0.0;
+            let mut sw_sum = 0.0;
+            for seed in 0..instances {
+                let spec = specrt_workloads::synth::conflict_loop(iters, density, seed);
+                let serial = run_scenario(&spec, Scenario::Serial, procs);
+                let hw = run_scenario(&spec, Scenario::Hw, procs);
+                let sw = run_scenario(
+                    &spec,
+                    Scenario::Sw(specrt_workloads::synth::SW_VARIANT),
+                    procs,
+                );
+                if hw.passed == Some(true) {
+                    passes += 1;
+                }
+                hw_sum += hw.total_cycles.raw() as f64 / serial.total_cycles.raw() as f64;
+                sw_sum += sw.total_cycles.raw() as f64 / serial.total_cycles.raw() as f64;
+            }
+            DensityRow {
+                density,
+                pass_rate: passes as f64 / instances as f64,
+                hw_over_serial: hw_sum / instances as f64,
+                sw_over_serial: sw_sum / instances as f64,
+            }
+        })
+        .collect()
+}
+
+/// One point of the abort-latency / coherence-policy sensitivity sweep.
+#[derive(Debug, Clone)]
+pub struct PolicyAblationRow {
+    /// Configuration label.
+    pub config: String,
+    /// HW total cycles on the forced-failure Ocean instance (abort-latency
+    /// rows) or on the parallel Ocean instance (coherence rows).
+    pub hw_cycles: u64,
+}
+
+/// Sensitivity to the abort broadcast latency (failure path) and to the
+/// dirty-read coherence policy (invalidate-on-fetch vs the classic DASH
+/// sharing write-back).
+pub fn ablation_policy(_scale: Scale) -> Vec<PolicyAblationRow> {
+    use specrt_machine::{run_scenario_configured, MachineConfig};
+    let mut rows = Vec::new();
+    // Abort latency on the forced-failure instance.
+    let fail_spec = specrt_workloads::ocean::instance(0, true);
+    for abort in [50u64, 200, 1000, 5000] {
+        let mut cfg = MachineConfig::with_procs(8);
+        cfg.abort_latency = abort;
+        let hw = run_scenario_configured(&fail_spec, Scenario::Hw, cfg);
+        assert_eq!(hw.passed, Some(false));
+        rows.push(PolicyAblationRow {
+            config: format!("abort latency {abort} (failing run)"),
+            hw_cycles: hw.total_cycles.raw(),
+        });
+    }
+    // Coherence policy on the parallel instance.
+    let ok_spec = specrt_workloads::ocean::instance(0, false);
+    for (label, downgrade) in [("invalidate-on-fetch", false), ("sharing write-back", true)] {
+        let mut cfg = MachineConfig::with_procs(8);
+        cfg.mem.dirty_read_downgrades = downgrade;
+        let hw = run_scenario_configured(&ok_spec, Scenario::Hw, cfg);
+        assert_eq!(hw.passed, Some(true), "{:?}", hw.failure);
+        rows.push(PolicyAblationRow {
+            config: format!("dirty reads: {label}"),
+            hw_cycles: hw.total_cycles.raw(),
+        });
+    }
+    rows
+}
+
+/// One point of the machine-sensitivity ablation.
+#[derive(Debug, Clone)]
+pub struct MachineAblationRow {
+    /// Configuration label.
+    pub config: String,
+    /// HW speedup over the same machine's serial run.
+    pub hw_speedup: f64,
+    /// SW speedup over the same machine's serial run.
+    pub sw_speedup: f64,
+}
+
+/// Sensitivity of the headline comparison to the machine model: §5.1 notes
+/// the small caches were chosen to match the workloads' working sets. We
+/// sweep cache geometry and the write-buffer depth on Ocean (the most
+/// memory-bound loop) and check that HW > SW survives every configuration.
+pub fn ablation_machine(_scale: Scale) -> Vec<MachineAblationRow> {
+    use specrt_cache::CacheConfig;
+    use specrt_machine::{run_scenario_configured, MachineConfig};
+
+    let spec = specrt_workloads::ocean::instance(0, false);
+    let w = all_workloads(Scale::Smoke)
+        .into_iter()
+        .find(|w| w.name == "ocean")
+        .expect("ocean exists");
+    let mut rows = Vec::new();
+    let configs: Vec<(String, MachineConfig)> = vec![
+        (
+            "paper (32K/512K, wb16)".into(),
+            MachineConfig::with_procs(w.procs),
+        ),
+        ("half caches (16K/256K)".into(), {
+            let mut c = MachineConfig::with_procs(w.procs);
+            c.mem.cache = CacheConfig {
+                l1_lines: 256,
+                l2_lines: 4096,
+            };
+            c
+        }),
+        ("double caches (64K/1M)".into(), {
+            let mut c = MachineConfig::with_procs(w.procs);
+            c.mem.cache = CacheConfig {
+                l1_lines: 1024,
+                l2_lines: 16384,
+            };
+            c
+        }),
+        ("write buffer 2".into(), {
+            let mut c = MachineConfig::with_procs(w.procs);
+            c.write_buffer = 2;
+            c
+        }),
+        ("write buffer 64".into(), {
+            let mut c = MachineConfig::with_procs(w.procs);
+            c.write_buffer = 64;
+            c
+        }),
+        ("detailed fetch&op barrier".into(), {
+            let mut c = MachineConfig::with_procs(w.procs);
+            c.detailed_barrier = true;
+            c
+        }),
+    ];
+    for (label, cfg) in configs {
+        let serial = run_scenario_configured(&spec, Scenario::Serial, cfg);
+        let hw = run_scenario_configured(&spec, Scenario::Hw, cfg);
+        let sw = run_scenario_configured(&spec, Scenario::Sw(w.sw_variant), cfg);
+        rows.push(MachineAblationRow {
+            config: label,
+            hw_speedup: serial.total_cycles.raw() as f64 / hw.total_cycles.raw() as f64,
+            sw_speedup: serial.total_cycles.raw() as f64 / sw.total_cycles.raw() as f64,
+        });
+    }
+    rows
+}
+
+/// One point of the Track block-size ablation.
+#[derive(Debug, Clone)]
+pub struct TrackBlockRow {
+    /// Dynamic scheduling block size.
+    pub block: u64,
+    /// Whether the hardware test passed.
+    pub passed: bool,
+    /// HW wall-clock cycles.
+    pub hw_cycles: u64,
+}
+
+/// §5.2: "the plain dynamically-scheduled hardware scheme passes all loops
+/// if the iterations are scheduled in blocks of a few iterations each."
+/// Runs Track's not-fully-parallel instance under various dynamic block
+/// sizes: block 1 splits the colliding iteration pairs across processors
+/// and must fail.
+pub fn ablation_track_block(_scale: Scale) -> Vec<TrackBlockRow> {
+    use specrt_machine::ScheduleKind;
+    [1u64, 2, 4, 8]
+        .into_iter()
+        .map(|block| {
+            let mut spec = specrt_workloads::track::instance(3, true);
+            spec.schedule = ScheduleKind::Dynamic { block };
+            let hw = run_scenario(&spec, Scenario::Hw, 16);
+            TrackBlockRow {
+                block,
+                passed: hw.passed == Some(true),
+                hw_cycles: hw.total_cycles.raw(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_smoke_shapes_hold() {
+        let rows = fig11(Scale::Smoke);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.ideal > 1.0, "{}: Ideal must beat Serial", r.workload);
+            assert!(r.hw > 1.0, "{}: HW must beat Serial", r.workload);
+            assert!(
+                r.hw > r.sw,
+                "{}: HW ({:.2}) must beat SW ({:.2})",
+                r.workload,
+                r.hw,
+                r.sw
+            );
+            assert!(
+                r.ideal >= r.hw * 0.95,
+                "{}: Ideal is an upper bound",
+                r.workload
+            );
+        }
+    }
+
+    #[test]
+    fn fig13_smoke_failure_shapes_hold() {
+        let rows = fig13(Scale::Smoke);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(
+                r.hw.total() < r.sw.total(),
+                "{}: HW failure ({:.2}) must cost less than SW ({:.2})",
+                r.workload,
+                r.hw.total(),
+                r.sw.total()
+            );
+            assert!(
+                r.hw.total() >= 1.0,
+                "{}: failure cannot beat serial",
+                r.workload
+            );
+            assert!(
+                r.hw_iterations_before_abort < r.iterations,
+                "{}: HW must abort early",
+                r.workload
+            );
+        }
+    }
+
+    #[test]
+    fn state_cost_table_favors_hardware() {
+        let rows = state_cost_table();
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(r.ratio < 1.0, "{}: HW needs less state", r.config);
+        }
+    }
+
+    #[test]
+    fn density_sweep_shows_profitability_crossover() {
+        let rows = extension_density(Scale::Smoke);
+        assert!(
+            (rows[0].pass_rate - 1.0).abs() < 1e-9,
+            "density 0 always passes"
+        );
+        assert!(rows[0].hw_over_serial < 1.0, "parallel case must pay off");
+        let last = rows.last().unwrap();
+        assert!(last.pass_rate < 1.0, "high density must fail sometimes");
+        // Pass rate is nonincreasing in density (same seeds per density).
+        for w in rows.windows(2) {
+            assert!(
+                w[1].pass_rate <= w[0].pass_rate + 1e-9,
+                "pass rate must not increase with density: {rows:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn abort_latency_monotonically_increases_failure_cost() {
+        let rows = ablation_policy(Scale::Smoke);
+        let aborts: Vec<u64> = rows
+            .iter()
+            .filter(|r| r.config.starts_with("abort latency"))
+            .map(|r| r.hw_cycles)
+            .collect();
+        for w in aborts.windows(2) {
+            assert!(
+                w[1] >= w[0],
+                "higher abort latency cannot be cheaper: {aborts:?}"
+            );
+        }
+        // Both coherence policies complete the parallel run.
+        assert_eq!(rows.len(), 6);
+    }
+
+    #[test]
+    fn hw_beats_sw_on_every_machine_configuration() {
+        for row in ablation_machine(Scale::Smoke) {
+            assert!(
+                row.hw_speedup > row.sw_speedup,
+                "{}: HW {:.2} vs SW {:.2}",
+                row.config,
+                row.hw_speedup,
+                row.sw_speedup
+            );
+        }
+    }
+
+    #[test]
+    fn chunking_reduces_read_first_signals() {
+        let rows = ablation_chunking(Scale::Smoke);
+        assert!(rows[0].read_first_signals > 0, "iteration-wise must signal");
+        for w in rows.windows(2) {
+            assert!(
+                w[1].read_first_signals < w[0].read_first_signals,
+                "larger chunks must send fewer signals: {rows:?}"
+            );
+            assert!(w[1].stamp_bits <= w[0].stamp_bits);
+        }
+    }
+
+    #[test]
+    fn track_block_ablation_block1_fails() {
+        let rows = ablation_track_block(Scale::Smoke);
+        assert!(!rows[0].passed, "block 1 splits colliding pairs");
+        assert!(rows[2].passed, "block 4 keeps pairs together");
+        let pass_cost = rows[2].hw_cycles;
+        let fail_cost = rows[0].hw_cycles;
+        assert!(
+            fail_cost > pass_cost,
+            "failing run pays the serial fallback"
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Plain-text table rendering for experiment results.
+
+use std::fmt::Write as _;
+
+/// A fixed-width text table.
+///
+/// # Examples
+///
+/// ```
+/// use specrt_core::report::Table;
+///
+/// let mut t = Table::new(vec!["loop", "speedup"]);
+/// t.row(vec!["ocean".into(), "3.95".into()]);
+/// let s = t.render();
+/// assert!(s.contains("ocean"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Self {
+        Table {
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header count).
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (c, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}  ", cell, width = widths[c]);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let rule: String = widths
+            .iter()
+            .map(|w| "-".repeat(*w) + "  ")
+            .collect::<String>();
+        out.push_str(rule.trim_end());
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// A horizontal ASCII bar chart (the text analogue of the paper's figures).
+///
+/// # Examples
+///
+/// ```
+/// use specrt_core::report::bar_chart;
+///
+/// let s = bar_chart(&[("HW".into(), 6.7), ("SW".into(), 2.9)], 40);
+/// assert!(s.contains("HW"));
+/// assert!(s.lines().next().unwrap().len() > s.lines().nth(1).unwrap().len());
+/// ```
+pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
+    let max = rows.iter().map(|r| r.1).fold(0.0_f64, f64::max).max(1e-12);
+    let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let n = ((value / max) * width as f64).round() as usize;
+        let _ = writeln!(
+            out,
+            "{:<label_w$}  {:>7.2}  {}",
+            label,
+            value,
+            "#".repeat(n.max(usize::from(*value > 0.0))),
+        );
+    }
+    out
+}
+
+/// A stacked three-segment bar (Busy/Sync/Mem) rendered with distinct
+/// glyphs: `#` busy, `~` sync, `.` mem.
+///
+/// # Examples
+///
+/// ```
+/// use specrt_core::report::stacked_bar;
+///
+/// let bar = stacked_bar(0.5, 0.25, 0.25, 1.0, 20);
+/// assert_eq!(bar, "##########~~~~~.....");
+/// ```
+pub fn stacked_bar(busy: f64, sync: f64, mem: f64, scale_max: f64, width: usize) -> String {
+    let unit = width as f64 / scale_max.max(1e-12);
+    let b = (busy * unit).round() as usize;
+    let s = (sync * unit).round() as usize;
+    let m = (mem * unit).round() as usize;
+    format!("{}{}{}", "#".repeat(b), "~".repeat(s), ".".repeat(m))
+}
+
+/// Formats a stacked Busy/Sync/Mem triple.
+pub fn bsm(busy: f64, sync: f64, mem: f64) -> String {
+    format!("{busy:.2}+{sync:.2}+{mem:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["xxxxxx".into(), "1".into()]);
+        t.row(vec!["y".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a       "));
+        assert!(lines[1].starts_with("------"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        assert!(t.render().contains('1'));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.2345), "1.23");
+        assert_eq!(bsm(0.5, 0.25, 0.25), "0.50+0.25+0.25");
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let s = bar_chart(&[("a".into(), 10.0), ("b".into(), 5.0)], 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0].matches('#').count(), 10);
+        assert_eq!(lines[1].matches('#').count(), 5);
+    }
+
+    #[test]
+    fn bar_chart_handles_zero_and_empty() {
+        let s = bar_chart(&[("z".into(), 0.0)], 10);
+        assert!(s.contains('z'));
+        assert_eq!(bar_chart(&[], 10), "");
+    }
+
+    #[test]
+    fn stacked_bar_segments() {
+        let bar = stacked_bar(1.0, 0.0, 1.0, 2.0, 10);
+        assert_eq!(bar, "#####.....");
+    }
+}

@@ -1,0 +1,263 @@
+//! Deterministic discrete-event queue.
+//!
+//! All asynchronous activity in the simulated machine — protocol messages
+//! arriving at a directory, a processor waking up after a memory stall, a
+//! barrier releasing its waiters — is an *event*: a `(time, payload)` pair.
+//! Events are delivered in nondecreasing time order; ties are broken by
+//! insertion order (FIFO), which makes simulations fully deterministic and,
+//! importantly, models the in-order delivery of messages that the paper's
+//! protocol algorithms assume ("All algorithms assume in-order delivery of
+//! messages", Section 3.2).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Cycles;
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: Cycles,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A time-ordered, FIFO-on-ties event queue.
+///
+/// # Examples
+///
+/// ```
+/// use specrt_engine::{Cycles, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycles(3), 'b');
+/// q.push(Cycles(1), 'a');
+/// q.push(Cycles(3), 'c'); // same time as 'b' → delivered after 'b'
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: Cycles,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Cycles::ZERO,
+        }
+    }
+
+    /// Schedules `event` for delivery at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the time of the last popped event:
+    /// scheduling into the past would violate causality and indicates a bug
+    /// in the component that scheduled it.
+    pub fn push(&mut self, at: Cycles, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at}, now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Schedules `event` for `delay` cycles after the current time.
+    pub fn push_after(&mut self, delay: Cycles, event: E) {
+        self.push(self.now + delay, event);
+    }
+
+    /// Schedules `event` at `at` even if earlier events have already been
+    /// delivered past that time.
+    ///
+    /// Used by components that *drain ahead*: a directory processing a
+    /// transaction delivers all messages up to the transaction's arrival
+    /// time, which may lie in the future of the global clock; messages sent
+    /// afterwards by other parties may legitimately carry earlier arrival
+    /// times. Cross-sender ordering in that window is a genuine race; each
+    /// sender's own messages remain in order because its send times are
+    /// monotone.
+    pub fn push_lenient(&mut self, at: Cycles, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Removes and returns the earliest event, advancing the queue's notion
+    /// of "now" to its timestamp (never backwards). Returns `None` when the
+    /// queue is empty.
+    pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        let entry = self.heap.pop()?;
+        self.now = self.now.max(entry.time);
+        Some((entry.time, entry.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// The time of the most recently delivered event (simulation clock).
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Discards every pending event, keeping the clock where it is.
+    ///
+    /// Used when a speculative loop aborts: in-flight protocol traffic for
+    /// the aborted loop is dropped and the machine restarts from a clean
+    /// state at the current time.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycles(30), 3);
+        q.push(Cycles(10), 1);
+        q.push(Cycles(20), 2);
+        assert_eq!(q.pop(), Some((Cycles(10), 1)));
+        assert_eq!(q.pop(), Some((Cycles(20), 2)));
+        assert_eq!(q.pop(), Some((Cycles(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Cycles(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycles(5), i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), Cycles::ZERO);
+        q.push(Cycles(7), ());
+        q.pop();
+        assert_eq!(q.now(), Cycles(7));
+    }
+
+    #[test]
+    fn push_after_is_relative() {
+        let mut q = EventQueue::new();
+        q.push(Cycles(10), 'a');
+        q.pop();
+        q.push_after(Cycles(5), 'b');
+        assert_eq!(q.pop(), Some((Cycles(15), 'b')));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn rejects_events_in_the_past() {
+        let mut q = EventQueue::new();
+        q.push(Cycles(10), ());
+        q.pop();
+        q.push(Cycles(5), ());
+    }
+
+    #[test]
+    fn clear_drops_pending_events() {
+        let mut q = EventQueue::new();
+        q.push(Cycles(10), ());
+        q.push(Cycles(20), ());
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_lenient_allows_past_events() {
+        let mut q = EventQueue::new();
+        q.push(Cycles(100), 'a');
+        q.pop(); // now = 100
+        q.push_lenient(Cycles(50), 'b'); // in the past: allowed
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t, e), (Cycles(50), 'b'));
+        // The clock never moves backwards.
+        assert_eq!(q.now(), Cycles(100));
+    }
+
+    #[test]
+    fn push_lenient_keeps_order_among_pending() {
+        let mut q = EventQueue::new();
+        q.push(Cycles(10), 1);
+        q.pop();
+        q.push_lenient(Cycles(5), 2);
+        q.push_lenient(Cycles(7), 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn peek_time_sees_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(Cycles(9), ());
+        q.push(Cycles(4), ());
+        assert_eq!(q.peek_time(), Some(Cycles(4)));
+    }
+}

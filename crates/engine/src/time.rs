@@ -1,0 +1,197 @@
+//! Virtual time in processor clock cycles.
+//!
+//! The machine modelled by the paper runs 200-MHz processors; everything in
+//! the simulator is expressed in cycles of that clock. [`Cycles`] is a
+//! newtype over `u64` so that simulated time cannot be confused with plain
+//! counters (C-NEWTYPE).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in (or duration of) virtual time, measured in CPU clock cycles.
+///
+/// `Cycles` is ordered and supports saturating-free arithmetic: additions are
+/// plain `u64` additions (a simulation that overflows `u64` cycles has run
+/// for ~2900 years of simulated 200-MHz time, which we treat as a bug), while
+/// subtraction panics in debug builds on underflow like any `u64`.
+///
+/// # Examples
+///
+/// ```
+/// use specrt_engine::Cycles;
+/// let start = Cycles(100);
+/// let latency = Cycles(12);
+/// assert_eq!(start + latency, Cycles(112));
+/// assert_eq!((start + latency) - start, latency);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// The zero instant (simulation start).
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Largest representable instant; used as the initial value of
+    /// "minimum so far" trackers such as the privatization protocol's
+    /// `MinW` field before any write has been observed.
+    pub const MAX: Cycles = Cycles(u64::MAX);
+
+    /// The raw cycle count.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: Cycles) -> Cycles {
+        Cycles(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: Cycles) -> Cycles {
+        Cycles(self.0.min(other.0))
+    }
+
+    /// Saturating subtraction: `self - other`, or zero if `other` is later.
+    ///
+    /// Useful when computing queueing delays where a resource may already be
+    /// free before the request arrives.
+    #[inline]
+    pub fn saturating_sub(self, other: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(other.0))
+    }
+
+    /// Converts a cycle count at the paper's 200-MHz clock into nanoseconds.
+    ///
+    /// ```
+    /// use specrt_engine::Cycles;
+    /// assert_eq!(Cycles(200).as_nanos_at_200mhz(), 1000);
+    /// ```
+    #[inline]
+    pub fn as_nanos_at_200mhz(self) -> u64 {
+        self.0 * 5
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl Add<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycles {
+        Cycles(self.0 + rhs)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl AddAssign<u64> for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(v: u64) -> Cycles {
+        Cycles(v)
+    }
+}
+
+impl From<Cycles> for u64 {
+    fn from(c: Cycles) -> u64 {
+        c.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Cycles(3) + Cycles(4), Cycles(7));
+        assert_eq!(Cycles(10) - Cycles(4), Cycles(6));
+        assert_eq!(Cycles(3) + 4, Cycles(7));
+        let mut c = Cycles(1);
+        c += Cycles(2);
+        c += 3;
+        assert_eq!(c, Cycles(6));
+        c -= Cycles(1);
+        assert_eq!(c, Cycles(5));
+    }
+
+    #[test]
+    fn ordering_and_extrema() {
+        assert!(Cycles(1) < Cycles(2));
+        assert_eq!(Cycles(1).max(Cycles(2)), Cycles(2));
+        assert_eq!(Cycles(1).min(Cycles(2)), Cycles(1));
+        assert_eq!(Cycles::ZERO, Cycles(0));
+        assert_eq!(Cycles::MAX.raw(), u64::MAX);
+    }
+
+    #[test]
+    fn saturating_sub_floors_at_zero() {
+        assert_eq!(Cycles(3).saturating_sub(Cycles(5)), Cycles::ZERO);
+        assert_eq!(Cycles(5).saturating_sub(Cycles(3)), Cycles(2));
+    }
+
+    #[test]
+    fn sum_of_cycles() {
+        let total: Cycles = [Cycles(1), Cycles(2), Cycles(3)].into_iter().sum();
+        assert_eq!(total, Cycles(6));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Cycles::from(7u64), Cycles(7));
+        assert_eq!(u64::from(Cycles(7)), 7u64);
+        assert_eq!(Cycles(200).as_nanos_at_200mhz(), 1000);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Cycles(42).to_string(), "42 cyc");
+    }
+}

@@ -1,0 +1,475 @@
+//! Functional (untimed) execution of IR programs.
+//!
+//! The timed interpreter lives in `specrt-machine`; this module provides the
+//! *functional* semantics used by
+//!
+//! * the machine layer itself (values are applied functionally, timing is
+//!   modelled separately — see DESIGN.md §3),
+//! * the dependence **oracle**: property tests trace every iteration's
+//!   accesses and compute ground-truth cross-iteration dependences to check
+//!   the LRPD test and the hardware protocols against,
+//! * pure algorithm tests for `specrt-lrpd`.
+
+use std::fmt;
+
+use crate::instr::{ArrayId, Instr, Operand, Reg};
+use crate::program::Program;
+use crate::scalar::Scalar;
+
+/// Abstract memory that functional execution runs against.
+///
+/// Implementations decide where values live: a plain `HashMap` for tests, the
+/// global memory image plus per-processor private copies in the machine
+/// layer, or a tracing wrapper for the dependence oracle.
+pub trait MemOracle {
+    /// Reads element `idx` of array `arr`.
+    fn read(&mut self, arr: ArrayId, idx: u64) -> Scalar;
+    /// Writes element `idx` of array `arr`.
+    fn write(&mut self, arr: ArrayId, idx: u64, value: Scalar);
+}
+
+/// Errors raised during functional execution.
+///
+/// In the full system these become *speculative execution exceptions*: per
+/// Section 2.2 of the paper, an exception during speculative parallel
+/// execution aborts the loop, restores state, and re-executes serially.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Integer division or remainder by zero.
+    DivideByZero {
+        /// PC of the faulting instruction.
+        pc: usize,
+    },
+    /// An array index evaluated to a negative integer or a float.
+    BadIndex {
+        /// PC of the faulting instruction.
+        pc: usize,
+    },
+    /// The per-iteration step budget was exhausted (runaway branch loop).
+    StepLimit {
+        /// The budget that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::DivideByZero { pc } => write!(f, "integer divide by zero at pc {pc}"),
+            ExecError::BadIndex { pc } => write!(f, "bad array index at pc {pc}"),
+            ExecError::StepLimit { limit } => write!(f, "exceeded step limit of {limit}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Default per-iteration dynamic step budget.
+pub const DEFAULT_STEP_LIMIT: usize = 1_000_000;
+
+/// Whether a traced access read or wrote memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// One memory access observed while tracing an iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Array accessed.
+    pub arr: ArrayId,
+    /// Element index.
+    pub idx: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+struct Frame {
+    regs: Vec<Scalar>,
+    iter: u64,
+    proc: u32,
+}
+
+impl Frame {
+    fn eval(&self, op: Operand) -> Scalar {
+        match op {
+            Operand::Reg(Reg(r)) => self.regs[r as usize],
+            Operand::ImmI(v) => Scalar::Int(v),
+            Operand::ImmF(v) => Scalar::Float(v),
+            Operand::Iter => Scalar::Int(self.iter as i64),
+            Operand::ProcId => Scalar::Int(self.proc as i64),
+        }
+    }
+
+    fn eval_index(&self, op: Operand, pc: usize) -> Result<u64, ExecError> {
+        match self.eval(op) {
+            Scalar::Int(v) if v >= 0 => Ok(v as u64),
+            _ => Err(ExecError::BadIndex { pc }),
+        }
+    }
+
+    fn set(&mut self, Reg(r): Reg, v: Scalar) {
+        self.regs[r as usize] = v;
+    }
+}
+
+/// Executes one iteration of `program` functionally against `mem`.
+///
+/// `iter` is the 0-based global iteration number (the value of the
+/// [`Operand::Iter`] operand) and `proc` the executing processor's id.
+/// Returns the number of *busy cycles* the iteration would cost on the
+/// simulated in-order processor: one per retired instruction, `n` per
+/// `compute n`.
+///
+/// # Errors
+///
+/// Propagates [`ExecError`] on divide-by-zero, bad indices, or exceeding
+/// [`DEFAULT_STEP_LIMIT`] dynamic instructions.
+pub fn execute_iteration(
+    program: &Program,
+    iter: u64,
+    proc: u32,
+    mem: &mut dyn MemOracle,
+) -> Result<u64, ExecError> {
+    execute_iteration_limited(program, iter, proc, mem, DEFAULT_STEP_LIMIT)
+}
+
+/// [`execute_iteration`] with an explicit dynamic step budget.
+///
+/// # Errors
+///
+/// See [`execute_iteration`].
+pub fn execute_iteration_limited(
+    program: &Program,
+    iter: u64,
+    proc: u32,
+    mem: &mut dyn MemOracle,
+    step_limit: usize,
+) -> Result<u64, ExecError> {
+    let mut frame = Frame {
+        regs: vec![Scalar::ZERO; program.reg_count() as usize],
+        iter,
+        proc,
+    };
+    let mut pc = 0usize;
+    let mut busy = 0u64;
+    let mut steps = 0usize;
+    while pc < program.len() {
+        steps += 1;
+        if steps > step_limit {
+            return Err(ExecError::StepLimit { limit: step_limit });
+        }
+        match program.instr(pc) {
+            Instr::Compute(n) => {
+                busy += n as u64;
+                pc += 1;
+            }
+            Instr::Load { dst, arr, idx } => {
+                let i = frame.eval_index(idx, pc)?;
+                let v = mem.read(arr, i);
+                frame.set(dst, v);
+                busy += 1;
+                pc += 1;
+            }
+            Instr::Store { arr, idx, src } => {
+                let i = frame.eval_index(idx, pc)?;
+                let v = frame.eval(src);
+                mem.write(arr, i, v);
+                busy += 1;
+                pc += 1;
+            }
+            Instr::Mov { dst, src } => {
+                let v = frame.eval(src);
+                frame.set(dst, v);
+                busy += 1;
+                pc += 1;
+            }
+            Instr::Bin { op, dst, a, b } => {
+                let va = frame.eval(a);
+                let vb = frame.eval(b);
+                let v = op.apply(va, vb).ok_or(ExecError::DivideByZero { pc })?;
+                frame.set(dst, v);
+                busy += 1;
+                pc += 1;
+            }
+            Instr::Bz { cond, target } => {
+                busy += 1;
+                pc = if frame.eval(cond).is_zero() {
+                    target
+                } else {
+                    pc + 1
+                };
+            }
+            Instr::Bnz { cond, target } => {
+                busy += 1;
+                pc = if frame.eval(cond).is_zero() {
+                    pc + 1
+                } else {
+                    target
+                };
+            }
+            Instr::Jmp { target } => {
+                busy += 1;
+                pc = target;
+            }
+        }
+    }
+    Ok(busy)
+}
+
+struct Tracer<'a> {
+    inner: &'a mut dyn MemOracle,
+    trace: Vec<TraceEntry>,
+}
+
+impl MemOracle for Tracer<'_> {
+    fn read(&mut self, arr: ArrayId, idx: u64) -> Scalar {
+        self.trace.push(TraceEntry {
+            arr,
+            idx,
+            kind: AccessKind::Read,
+        });
+        self.inner.read(arr, idx)
+    }
+
+    fn write(&mut self, arr: ArrayId, idx: u64, value: Scalar) {
+        self.trace.push(TraceEntry {
+            arr,
+            idx,
+            kind: AccessKind::Write,
+        });
+        self.inner.write(arr, idx, value);
+    }
+}
+
+/// Executes one iteration and records every memory access in program order.
+///
+/// The trace is what the dependence oracle and the speculation protocols'
+/// property tests consume.
+///
+/// # Errors
+///
+/// See [`execute_iteration`].
+pub fn trace_iteration(
+    program: &Program,
+    iter: u64,
+    proc: u32,
+    mem: &mut dyn MemOracle,
+) -> Result<(Vec<TraceEntry>, u64), ExecError> {
+    let mut tracer = Tracer {
+        inner: mem,
+        trace: Vec::new(),
+    };
+    let busy = execute_iteration(program, iter, proc, &mut tracer)?;
+    Ok((tracer.trace, busy))
+}
+
+/// A simple `HashMap`-backed memory for tests and examples; absent cells
+/// read as integer zero.
+#[derive(Debug, Default)]
+pub struct MapMemory {
+    cells: std::collections::HashMap<(ArrayId, u64), Scalar>,
+}
+
+impl MapMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        MapMemory::default()
+    }
+
+    /// Pre-populates one cell.
+    pub fn set(&mut self, arr: ArrayId, idx: u64, v: Scalar) {
+        self.cells.insert((arr, idx), v);
+    }
+
+    /// Reads one cell without tracing.
+    pub fn get(&self, arr: ArrayId, idx: u64) -> Scalar {
+        self.cells.get(&(arr, idx)).copied().unwrap_or(Scalar::ZERO)
+    }
+}
+
+impl MemOracle for MapMemory {
+    fn read(&mut self, arr: ArrayId, idx: u64) -> Scalar {
+        self.get(arr, idx)
+    }
+
+    fn write(&mut self, arr: ArrayId, idx: u64, value: Scalar) {
+        self.set(arr, idx, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::BinOp;
+    use crate::program::ProgramBuilder;
+
+    fn subscripted_increment() -> Program {
+        // A[K[i]] = A[K[i]] + 1.0
+        let a = ArrayId(0);
+        let k = ArrayId(1);
+        let mut b = ProgramBuilder::new();
+        let idx = b.load(k, Operand::Iter);
+        let v = b.load(a, Operand::Reg(idx));
+        let v2 = b.binop(BinOp::FAdd, Operand::Reg(v), Operand::ImmF(1.0));
+        b.store(a, Operand::Reg(idx), Operand::Reg(v2));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn executes_subscripted_subscript() {
+        let p = subscripted_increment();
+        let mut mem = MapMemory::new();
+        mem.set(ArrayId(1), 0, Scalar::Int(7)); // K[0] = 7
+        mem.set(ArrayId(0), 7, Scalar::Float(2.0)); // A[7] = 2.0
+        let busy = execute_iteration(&p, 0, 0, &mut mem).unwrap();
+        assert_eq!(mem.get(ArrayId(0), 7), Scalar::Float(3.0));
+        assert_eq!(busy, 4);
+    }
+
+    #[test]
+    fn trace_records_program_order() {
+        let p = subscripted_increment();
+        let mut mem = MapMemory::new();
+        mem.set(ArrayId(1), 0, Scalar::Int(3));
+        let (trace, _) = trace_iteration(&p, 0, 0, &mut mem).unwrap();
+        assert_eq!(
+            trace,
+            vec![
+                TraceEntry {
+                    arr: ArrayId(1),
+                    idx: 0,
+                    kind: AccessKind::Read
+                },
+                TraceEntry {
+                    arr: ArrayId(0),
+                    idx: 3,
+                    kind: AccessKind::Read
+                },
+                TraceEntry {
+                    arr: ArrayId(0),
+                    idx: 3,
+                    kind: AccessKind::Write
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn compute_accumulates_busy_cycles() {
+        let mut b = ProgramBuilder::new();
+        b.compute(10);
+        b.compute(5);
+        let p = b.build().unwrap();
+        let mut mem = MapMemory::new();
+        assert_eq!(execute_iteration(&p, 0, 0, &mut mem).unwrap(), 15);
+    }
+
+    #[test]
+    fn branches_select_paths() {
+        // if iter == 0 { store A[0] } else { store A[1] }
+        let a = ArrayId(0);
+        let mut b = ProgramBuilder::new();
+        let cond = b.binop(BinOp::CmpEq, Operand::Iter, Operand::ImmI(0));
+        let else_l = b.label();
+        let end_l = b.label();
+        b.bz(Operand::Reg(cond), else_l);
+        b.store(a, Operand::ImmI(0), Operand::ImmI(1));
+        b.jmp(end_l);
+        b.bind(else_l);
+        b.store(a, Operand::ImmI(1), Operand::ImmI(2));
+        b.bind(end_l);
+        let p = b.build().unwrap();
+
+        let mut mem = MapMemory::new();
+        execute_iteration(&p, 0, 0, &mut mem).unwrap();
+        assert_eq!(mem.get(a, 0), Scalar::Int(1));
+        assert_eq!(mem.get(a, 1), Scalar::Int(0));
+
+        let mut mem = MapMemory::new();
+        execute_iteration(&p, 5, 0, &mut mem).unwrap();
+        assert_eq!(mem.get(a, 0), Scalar::Int(0));
+        assert_eq!(mem.get(a, 1), Scalar::Int(2));
+    }
+
+    #[test]
+    fn backward_loop_with_counter() {
+        // r = 4; do { r -= 1 } while r != 0  → 4 iterations
+        let mut b = ProgramBuilder::new();
+        let r = b.mov(Operand::ImmI(4));
+        let top = b.label();
+        b.bind(top);
+        b.binop_into(r, BinOp::Sub, Operand::Reg(r), Operand::ImmI(1));
+        b.bnz(Operand::Reg(r), top);
+        let p = b.build().unwrap();
+        let mut mem = MapMemory::new();
+        let busy = execute_iteration(&p, 0, 0, &mut mem).unwrap();
+        assert_eq!(busy, 1 + 4 * 2);
+    }
+
+    #[test]
+    fn negative_index_is_bad_index() {
+        let a = ArrayId(0);
+        let mut b = ProgramBuilder::new();
+        b.store(a, Operand::ImmI(-1), Operand::ImmI(0));
+        let p = b.build().unwrap();
+        let mut mem = MapMemory::new();
+        assert_eq!(
+            execute_iteration(&p, 0, 0, &mut mem),
+            Err(ExecError::BadIndex { pc: 0 })
+        );
+    }
+
+    #[test]
+    fn float_index_is_bad_index() {
+        let a = ArrayId(0);
+        let mut b = ProgramBuilder::new();
+        b.store(a, Operand::ImmF(1.5), Operand::ImmI(0));
+        let p = b.build().unwrap();
+        let mut mem = MapMemory::new();
+        assert_eq!(
+            execute_iteration(&p, 0, 0, &mut mem),
+            Err(ExecError::BadIndex { pc: 0 })
+        );
+    }
+
+    #[test]
+    fn divide_by_zero_reported() {
+        let mut b = ProgramBuilder::new();
+        b.binop(BinOp::Div, Operand::ImmI(1), Operand::ImmI(0));
+        let p = b.build().unwrap();
+        let mut mem = MapMemory::new();
+        assert_eq!(
+            execute_iteration(&p, 0, 0, &mut mem),
+            Err(ExecError::DivideByZero { pc: 0 })
+        );
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_limit() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        b.bind(top);
+        b.jmp(top);
+        let p = b.build().unwrap();
+        let mut mem = MapMemory::new();
+        assert_eq!(
+            execute_iteration_limited(&p, 0, 0, &mut mem, 100),
+            Err(ExecError::StepLimit { limit: 100 })
+        );
+    }
+
+    #[test]
+    fn proc_id_operand_evaluates() {
+        let a = ArrayId(0);
+        let mut b = ProgramBuilder::new();
+        b.store(a, Operand::ProcId, Operand::ImmI(9));
+        let p = b.build().unwrap();
+        let mut mem = MapMemory::new();
+        execute_iteration(&p, 0, 3, &mut mem).unwrap();
+        assert_eq!(mem.get(a, 3), Scalar::Int(9));
+    }
+}

@@ -1,0 +1,377 @@
+//! Instruction set of the mini IR.
+
+use std::fmt;
+
+use crate::scalar::Scalar;
+
+/// A virtual register index.
+///
+/// Programs may use up to 256 registers; the builder allocates them
+/// sequentially. One IR instruction retires per processor cycle, so register
+/// pressure does not affect timing — registers exist to thread data flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u8);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A logical array name.
+///
+/// The machine layer maps each `ArrayId` to a physical allocation (and, for
+/// privatized arrays under test, to per-processor private copies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArrayId(pub u32);
+
+impl fmt::Display for ArrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    /// Value of a register.
+    Reg(Reg),
+    /// Integer immediate.
+    ImmI(i64),
+    /// Float immediate.
+    ImmF(f64),
+    /// The current *global* iteration number, 0-based. This is how loop
+    /// bodies address `K(i)`-style index arrays, and how the LRPD marking
+    /// code obtains the iteration stamp to write into shadow arrays.
+    Iter,
+    /// The executing processor's id (0-based). Used by processor-wise
+    /// instrumentation and privatized-array addressing.
+    ProcId,
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::ImmI(v) => write!(f, "#{v}"),
+            Operand::ImmF(v) => write!(f, "#{v}f"),
+            Operand::Iter => write!(f, "%iter"),
+            Operand::ProcId => write!(f, "%proc"),
+        }
+    }
+}
+
+/// Binary ALU operations.
+///
+/// Integer ops (`Add`..`CmpNe`) require integer operands; float ops
+/// (`FAdd`..`FDiv`) coerce integers. Comparison results are integer 0/1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer division (truncating). Division by zero is an execution error.
+    Div,
+    /// Integer remainder. Remainder by zero is an execution error.
+    Rem,
+    /// Integer minimum.
+    Min,
+    /// Integer maximum.
+    Max,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (`a << (b & 63)`).
+    Shl,
+    /// Logical shift right (`(a as u64) >> (b & 63)`).
+    Shr,
+    /// Equality comparison → 0/1.
+    CmpEq,
+    /// Less-than comparison → 0/1.
+    CmpLt,
+    /// Less-or-equal comparison → 0/1.
+    CmpLe,
+    /// Inequality comparison → 0/1.
+    CmpNe,
+    /// Float addition.
+    FAdd,
+    /// Float subtraction.
+    FSub,
+    /// Float multiplication.
+    FMul,
+    /// Float division.
+    FDiv,
+}
+
+impl BinOp {
+    /// Applies the operation to two scalars.
+    ///
+    /// Returns `None` for integer division/remainder by zero (the machine
+    /// turns this into a speculative-execution exception, which — per
+    /// Section 2.2 — aborts the speculative loop and restarts it serially).
+    pub fn apply(self, a: Scalar, b: Scalar) -> Option<Scalar> {
+        use BinOp::*;
+        Some(match self {
+            Add => Scalar::Int(a.as_int().wrapping_add(b.as_int())),
+            Sub => Scalar::Int(a.as_int().wrapping_sub(b.as_int())),
+            Mul => Scalar::Int(a.as_int().wrapping_mul(b.as_int())),
+            Div => {
+                let d = b.as_int();
+                if d == 0 {
+                    return None;
+                }
+                Scalar::Int(a.as_int().wrapping_div(d))
+            }
+            Rem => {
+                let d = b.as_int();
+                if d == 0 {
+                    return None;
+                }
+                Scalar::Int(a.as_int().wrapping_rem(d))
+            }
+            Min => Scalar::Int(a.as_int().min(b.as_int())),
+            Max => Scalar::Int(a.as_int().max(b.as_int())),
+            And => Scalar::Int(a.as_int() & b.as_int()),
+            Or => Scalar::Int(a.as_int() | b.as_int()),
+            Xor => Scalar::Int(a.as_int() ^ b.as_int()),
+            Shl => Scalar::Int(a.as_int().wrapping_shl(b.as_int() as u32 & 63)),
+            Shr => Scalar::Int(((a.as_int() as u64) >> (b.as_int() as u32 & 63)) as i64),
+            CmpEq => Scalar::Int((a.as_int() == b.as_int()) as i64),
+            CmpLt => Scalar::Int((a.as_int() < b.as_int()) as i64),
+            CmpLe => Scalar::Int((a.as_int() <= b.as_int()) as i64),
+            CmpNe => Scalar::Int((a.as_int() != b.as_int()) as i64),
+            FAdd => Scalar::Float(a.as_float() + b.as_float()),
+            FSub => Scalar::Float(a.as_float() - b.as_float()),
+            FMul => Scalar::Float(a.as_float() * b.as_float()),
+            FDiv => Scalar::Float(a.as_float() / b.as_float()),
+        })
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::CmpEq => "cmpeq",
+            BinOp::CmpLt => "cmplt",
+            BinOp::CmpLe => "cmple",
+            BinOp::CmpNe => "cmpne",
+            BinOp::FAdd => "fadd",
+            BinOp::FSub => "fsub",
+            BinOp::FMul => "fmul",
+            BinOp::FDiv => "fdiv",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One IR instruction.
+///
+/// Each instruction costs one busy cycle on the simulated processor, except
+/// [`Instr::Compute`], which costs `n` cycles and stands for a block of pure
+/// ALU work whose individual instructions we don't care to enumerate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    /// `n` cycles of pure computation (no memory traffic).
+    Compute(u32),
+    /// `dst = arr[idx]` — a memory load. `idx` must evaluate to a
+    /// non-negative integer inside the array's bounds.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Array read from.
+        arr: ArrayId,
+        /// Element index.
+        idx: Operand,
+    },
+    /// `arr[idx] = src` — a memory store.
+    Store {
+        /// Array written to.
+        arr: ArrayId,
+        /// Element index.
+        idx: Operand,
+        /// Value stored.
+        src: Operand,
+    },
+    /// `dst = src` — register/immediate move.
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = op(a, b)`.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Branch to absolute instruction index `target` if `cond` is zero.
+    Bz {
+        /// Condition operand.
+        cond: Operand,
+        /// Absolute target PC within the program.
+        target: usize,
+    },
+    /// Branch to absolute instruction index `target` if `cond` is nonzero.
+    Bnz {
+        /// Condition operand.
+        cond: Operand,
+        /// Absolute target PC within the program.
+        target: usize,
+    },
+    /// Unconditional branch.
+    Jmp {
+        /// Absolute target PC within the program.
+        target: usize,
+    },
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Compute(n) => write!(f, "compute {n}"),
+            Instr::Load { dst, arr, idx } => write!(f, "{dst} = load {arr}[{idx}]"),
+            Instr::Store { arr, idx, src } => write!(f, "store {arr}[{idx}] = {src}"),
+            Instr::Mov { dst, src } => write!(f, "{dst} = {src}"),
+            Instr::Bin { op, dst, a, b } => write!(f, "{dst} = {op} {a}, {b}"),
+            Instr::Bz { cond, target } => write!(f, "bz {cond} -> {target}"),
+            Instr::Bnz { cond, target } => write!(f, "bnz {cond} -> {target}"),
+            Instr::Jmp { target } => write!(f, "jmp -> {target}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_ops() {
+        assert_eq!(
+            BinOp::Add.apply(Scalar::Int(2), Scalar::Int(3)),
+            Some(Scalar::Int(5))
+        );
+        assert_eq!(
+            BinOp::Rem.apply(Scalar::Int(7), Scalar::Int(3)),
+            Some(Scalar::Int(1))
+        );
+        assert_eq!(
+            BinOp::Min.apply(Scalar::Int(7), Scalar::Int(3)),
+            Some(Scalar::Int(3))
+        );
+        assert_eq!(
+            BinOp::Max.apply(Scalar::Int(7), Scalar::Int(3)),
+            Some(Scalar::Int(7))
+        );
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(
+            BinOp::Shl.apply(Scalar::Int(1), Scalar::Int(6)),
+            Some(Scalar::Int(64))
+        );
+        assert_eq!(
+            BinOp::Shr.apply(Scalar::Int(640), Scalar::Int(6)),
+            Some(Scalar::Int(10))
+        );
+        // Logical right shift of a negative value.
+        assert_eq!(
+            BinOp::Shr.apply(Scalar::Int(-1), Scalar::Int(63)),
+            Some(Scalar::Int(1))
+        );
+    }
+
+    #[test]
+    fn comparisons_yield_01() {
+        assert_eq!(
+            BinOp::CmpLt.apply(Scalar::Int(1), Scalar::Int(2)),
+            Some(Scalar::Int(1))
+        );
+        assert_eq!(
+            BinOp::CmpEq.apply(Scalar::Int(1), Scalar::Int(2)),
+            Some(Scalar::Int(0))
+        );
+        assert_eq!(
+            BinOp::CmpNe.apply(Scalar::Int(1), Scalar::Int(2)),
+            Some(Scalar::Int(1))
+        );
+        assert_eq!(
+            BinOp::CmpLe.apply(Scalar::Int(2), Scalar::Int(2)),
+            Some(Scalar::Int(1))
+        );
+    }
+
+    #[test]
+    fn float_ops_coerce_ints() {
+        assert_eq!(
+            BinOp::FAdd.apply(Scalar::Int(1), Scalar::Float(0.5)),
+            Some(Scalar::Float(1.5))
+        );
+        assert_eq!(
+            BinOp::FMul.apply(Scalar::Float(2.0), Scalar::Int(3)),
+            Some(Scalar::Float(6.0))
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_none() {
+        assert_eq!(BinOp::Div.apply(Scalar::Int(1), Scalar::Int(0)), None);
+        assert_eq!(BinOp::Rem.apply(Scalar::Int(1), Scalar::Int(0)), None);
+    }
+
+    #[test]
+    fn wrapping_semantics() {
+        assert_eq!(
+            BinOp::Add.apply(Scalar::Int(i64::MAX), Scalar::Int(1)),
+            Some(Scalar::Int(i64::MIN))
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        let i = Instr::Load {
+            dst: Reg(1),
+            arr: ArrayId(0),
+            idx: Operand::Iter,
+        };
+        assert_eq!(i.to_string(), "r1 = load A0[%iter]");
+        let s = Instr::Store {
+            arr: ArrayId(2),
+            idx: Operand::Reg(Reg(3)),
+            src: Operand::ImmF(1.0),
+        };
+        assert_eq!(s.to_string(), "store A2[r3] = #1f");
+        assert_eq!(
+            Instr::Bz {
+                cond: Operand::Reg(Reg(0)),
+                target: 7
+            }
+            .to_string(),
+            "bz r0 -> 7"
+        );
+    }
+}

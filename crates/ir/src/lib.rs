@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # specrt-ir
+//!
+//! A miniature register IR for loop bodies.
+//!
+//! The paper's workloads are Fortran loops compiled by Polaris; the software
+//! LRPD baseline works by having the compiler *insert marking instructions*
+//! around every access to an array under test (Section 2.2.4). To reproduce
+//! that faithfully we represent each loop body as a small program in this IR:
+//!
+//! * the simulated processors interpret IR instructions one per cycle (plus
+//!   memory latency for loads/stores), so instruction overhead is modelled
+//!   exactly like the paper models it;
+//! * the LRPD instrumentation in `specrt-lrpd` is a *real IR-to-IR pass*
+//!   that inserts shadow-array marking code, exactly mirroring what Polaris
+//!   emits.
+//!
+//! The IR is deliberately tiny: scalar registers holding [`Scalar`] values,
+//! loads/stores indexed into named arrays, ALU ops, and forward/backward
+//! branches within the body of one iteration.
+//!
+//! ## Example
+//!
+//! Build `A[K[i]] = A[K[i]] + 1.0` — the classic subscripted-subscript
+//! pattern from Figure 1(c) of the paper:
+//!
+//! ```
+//! use specrt_ir::{ArrayId, BinOp, Operand, ProgramBuilder};
+//!
+//! let a = ArrayId(0);
+//! let k = ArrayId(1);
+//! let mut b = ProgramBuilder::new();
+//! let idx = b.load(k, Operand::Iter);            // idx = K[i]
+//! let v = b.load(a, Operand::Reg(idx));          // v = A[idx]
+//! let v2 = b.binop(BinOp::FAdd, Operand::Reg(v), Operand::ImmF(1.0));
+//! b.store(a, Operand::Reg(idx), Operand::Reg(v2)); // A[idx] = v + 1.0
+//! let prog = b.build().expect("valid program");
+//! assert_eq!(prog.len(), 4);
+//! ```
+
+pub mod exec;
+pub mod instr;
+pub mod program;
+pub mod scalar;
+
+pub use exec::{execute_iteration, trace_iteration, AccessKind, ExecError, MemOracle, TraceEntry};
+pub use instr::{ArrayId, BinOp, Instr, Operand, Reg};
+pub use program::{Program, ProgramBuilder, VerifyError};
+pub use scalar::Scalar;

@@ -1,0 +1,147 @@
+//! Scalar values held in IR registers.
+
+use std::fmt;
+
+/// A register value: either a 64-bit signed integer or a 64-bit float.
+///
+/// The workloads the paper evaluates use integer index arrays (`K(i)`,
+/// `L(i)`) to subscript floating-point data arrays, so both kinds appear in
+/// every loop body. Integer operations require integer operands; float
+/// operations coerce integer operands to float (like Fortran mixed-mode
+/// arithmetic).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scalar {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+}
+
+impl Scalar {
+    /// Integer zero, the default register value.
+    pub const ZERO: Scalar = Scalar::Int(0);
+
+    /// The value as an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a float: using a float as an array index or
+    /// branch condition is an IR-level type error we want loudly visible.
+    pub fn as_int(self) -> i64 {
+        match self {
+            Scalar::Int(v) => v,
+            Scalar::Float(f) => panic!("expected integer scalar, found float {f}"),
+        }
+    }
+
+    /// The value as a float, coercing integers.
+    pub fn as_float(self) -> f64 {
+        match self {
+            Scalar::Int(v) => v as f64,
+            Scalar::Float(f) => f,
+        }
+    }
+
+    /// Whether the value is (integer or float) zero.
+    pub fn is_zero(self) -> bool {
+        match self {
+            Scalar::Int(v) => v == 0,
+            Scalar::Float(f) => f == 0.0,
+        }
+    }
+
+    /// Raw bit pattern, used when storing a scalar into simulated memory.
+    pub fn to_bits(self) -> u64 {
+        match self {
+            // Tag in the low bit would corrupt values; instead memory cells
+            // store a (bits, is_float) pair at the `specrt-mem` level, so
+            // here we just transmute.
+            Scalar::Int(v) => v as u64,
+            Scalar::Float(f) => f.to_bits(),
+        }
+    }
+
+    /// Reconstructs an integer scalar from raw bits.
+    pub fn int_from_bits(bits: u64) -> Scalar {
+        Scalar::Int(bits as i64)
+    }
+
+    /// Reconstructs a float scalar from raw bits.
+    pub fn float_from_bits(bits: u64) -> Scalar {
+        Scalar::Float(f64::from_bits(bits))
+    }
+}
+
+impl Default for Scalar {
+    fn default() -> Self {
+        Scalar::ZERO
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Int(v) => write!(f, "{v}"),
+            Scalar::Float(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+impl From<i64> for Scalar {
+    fn from(v: i64) -> Scalar {
+        Scalar::Int(v)
+    }
+}
+
+impl From<f64> for Scalar {
+    fn from(v: f64) -> Scalar {
+        Scalar::Float(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_accessors() {
+        assert_eq!(Scalar::Int(5).as_int(), 5);
+        assert_eq!(Scalar::Int(5).as_float(), 5.0);
+        assert!(Scalar::Int(0).is_zero());
+        assert!(!Scalar::Int(1).is_zero());
+    }
+
+    #[test]
+    fn float_accessors() {
+        assert_eq!(Scalar::Float(2.5).as_float(), 2.5);
+        assert!(Scalar::Float(0.0).is_zero());
+        assert!(!Scalar::Float(0.1).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected integer scalar")]
+    fn float_as_int_panics() {
+        Scalar::Float(1.5).as_int();
+    }
+
+    #[test]
+    fn bit_round_trips() {
+        let i = Scalar::Int(-42);
+        assert_eq!(Scalar::int_from_bits(i.to_bits()), i);
+        let f = Scalar::Float(3.25);
+        assert_eq!(Scalar::float_from_bits(f.to_bits()), f);
+    }
+
+    #[test]
+    fn conversions_and_default() {
+        assert_eq!(Scalar::from(3i64), Scalar::Int(3));
+        assert_eq!(Scalar::from(3.0f64), Scalar::Float(3.0));
+        assert_eq!(Scalar::default(), Scalar::ZERO);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Scalar::Int(7).to_string(), "7");
+        assert_eq!(Scalar::Float(1.5).to_string(), "1.5");
+    }
+}

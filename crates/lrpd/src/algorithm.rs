@@ -1,0 +1,424 @@
+//! The pure LRPD test (paper §2.2.2), host-side reference implementation.
+//!
+//! The shadow state follows the efficient stamped representation the paper
+//! describes ("each element of the shadow arrays holds the iteration number
+//! where the read or write occurred"):
+//!
+//! * `w_last[e]` — last iteration that wrote `e` (`A_w` is `w_last != 0`);
+//! * `r_cur[e]` / `r_sticky[e]` — a read that is (so far) not covered by a
+//!   same-iteration write leaves a tentative stamp in `r_cur`; a covering
+//!   write later in the same iteration clears it; a new uncovered read in a
+//!   *different* iteration promotes the previous tentative stamp to the
+//!   sticky bit (`A_r` is `r_sticky || r_cur != 0`);
+//! * `np[e]` — sticky: some read was not *preceded* by a same-iteration
+//!   write (`A_np`);
+//! * `atw` — running sum over iterations of the number of distinct elements
+//!   written in that iteration.
+//!
+//! Marking is per-processor (each processor owns a private shadow set);
+//! [`LrpdShadow::merge`] implements the merging phase; [`analysis`] runs
+//! steps (a)–(e).
+//!
+//! [`analysis`]: LrpdShadow::analyze
+
+use std::fmt;
+
+/// Why the LRPD test declared the loop not parallel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NotParallelCause {
+    /// Test (b): some element is written in one iteration and read
+    /// (uncovered) in another — a flow or anti dependence.
+    WriteReadOverlap,
+    /// Test (d): some element is written and also read before being written
+    /// in some iteration — not privatizable.
+    NotPrivatizable,
+}
+
+impl fmt::Display for NotParallelCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NotParallelCause::WriteReadOverlap => {
+                write!(f, "marked write and read areas overlap (test b)")
+            }
+            NotParallelCause::NotPrivatizable => {
+                write!(f, "array is written and not privatizable (test d)")
+            }
+        }
+    }
+}
+
+/// Outcome of the analysis phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LrpdOutcome {
+    /// The loop was a doall without privatizing the array (test (c)).
+    DoallNoPriv,
+    /// The loop was made a doall by privatizing the array (test (e)).
+    DoallPrivatized,
+    /// The loop, as executed, was not parallel.
+    NotParallel(NotParallelCause),
+}
+
+impl LrpdOutcome {
+    /// Whether the speculative parallel execution may be kept.
+    pub fn passed(self) -> bool {
+        !matches!(self, LrpdOutcome::NotParallel(_))
+    }
+}
+
+/// Shadow state for one array (one processor's private copy, or the merged
+/// global state).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LrpdShadow {
+    w_last: Vec<u64>,
+    r_cur: Vec<u64>,
+    r_sticky: Vec<bool>,
+    np: Vec<bool>,
+    atw: u64,
+}
+
+impl LrpdShadow {
+    /// Zeroed shadow state for an array of `len` elements.
+    pub fn new(len: u64) -> Self {
+        let n = len as usize;
+        LrpdShadow {
+            w_last: vec![0; n],
+            r_cur: vec![0; n],
+            r_sticky: vec![false; n],
+            np: vec![false; n],
+            atw: 0,
+        }
+    }
+
+    /// Number of elements shadowed.
+    pub fn len(&self) -> usize {
+        self.w_last.len()
+    }
+
+    /// Whether the shadow covers no elements.
+    pub fn is_empty(&self) -> bool {
+        self.w_last.is_empty()
+    }
+
+    /// Marks a read of element `e` in iteration `iter` (1-based stamp).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iter` is 0 or `e` out of range.
+    pub fn mark_read(&mut self, e: u64, iter: u64) {
+        assert!(iter > 0, "iteration stamps are 1-based");
+        let e = e as usize;
+        if self.w_last[e] == iter {
+            return; // covered by an earlier write in the same iteration
+        }
+        self.np[e] = true;
+        if self.r_cur[e] != 0 && self.r_cur[e] != iter {
+            // The previous tentative read was never covered.
+            self.r_sticky[e] = true;
+        }
+        self.r_cur[e] = iter;
+    }
+
+    /// Marks a write of element `e` in iteration `iter` (1-based stamp).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iter` is 0 or `e` out of range.
+    pub fn mark_write(&mut self, e: u64, iter: u64) {
+        assert!(iter > 0, "iteration stamps are 1-based");
+        let e = e as usize;
+        if self.r_cur[e] == iter {
+            // This write covers the read earlier in the same iteration.
+            self.r_cur[e] = 0;
+        }
+        if self.w_last[e] != iter {
+            self.w_last[e] = iter;
+            self.atw += 1; // first write to e in this iteration
+        }
+    }
+
+    /// `A_w[e]`: the element was written in some iteration.
+    pub fn a_w(&self, e: u64) -> bool {
+        self.w_last[e as usize] != 0
+    }
+
+    /// `A_r[e]`: the element was read and not written in some iteration.
+    pub fn a_r(&self, e: u64) -> bool {
+        self.r_sticky[e as usize] || self.r_cur[e as usize] != 0
+    }
+
+    /// `A_np[e]`: some read of the element was not preceded by a
+    /// same-iteration write.
+    pub fn a_np(&self, e: u64) -> bool {
+        self.np[e as usize]
+    }
+
+    /// The `Atw` counter (total writes, counting once per (iteration,
+    /// element) pair).
+    pub fn atw(&self) -> u64 {
+        self.atw
+    }
+
+    /// `Atm`: number of distinct elements written.
+    pub fn atm(&self) -> u64 {
+        self.w_last.iter().filter(|&&w| w != 0).count() as u64
+    }
+
+    /// The merging phase: folds another processor's private shadow into
+    /// this one. Iterations are disjoint across processors, so per-iteration
+    /// coverage never spans shadows; the merge is a plain lattice join.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn merge(&mut self, other: &LrpdShadow) {
+        assert_eq!(self.len(), other.len(), "shadow length mismatch");
+        for e in 0..self.w_last.len() {
+            if other.w_last[e] != 0 {
+                // Keep any nonzero stamp; the analysis only tests nonzero.
+                self.w_last[e] = other.w_last[e];
+            }
+            // An uncovered tentative read from another processor can no
+            // longer be covered (its iterations are finished): it is sticky.
+            if other.r_sticky[e] || other.r_cur[e] != 0 {
+                if self.r_cur[e] != 0 || self.r_sticky[e] {
+                    self.r_sticky[e] = true;
+                } else {
+                    self.r_cur[e] = if other.r_cur[e] != 0 {
+                        other.r_cur[e]
+                    } else {
+                        // Only the sticky bit: represent as sticky here too.
+                        self.r_sticky[e] = true;
+                        0
+                    };
+                }
+                if other.r_sticky[e] {
+                    self.r_sticky[e] = true;
+                }
+            }
+            self.np[e] |= other.np[e];
+        }
+        self.atw += other.atw;
+    }
+
+    /// The analysis phase, steps (a)–(e) of §2.2.2. `privatized` selects
+    /// whether the array was speculatively privatized (enabling tests (d)
+    /// and (e) instead of failing at (c)).
+    pub fn analyze(&self, privatized: bool) -> LrpdOutcome {
+        // (b) any(A_w & A_r)
+        for e in 0..self.len() as u64 {
+            if self.a_w(e) && self.a_r(e) {
+                return LrpdOutcome::NotParallel(NotParallelCause::WriteReadOverlap);
+            }
+        }
+        // (c) Atw == Atm
+        if self.atw() == self.atm() {
+            return LrpdOutcome::DoallNoPriv;
+        }
+        if !privatized {
+            // Without privatization there is no step (d)/(e) to fall back
+            // on: multiple iterations wrote the same element.
+            return LrpdOutcome::NotParallel(NotParallelCause::NotPrivatizable);
+        }
+        // (d) any(A_w & A_np)
+        for e in 0..self.len() as u64 {
+            if self.a_w(e) && self.a_np(e) {
+                return LrpdOutcome::NotParallel(NotParallelCause::NotPrivatizable);
+            }
+        }
+        // (e)
+        LrpdOutcome::DoallPrivatized
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_worked_example_fails() {
+        // Paper Figure 2: do i=1,5 { z = A(K(i)); if B1(i) { A(L(i)) = z + C(i) } }
+        // K = [1,2,3,4,1], L = [2,2,4,4,2], B1 = [1,0,1,0,1] (1-based).
+        let k = [1u64, 2, 3, 4, 1];
+        let l = [2u64, 2, 4, 4, 2];
+        let b1 = [true, false, true, false, true];
+        let mut sh = LrpdShadow::new(5); // elements 1..=4 used; index 0 spare
+        for i in 0..5u64 {
+            let iter = i + 1;
+            sh.mark_read(k[i as usize], iter);
+            if b1[i as usize] {
+                sh.mark_write(l[i as usize], iter);
+            }
+        }
+        // Shadow contents from the figure (elements 1..4):
+        assert_eq!(
+            (1..=4).map(|e| sh.a_w(e) as u8).collect::<Vec<_>>(),
+            vec![0, 1, 0, 1],
+            "A_w"
+        );
+        assert_eq!(
+            (1..=4).map(|e| sh.a_r(e) as u8).collect::<Vec<_>>(),
+            vec![1, 1, 1, 1],
+            "A_r"
+        );
+        assert_eq!(
+            (1..=4).map(|e| sh.a_np(e) as u8).collect::<Vec<_>>(),
+            vec![1, 1, 1, 1],
+            "A_np"
+        );
+        assert_eq!(sh.atw(), 3);
+        assert_eq!(sh.atm(), 2);
+        assert_eq!(
+            sh.analyze(true),
+            LrpdOutcome::NotParallel(NotParallelCause::WriteReadOverlap)
+        );
+    }
+
+    #[test]
+    fn disjoint_writes_pass_without_privatization() {
+        let mut sh = LrpdShadow::new(8);
+        for i in 0..8u64 {
+            sh.mark_write(i, i + 1);
+        }
+        assert_eq!(sh.analyze(false), LrpdOutcome::DoallNoPriv);
+        assert_eq!(sh.atw(), 8);
+        assert_eq!(sh.atm(), 8);
+    }
+
+    #[test]
+    fn read_only_loop_passes() {
+        let mut sh = LrpdShadow::new(4);
+        for iter in 1..=6u64 {
+            sh.mark_read(iter % 4, iter);
+        }
+        assert_eq!(sh.analyze(false), LrpdOutcome::DoallNoPriv);
+    }
+
+    #[test]
+    fn temp_workspace_passes_with_privatization_only() {
+        // Every iteration writes then reads element 0 (a temporary).
+        let mut sh = LrpdShadow::new(2);
+        for iter in 1..=5u64 {
+            sh.mark_write(0, iter);
+            sh.mark_read(0, iter);
+        }
+        assert_eq!(
+            sh.analyze(false),
+            LrpdOutcome::NotParallel(NotParallelCause::NotPrivatizable)
+        );
+        assert_eq!(sh.analyze(true), LrpdOutcome::DoallPrivatized);
+    }
+
+    #[test]
+    fn read_before_write_in_iteration_is_not_privatizable() {
+        // Iterations read elem 0 first and then write it: flow across iters.
+        let mut sh = LrpdShadow::new(1);
+        for iter in 1..=3u64 {
+            sh.mark_read(0, iter);
+            sh.mark_write(0, iter);
+        }
+        // The covering write clears A_r, so test (b) passes...
+        assert!(!sh.a_r(0));
+        // ...but A_np stays set and test (d) fails.
+        assert!(sh.a_np(0));
+        assert_eq!(
+            sh.analyze(true),
+            LrpdOutcome::NotParallel(NotParallelCause::NotPrivatizable)
+        );
+    }
+
+    #[test]
+    fn flow_dependence_fails_test_b() {
+        let mut sh = LrpdShadow::new(1);
+        sh.mark_write(0, 1);
+        sh.mark_read(0, 2);
+        assert!(sh.a_w(0) && sh.a_r(0));
+        assert_eq!(
+            sh.analyze(true),
+            LrpdOutcome::NotParallel(NotParallelCause::WriteReadOverlap)
+        );
+    }
+
+    #[test]
+    fn tentative_read_promoted_to_sticky_across_iterations() {
+        let mut sh = LrpdShadow::new(1);
+        sh.mark_read(0, 1); // tentative in iter 1, never covered
+        sh.mark_read(0, 2); // promotes iter-1 read to sticky
+        sh.mark_write(0, 2); // covers only the iter-2 read
+        assert!(sh.a_r(0), "iter-1 uncovered read must survive");
+    }
+
+    #[test]
+    fn covered_read_does_not_set_a_r() {
+        let mut sh = LrpdShadow::new(1);
+        sh.mark_read(0, 3);
+        sh.mark_write(0, 3);
+        assert!(!sh.a_r(0));
+        sh.mark_read(0, 3); // read after write in same iteration: covered
+        assert!(!sh.a_r(0));
+    }
+
+    #[test]
+    fn atw_counts_once_per_iteration_element() {
+        let mut sh = LrpdShadow::new(2);
+        sh.mark_write(0, 1);
+        sh.mark_write(0, 1); // same iteration: not recounted
+        sh.mark_write(0, 2); // new iteration: counted
+        sh.mark_write(1, 2);
+        assert_eq!(sh.atw(), 3);
+        assert_eq!(sh.atm(), 2);
+    }
+
+    #[test]
+    fn merge_combines_processor_shadows() {
+        // P0 runs iterations 1..=2 writing elem 0; P1 runs 3..=4 reading
+        // elem 0 uncovered. Merged: A_w & A_r → fail (b).
+        let mut p0 = LrpdShadow::new(2);
+        p0.mark_write(0, 1);
+        let mut p1 = LrpdShadow::new(2);
+        p1.mark_read(0, 3);
+        let mut global = LrpdShadow::new(2);
+        global.merge(&p0);
+        global.merge(&p1);
+        assert!(global.a_w(0) && global.a_r(0));
+        assert_eq!(
+            global.analyze(true),
+            LrpdOutcome::NotParallel(NotParallelCause::WriteReadOverlap)
+        );
+        assert_eq!(global.atw(), 1);
+    }
+
+    #[test]
+    fn merge_accumulates_atw() {
+        let mut p0 = LrpdShadow::new(4);
+        p0.mark_write(0, 1);
+        p0.mark_write(1, 2);
+        let mut p1 = LrpdShadow::new(4);
+        p1.mark_write(2, 3);
+        let mut global = LrpdShadow::new(4);
+        global.merge(&p0);
+        global.merge(&p1);
+        assert_eq!(global.atw(), 3);
+        assert_eq!(global.atm(), 3);
+        assert_eq!(global.analyze(false), LrpdOutcome::DoallNoPriv);
+    }
+
+    #[test]
+    fn merge_preserves_sticky_reads() {
+        let mut p0 = LrpdShadow::new(1);
+        p0.mark_read(0, 1);
+        let mut p1 = LrpdShadow::new(1);
+        p1.mark_read(0, 5);
+        let mut global = LrpdShadow::new(1);
+        global.merge(&p0);
+        global.merge(&p1);
+        assert!(global.a_r(0));
+        // Read-only overall: still a doall.
+        assert_eq!(global.analyze(false), LrpdOutcome::DoallNoPriv);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_iteration_rejected() {
+        LrpdShadow::new(1).mark_read(0, 0);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # specrt-lrpd
+//!
+//! The software **LRPD test** (paper §2): the baseline the hardware scheme
+//! is evaluated against.
+//!
+//! Four pieces:
+//!
+//! * [`algorithm`] — the pure LRPD algorithm (shadow arrays, marking,
+//!   merging, analysis) as host Rust. Used as the semantic reference, by
+//!   property tests, and by the machine layer to determine what the
+//!   simulated software scheme must conclude.
+//! * [`oracle`] — ground-truth cross-iteration dependence analysis over
+//!   access traces, used to validate both the LRPD test and the hardware
+//!   protocols (iteration-wise and processor-wise envelopes).
+//! * [`instrument`] — a real IR-to-IR pass that inserts shadow-array marking
+//!   code around every access to an array under test, mirroring what the
+//!   Polaris compiler emits for the software scheme; privatized arrays are
+//!   additionally redirected to per-processor private copies.
+//! * [`phases`] — generators for the IR loop bodies of the software
+//!   scheme's fixed phases (shadow zero-out, merge + analysis), so their
+//!   cost is simulated rather than assumed.
+
+pub mod algorithm;
+pub mod instrument;
+pub mod oracle;
+pub mod phases;
+pub mod shadow;
+
+pub use algorithm::{LrpdOutcome, LrpdShadow, NotParallelCause};
+pub use instrument::{instrument_for_proc, InstrumentConfig};
+pub use oracle::{analyze_iteration_traces, OracleVerdict};
+pub use shadow::{sw_private_copy_id, ShadowIds, ShadowKind};

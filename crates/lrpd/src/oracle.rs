@@ -1,0 +1,220 @@
+//! Ground-truth dependence analysis over access traces.
+//!
+//! Property tests drive the LRPD test and the hardware protocols with
+//! random loops and compare their verdicts against this oracle, which
+//! inspects the *actual* per-iteration access sequences:
+//!
+//! * [`OracleVerdict::DoallNoPriv`] — no element is accessed by two
+//!   different iterations with at least one write: a doall as-is;
+//! * [`OracleVerdict::DoallPriv`] — privatization suffices: every element is
+//!   either never written or never read-first (all reads covered by earlier
+//!   same-iteration writes);
+//! * [`OracleVerdict::DoallPrivReadIn`] — the more aggressive §2.2.3
+//!   condition: per element, every read-first iteration is ≤ every writing
+//!   iteration (needs read-in/copy-out support);
+//! * [`OracleVerdict::NotParallel`] — a genuine cross-iteration flow
+//!   dependence remains.
+
+use specrt_ir::AccessKind;
+
+/// What parallelization the trace admits (strongest applicable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OracleVerdict {
+    /// Parallel without privatization.
+    DoallNoPriv,
+    /// Parallel with basic privatization (no read-in needed).
+    DoallPriv,
+    /// Parallel with privatization plus read-in/copy-out.
+    DoallPrivReadIn,
+    /// Not parallel as executed.
+    NotParallel,
+}
+
+impl OracleVerdict {
+    /// Whether the basic (no read-in) privatization test should pass.
+    pub fn priv_ok(self) -> bool {
+        self <= OracleVerdict::DoallPriv
+    }
+
+    /// Whether the read-in-capable privatization test should pass.
+    pub fn priv_read_in_ok(self) -> bool {
+        self <= OracleVerdict::DoallPrivReadIn
+    }
+}
+
+/// Analyzes per-iteration access traces for one array.
+///
+/// `iters[i]` is the ordered access sequence `(element, kind)` of iteration
+/// `i` (0-based). Iterations are assumed to execute their own accesses in
+/// the given order; the original (sequential) iteration order is the index
+/// order.
+pub fn analyze_iteration_traces(iters: &[Vec<(u64, AccessKind)>]) -> OracleVerdict {
+    use std::collections::{HashMap, HashSet};
+
+    // Per element: iterations that write; iterations that read-first;
+    // iterations that read at all (uncovered by *earlier* write).
+    let mut writers: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut read_firsts: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut touched_by: HashMap<u64, HashSet<u64>> = HashMap::new();
+    let mut written: HashSet<u64> = HashSet::new();
+
+    for (i, accesses) in iters.iter().enumerate() {
+        let iter = i as u64;
+        let mut wrote_this_iter: HashSet<u64> = HashSet::new();
+        for &(e, kind) in accesses {
+            touched_by.entry(e).or_default().insert(iter);
+            match kind {
+                AccessKind::Write => {
+                    if wrote_this_iter.insert(e) {
+                        writers.entry(e).or_default().push(iter);
+                    }
+                    written.insert(e);
+                }
+                AccessKind::Read => {
+                    if !wrote_this_iter.contains(&e) {
+                        let rf = read_firsts.entry(e).or_default();
+                        if rf.last() != Some(&iter) {
+                            rf.push(iter);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // DoallNoPriv: no element accessed by >= 2 iterations with >= 1 write.
+    let no_priv = touched_by
+        .iter()
+        .all(|(e, iters_touching)| iters_touching.len() <= 1 || !written.contains(e));
+    if no_priv {
+        return OracleVerdict::DoallNoPriv;
+    }
+
+    // DoallPriv: every element never written or never read-first.
+    let basic_priv = touched_by
+        .keys()
+        .all(|e| !written.contains(e) || read_firsts.get(e).is_none_or(Vec::is_empty));
+    if basic_priv {
+        return OracleVerdict::DoallPriv;
+    }
+
+    // DoallPrivReadIn: per element, max(read-first) <= min(write).
+    let read_in_priv = touched_by.keys().all(|e| {
+        let max_rf = read_firsts.get(e).and_then(|v| v.iter().max().copied());
+        let min_w = writers.get(e).and_then(|v| v.iter().min().copied());
+        match (max_rf, min_w) {
+            (Some(rf), Some(w)) => rf <= w,
+            _ => true,
+        }
+    });
+    if read_in_priv {
+        return OracleVerdict::DoallPrivReadIn;
+    }
+
+    OracleVerdict::NotParallel
+}
+
+/// Processor-wise envelope check for the non-privatization hardware
+/// protocol: given the iteration→processor assignment, the loop passes iff
+/// every element is accessed by a single processor or is read-only.
+pub fn nonpriv_envelope_holds(iters: &[Vec<(u64, AccessKind)>], assignment: &[u32]) -> bool {
+    use std::collections::{HashMap, HashSet};
+    assert_eq!(iters.len(), assignment.len(), "assignment length mismatch");
+    let mut procs_touching: HashMap<u64, HashSet<u32>> = HashMap::new();
+    let mut written: HashSet<u64> = HashSet::new();
+    for (i, accesses) in iters.iter().enumerate() {
+        for &(e, kind) in accesses {
+            procs_touching.entry(e).or_default().insert(assignment[i]);
+            if kind == AccessKind::Write {
+                written.insert(e);
+            }
+        }
+    }
+    procs_touching
+        .iter()
+        .all(|(e, procs)| procs.len() <= 1 || !written.contains(e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AccessKind::{Read, Write};
+
+    #[test]
+    fn disjoint_writes_are_doall() {
+        let iters = vec![vec![(0, Write)], vec![(1, Write)], vec![(2, Write)]];
+        assert_eq!(analyze_iteration_traces(&iters), OracleVerdict::DoallNoPriv);
+    }
+
+    #[test]
+    fn read_only_sharing_is_doall() {
+        let iters = vec![vec![(0, Read)], vec![(0, Read)], vec![(0, Read)]];
+        assert_eq!(analyze_iteration_traces(&iters), OracleVerdict::DoallNoPriv);
+    }
+
+    #[test]
+    fn temp_workspace_needs_privatization() {
+        let iters = vec![vec![(0, Write), (0, Read)], vec![(0, Write), (0, Read)]];
+        assert_eq!(analyze_iteration_traces(&iters), OracleVerdict::DoallPriv);
+    }
+
+    #[test]
+    fn reads_then_writes_need_read_in() {
+        // Figure 3 pattern: iterations 0-1 read, iterations 2-3 write.
+        let iters = vec![
+            vec![(0, Read)],
+            vec![(0, Read)],
+            vec![(0, Write)],
+            vec![(0, Write), (0, Read)],
+        ];
+        assert_eq!(
+            analyze_iteration_traces(&iters),
+            OracleVerdict::DoallPrivReadIn
+        );
+    }
+
+    #[test]
+    fn flow_dependence_is_not_parallel() {
+        let iters = vec![vec![(0, Write)], vec![(0, Read)]];
+        assert_eq!(analyze_iteration_traces(&iters), OracleVerdict::NotParallel);
+    }
+
+    #[test]
+    fn covered_read_after_write_is_not_read_first() {
+        // Iteration 1 writes elem 0 then reads it: the read is covered, so
+        // iteration 0's write only conflicts with iteration 1's *write*.
+        let iters = vec![vec![(0, Write)], vec![(0, Write), (0, Read)]];
+        assert_eq!(analyze_iteration_traces(&iters), OracleVerdict::DoallPriv);
+    }
+
+    #[test]
+    fn verdict_ordering_and_predicates() {
+        assert!(OracleVerdict::DoallNoPriv.priv_ok());
+        assert!(OracleVerdict::DoallPriv.priv_ok());
+        assert!(!OracleVerdict::DoallPrivReadIn.priv_ok());
+        assert!(OracleVerdict::DoallPrivReadIn.priv_read_in_ok());
+        assert!(!OracleVerdict::NotParallel.priv_read_in_ok());
+    }
+
+    #[test]
+    fn envelope_depends_on_assignment() {
+        // Iterations 0 and 1 both write element 0.
+        let iters = vec![vec![(0, Write)], vec![(0, Write)]];
+        // Same processor: envelope holds.
+        assert!(nonpriv_envelope_holds(&iters, &[0, 0]));
+        // Different processors: violated.
+        assert!(!nonpriv_envelope_holds(&iters, &[0, 1]));
+    }
+
+    #[test]
+    fn envelope_read_only_always_holds() {
+        let iters = vec![vec![(5, Read)], vec![(5, Read)], vec![(5, Read)]];
+        assert!(nonpriv_envelope_holds(&iters, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn empty_trace_is_doall() {
+        let iters: Vec<Vec<(u64, AccessKind)>> = vec![vec![], vec![]];
+        assert_eq!(analyze_iteration_traces(&iters), OracleVerdict::DoallNoPriv);
+    }
+}

@@ -1,0 +1,345 @@
+//! IR generators for the software scheme's fixed phases.
+//!
+//! Besides the marking inserted into the loop body, the software LRPD
+//! scheme executes (paper §6.3): "array backup, shadow array zero-out,
+//! marking, merging-analysis, and data copy-out". The zero-out and the
+//! fused merging-analysis are loops in their own right; generating them as
+//! IR bodies lets the simulator charge their real instruction and memory
+//! cost — including the property that merging-analysis work per processor
+//! stays *constant* as processors are added (each processor scans its slice
+//! of elements but must visit every processor's private shadow), which is
+//! exactly the scalability drag §6.3 attributes to the software scheme.
+
+use specrt_ir::{BinOp, Operand, Program, ProgramBuilder};
+use specrt_mem::ProcId;
+
+use crate::shadow::{ShadowIds, CNT_ATM, CNT_BAD_NP, CNT_BAD_WR};
+
+/// Body of the shadow zero-out loop for one processor: iteration `e` clears
+/// element `e` of the processor's four data shadows. The counters are
+/// cleared by the first iteration.
+pub fn zero_shadow_body(ids: &ShadowIds) -> Program {
+    let mut b = ProgramBuilder::new();
+    for arr in ids.data_shadows() {
+        b.store(arr, Operand::Iter, Operand::ImmI(0));
+    }
+    // if iter == 0 { cnt[0..4] = 0 }
+    let is_zero = b.binop(BinOp::CmpEq, Operand::Iter, Operand::ImmI(0));
+    let skip = b.label();
+    b.bz(Operand::Reg(is_zero), skip);
+    for c in 0..4 {
+        b.store(ids.counters(), Operand::ImmI(c), Operand::ImmI(0));
+    }
+    b.bind(skip);
+    b.build().expect("zero-out body verifies")
+}
+
+/// Body of the fused merging + analysis loop: iteration `e` combines every
+/// processor's private shadow entries for element `e` and folds the
+/// per-element test conditions into the executing processor's counters:
+///
+/// * `cnt[ATM] += A_w[e]` — counts distinct written elements (test (c));
+/// * `cnt[BAD_WR] |= A_w[e] & A_r[e]` — test (b);
+/// * `cnt[BAD_NP] |= A_w[e] & A_np[e]` — test (d).
+///
+/// `all_procs` lists every processor's shadow bundle for the array;
+/// `me` identifies whose counters accumulate the result. Elements are
+/// partitioned across processors by the caller's scheduler.
+pub fn merge_analysis_body(all_procs: &[ShadowIds], me: ProcId) -> Program {
+    assert!(
+        !all_procs.is_empty(),
+        "need at least one processor's shadows"
+    );
+    let my = all_procs
+        .iter()
+        .find(|s| s.proc == me)
+        .unwrap_or_else(|| panic!("{me} not among the shadow bundles"));
+    let mut b = ProgramBuilder::new();
+    let w_any = b.mov(Operand::ImmI(0));
+    let r_any = b.mov(Operand::ImmI(0));
+    let np_any = b.mov(Operand::ImmI(0));
+    for ids in all_procs {
+        let w = b.load(ids.w_last(), Operand::Iter);
+        let wb = b.binop(BinOp::CmpNe, Operand::Reg(w), Operand::ImmI(0));
+        b.binop_into(w_any, BinOp::Or, Operand::Reg(w_any), Operand::Reg(wb));
+        let rc = b.load(ids.r_cur(), Operand::Iter);
+        let rcb = b.binop(BinOp::CmpNe, Operand::Reg(rc), Operand::ImmI(0));
+        b.binop_into(r_any, BinOp::Or, Operand::Reg(r_any), Operand::Reg(rcb));
+        let rs = b.load(ids.r_sticky(), Operand::Iter);
+        b.binop_into(r_any, BinOp::Or, Operand::Reg(r_any), Operand::Reg(rs));
+        let np = b.load(ids.np(), Operand::Iter);
+        b.binop_into(np_any, BinOp::Or, Operand::Reg(np_any), Operand::Reg(np));
+    }
+    let bad_wr = b.binop(BinOp::And, Operand::Reg(w_any), Operand::Reg(r_any));
+    let bad_np = b.binop(BinOp::And, Operand::Reg(w_any), Operand::Reg(np_any));
+    let cnt = my.counters();
+    let acc = b.load(cnt, Operand::ImmI(CNT_ATM as i64));
+    let acc2 = b.binop(BinOp::Add, Operand::Reg(acc), Operand::Reg(w_any));
+    b.store(cnt, Operand::ImmI(CNT_ATM as i64), Operand::Reg(acc2));
+    let f1 = b.load(cnt, Operand::ImmI(CNT_BAD_WR as i64));
+    let f1b = b.binop(BinOp::Or, Operand::Reg(f1), Operand::Reg(bad_wr));
+    b.store(cnt, Operand::ImmI(CNT_BAD_WR as i64), Operand::Reg(f1b));
+    let f2 = b.load(cnt, Operand::ImmI(CNT_BAD_NP as i64));
+    let f2b = b.binop(BinOp::Or, Operand::Reg(f2), Operand::Reg(bad_np));
+    b.store(cnt, Operand::ImmI(CNT_BAD_NP as i64), Operand::Reg(f2b));
+    b.build().expect("merge-analysis body verifies")
+}
+
+/// Bitmap variant of the zero-out: iteration `w` clears word `w` of the
+/// three bitmap shadows (64 elements per store).
+pub fn zero_shadow_body_bitmap(ids: &ShadowIds) -> Program {
+    let mut b = ProgramBuilder::new();
+    for arr in [ids.w_last(), ids.r_cur(), ids.np()] {
+        b.store(arr, Operand::Iter, Operand::ImmI(0));
+    }
+    let is_zero = b.binop(BinOp::CmpEq, Operand::Iter, Operand::ImmI(0));
+    let skip = b.label();
+    b.bz(Operand::Reg(is_zero), skip);
+    for c in 0..4 {
+        b.store(ids.counters(), Operand::ImmI(c), Operand::ImmI(0));
+    }
+    b.bind(skip);
+    b.build().expect("bitmap zero-out body verifies")
+}
+
+/// Bitmap variant of the fused merging + analysis: iteration `w` combines
+/// word `w` (64 elements) of every processor's bitmaps:
+///
+/// * `conflict |= seen & aw_p` before `seen |= aw_p` — an element
+///   written by two processors (replaces the `Atw == Atm` test (c));
+/// * `cnt[ATM] |= conflict`, `cnt[BAD_WR] |= seen & or_r` (test (b)),
+///   `cnt[BAD_NP] |= seen & or_np` (test (d)).
+pub fn merge_analysis_body_bitmap(all_procs: &[ShadowIds], me: ProcId) -> Program {
+    assert!(
+        !all_procs.is_empty(),
+        "need at least one processor's shadows"
+    );
+    let my = all_procs
+        .iter()
+        .find(|s| s.proc == me)
+        .unwrap_or_else(|| panic!("{me} not among the shadow bundles"));
+    let mut b = ProgramBuilder::new();
+    let seen = b.mov(Operand::ImmI(0));
+    let conflict = b.mov(Operand::ImmI(0));
+    let or_r = b.mov(Operand::ImmI(0));
+    let or_np = b.mov(Operand::ImmI(0));
+    for ids in all_procs {
+        let w = b.load(ids.w_last(), Operand::Iter);
+        let ov = b.binop(BinOp::And, Operand::Reg(seen), Operand::Reg(w));
+        b.binop_into(
+            conflict,
+            BinOp::Or,
+            Operand::Reg(conflict),
+            Operand::Reg(ov),
+        );
+        b.binop_into(seen, BinOp::Or, Operand::Reg(seen), Operand::Reg(w));
+        let r = b.load(ids.r_cur(), Operand::Iter);
+        b.binop_into(or_r, BinOp::Or, Operand::Reg(or_r), Operand::Reg(r));
+        let np = b.load(ids.np(), Operand::Iter);
+        b.binop_into(or_np, BinOp::Or, Operand::Reg(or_np), Operand::Reg(np));
+    }
+    let bad_wr = b.binop(BinOp::And, Operand::Reg(seen), Operand::Reg(or_r));
+    let bad_np = b.binop(BinOp::And, Operand::Reg(seen), Operand::Reg(or_np));
+    let cnt = my.counters();
+    for (slot, val) in [
+        (CNT_ATM, conflict),
+        (CNT_BAD_WR, bad_wr),
+        (CNT_BAD_NP, bad_np),
+    ] {
+        let acc = b.load(cnt, Operand::ImmI(slot as i64));
+        let acc2 = b.binop(BinOp::Or, Operand::Reg(acc), Operand::Reg(val));
+        b.store(cnt, Operand::ImmI(slot as i64), Operand::Reg(acc2));
+    }
+    b.build().expect("bitmap merge-analysis body verifies")
+}
+
+/// Body of the final reduction over the per-processor counters, run
+/// serially on processor 0: iteration `p` fetches processor `p`'s four
+/// counters (a remote line each) and folds them into the `global` flags
+/// array: `global[0] += atw_p`, `global[1] (+= atm_p | |= conflict_p)`,
+/// `global[2] |= bad_wr_p`, `global[3] |= bad_np_p`. `slot1_or` selects the
+/// bitmap interpretation (conflict masks fold with OR) over the stamped one
+/// (`Atm` counts fold with ADD).
+pub fn reduction_body(
+    all_procs: &[ShadowIds],
+    global: specrt_ir::ArrayId,
+    slot1_or: bool,
+) -> Program {
+    assert!(
+        !all_procs.is_empty(),
+        "need at least one processor's counters"
+    );
+    let mut b = ProgramBuilder::new();
+    // Dispatch on the iteration number to the right counters array
+    // (unrolled: one arm per processor).
+    let mut arms = Vec::new();
+    let end = b.label();
+    for (i, ids) in all_procs.iter().enumerate() {
+        let is_me = b.binop(BinOp::CmpEq, Operand::Iter, Operand::ImmI(i as i64));
+        let lbl = b.label();
+        b.bnz(Operand::Reg(is_me), lbl);
+        arms.push((lbl, ids.counters()));
+    }
+    b.jmp(end);
+    for (lbl, cnt) in arms {
+        b.bind(lbl);
+        for (slot, fold_or) in [(0i64, false), (1, slot1_or), (2, true), (3, true)] {
+            let v = b.load(cnt, Operand::ImmI(slot));
+            let g = b.load(global, Operand::ImmI(slot));
+            let f = if fold_or {
+                b.binop(BinOp::Or, Operand::Reg(g), Operand::Reg(v))
+            } else {
+                b.binop(BinOp::Add, Operand::Reg(g), Operand::Reg(v))
+            };
+            b.store(global, Operand::ImmI(slot), Operand::Reg(f));
+        }
+        b.jmp(end);
+    }
+    b.bind(end);
+    b.build().expect("reduction body verifies")
+}
+
+/// Body of the backup loop for one array: iteration `e` copies `src[e]`
+/// into `dst[e]`. Used for the pre-loop array backup and the post-failure
+/// restore (with the roles swapped), and for copy-out.
+pub fn copy_body(src: specrt_ir::ArrayId, dst: specrt_ir::ArrayId) -> Program {
+    copy_body_region(src, dst, 0)
+}
+
+/// [`copy_body`] over the region starting at `offset`: iteration `e`
+/// copies `src[offset+e]` into `dst[offset+e]` (used when the compiler
+/// identified a smaller modified region to back up).
+pub fn copy_body_region(src: specrt_ir::ArrayId, dst: specrt_ir::ArrayId, offset: u64) -> Program {
+    let mut b = ProgramBuilder::new();
+    if offset == 0 {
+        let v = b.load(src, Operand::Iter);
+        b.store(dst, Operand::Iter, Operand::Reg(v));
+    } else {
+        let idx = b.binop(BinOp::Add, Operand::Iter, Operand::ImmI(offset as i64));
+        let v = b.load(src, Operand::Reg(idx));
+        b.store(dst, Operand::Reg(idx), Operand::Reg(v));
+    }
+    b.build().expect("copy body verifies")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specrt_ir::{execute_iteration, ArrayId, MemOracle, Scalar};
+
+    #[derive(Default)]
+    struct Mem(std::collections::HashMap<(ArrayId, u64), Scalar>);
+
+    impl MemOracle for Mem {
+        fn read(&mut self, arr: ArrayId, idx: u64) -> Scalar {
+            self.0.get(&(arr, idx)).copied().unwrap_or(Scalar::ZERO)
+        }
+        fn write(&mut self, arr: ArrayId, idx: u64, value: Scalar) {
+            self.0.insert((arr, idx), value);
+        }
+    }
+
+    #[test]
+    fn zero_body_clears_shadows_and_counters() {
+        let ids = ShadowIds::new(ArrayId(0), ProcId(0));
+        let mut mem = Mem::default();
+        mem.write(ids.w_last(), 1, Scalar::Int(7));
+        mem.write(ids.counters(), 0, Scalar::Int(9));
+        let body = zero_shadow_body(&ids);
+        for e in 0..4 {
+            execute_iteration(&body, e, 0, &mut mem).unwrap();
+        }
+        assert_eq!(mem.read(ids.w_last(), 1), Scalar::Int(0));
+        assert_eq!(mem.read(ids.counters(), 0), Scalar::Int(0));
+    }
+
+    #[test]
+    fn merge_analysis_detects_cross_processor_conflict() {
+        let a = ArrayId(0);
+        let shadows: Vec<ShadowIds> = (0..2).map(|p| ShadowIds::new(a, ProcId(p))).collect();
+        let mut mem = Mem::default();
+        // P0 wrote element 3 (stamp 1); P1 read it uncovered (stamp 5).
+        mem.write(shadows[0].w_last(), 3, Scalar::Int(1));
+        mem.write(shadows[1].r_cur(), 3, Scalar::Int(5));
+        mem.write(shadows[1].np(), 3, Scalar::Int(1));
+        let body = merge_analysis_body(&shadows, ProcId(0));
+        for e in 0..8 {
+            execute_iteration(&body, e, 0, &mut mem).unwrap();
+        }
+        let cnt = shadows[0].counters();
+        assert_eq!(mem.read(cnt, CNT_ATM), Scalar::Int(1));
+        assert_eq!(mem.read(cnt, CNT_BAD_WR), Scalar::Int(1));
+        assert_eq!(mem.read(cnt, CNT_BAD_NP), Scalar::Int(1));
+    }
+
+    #[test]
+    fn merge_analysis_clean_when_disjoint() {
+        let a = ArrayId(0);
+        let shadows: Vec<ShadowIds> = (0..2).map(|p| ShadowIds::new(a, ProcId(p))).collect();
+        let mut mem = Mem::default();
+        mem.write(shadows[0].w_last(), 0, Scalar::Int(1));
+        mem.write(shadows[1].w_last(), 1, Scalar::Int(2));
+        let body = merge_analysis_body(&shadows, ProcId(1));
+        for e in 0..4 {
+            execute_iteration(&body, e, 1, &mut mem).unwrap();
+        }
+        let cnt = shadows[1].counters();
+        assert_eq!(mem.read(cnt, CNT_ATM), Scalar::Int(2));
+        assert_eq!(mem.read(cnt, CNT_BAD_WR), Scalar::Int(0));
+        assert_eq!(mem.read(cnt, CNT_BAD_NP), Scalar::Int(0));
+    }
+
+    #[test]
+    fn merge_analysis_work_grows_with_processors() {
+        let a = ArrayId(0);
+        let sh4: Vec<ShadowIds> = (0..4).map(|p| ShadowIds::new(a, ProcId(p))).collect();
+        let sh8: Vec<ShadowIds> = (0..8).map(|p| ShadowIds::new(a, ProcId(p))).collect();
+        let b4 = merge_analysis_body(&sh4, ProcId(0));
+        let b8 = merge_analysis_body(&sh8, ProcId(0));
+        assert!(b8.len() > b4.len(), "per-element work must grow with P");
+    }
+
+    #[test]
+    fn reduction_body_folds_counters() {
+        let shadows: Vec<ShadowIds> = (0..3)
+            .map(|p| ShadowIds::new(ArrayId(0), ProcId(p)))
+            .collect();
+        let global = ArrayId(9);
+        let mut mem = Mem::default();
+        for (p, ids) in shadows.iter().enumerate() {
+            mem.write(ids.counters(), 0, Scalar::Int(p as i64 + 1)); // atw
+            mem.write(ids.counters(), 1, Scalar::Int(1)); // atm
+            mem.write(ids.counters(), 2, Scalar::Int((p == 1) as i64)); // bad_wr
+        }
+        let body = reduction_body(&shadows, global, false);
+        for p in 0..3 {
+            execute_iteration(&body, p, 0, &mut mem).unwrap();
+        }
+        assert_eq!(mem.read(global, 0), Scalar::Int(6)); // 1+2+3
+        assert_eq!(mem.read(global, 1), Scalar::Int(3));
+        assert_eq!(mem.read(global, 2), Scalar::Int(1));
+        assert_eq!(mem.read(global, 3), Scalar::Int(0));
+    }
+
+    #[test]
+    fn copy_body_copies() {
+        let src = ArrayId(0);
+        let dst = ArrayId(1);
+        let mut mem = Mem::default();
+        for e in 0..4 {
+            mem.write(src, e, Scalar::Float(e as f64));
+        }
+        let body = copy_body(src, dst);
+        for e in 0..4 {
+            execute_iteration(&body, e, 0, &mut mem).unwrap();
+        }
+        assert_eq!(mem.read(dst, 3), Scalar::Float(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not among the shadow bundles")]
+    fn merge_analysis_requires_own_shadows() {
+        let shadows = vec![ShadowIds::new(ArrayId(0), ProcId(0))];
+        merge_analysis_body(&shadows, ProcId(5));
+    }
+}

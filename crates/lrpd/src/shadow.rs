@@ -1,0 +1,182 @@
+//! Array-id allocation for the software scheme's shadow arrays and private
+//! copies.
+//!
+//! The software LRPD scheme needs, per (array under test, processor):
+//! four shadow arrays (`w_last`, `r_cur`, `r_sticky`, `np` — the stamped
+//! representation of `A_w`/`A_r`/`A_np`), a small counter array, and — for
+//! privatized arrays — a private copy of the data. All of these are ordinary
+//! simulated arrays (they cost real cache misses and instructions); this
+//! module assigns them deterministic [`ArrayId`]s in reserved ranges so they
+//! can never collide with workload arrays.
+
+use specrt_ir::ArrayId;
+use specrt_mem::ProcId;
+
+/// Bit 29 marks software-scheme private data copies.
+const SW_PRIVATE_BASE: u32 = 0x2000_0000;
+/// Bit 30 marks shadow arrays.
+const SHADOW_BASE: u32 = 0x4000_0000;
+
+/// Which shadow array of the stamped LRPD representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShadowKind {
+    /// Last iteration that wrote the element (`A_w` = nonzero).
+    WLast,
+    /// Tentative uncovered-read stamp.
+    RCur,
+    /// Sticky uncovered-read flag.
+    RSticky,
+    /// Sticky read-before-write flag (`A_np`).
+    Np,
+    /// Per-processor counters: `[atw, atm, bad_wr, bad_np]`.
+    Counters,
+}
+
+impl ShadowKind {
+    fn code(self) -> u32 {
+        match self {
+            ShadowKind::WLast => 0,
+            ShadowKind::RCur => 1,
+            ShadowKind::RSticky => 2,
+            ShadowKind::Np => 3,
+            ShadowKind::Counters => 4,
+        }
+    }
+
+    /// All kinds, in code order.
+    pub fn all() -> [ShadowKind; 5] {
+        [
+            ShadowKind::WLast,
+            ShadowKind::RCur,
+            ShadowKind::RSticky,
+            ShadowKind::Np,
+            ShadowKind::Counters,
+        ]
+    }
+}
+
+/// Id of the `kind` shadow array for `arr` owned by `proc`.
+///
+/// # Panics
+///
+/// Panics if `arr.0 >= 2^18` or `proc.0 >= 256`.
+pub fn shadow_id(arr: ArrayId, kind: ShadowKind, proc: ProcId) -> ArrayId {
+    assert!(arr.0 < (1 << 18), "array id {arr} too large to shadow");
+    assert!(proc.0 < 256, "processor id {proc} too large");
+    ArrayId(SHADOW_BASE | (kind.code() << 26) | (arr.0 << 8) | proc.0)
+}
+
+/// Id of the software scheme's private copy of privatized array `arr` for
+/// `proc`.
+///
+/// # Panics
+///
+/// Panics if `arr.0 >= 2^18` or `proc.0 >= 256`.
+pub fn sw_private_copy_id(arr: ArrayId, proc: ProcId) -> ArrayId {
+    assert!(arr.0 < (1 << 18), "array id {arr} too large to privatize");
+    assert!(proc.0 < 256, "processor id {proc} too large");
+    ArrayId(SW_PRIVATE_BASE | (arr.0 << 8) | proc.0)
+}
+
+/// Convenience bundle of one processor's shadow ids for one array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShadowIds {
+    /// The array under test.
+    pub arr: ArrayId,
+    /// The owning processor.
+    pub proc: ProcId,
+}
+
+impl ShadowIds {
+    /// Bundles ids for `(arr, proc)`.
+    pub fn new(arr: ArrayId, proc: ProcId) -> Self {
+        ShadowIds { arr, proc }
+    }
+
+    /// The `w_last` shadow array.
+    pub fn w_last(&self) -> ArrayId {
+        shadow_id(self.arr, ShadowKind::WLast, self.proc)
+    }
+
+    /// The `r_cur` shadow array.
+    pub fn r_cur(&self) -> ArrayId {
+        shadow_id(self.arr, ShadowKind::RCur, self.proc)
+    }
+
+    /// The `r_sticky` shadow array.
+    pub fn r_sticky(&self) -> ArrayId {
+        shadow_id(self.arr, ShadowKind::RSticky, self.proc)
+    }
+
+    /// The `np` shadow array.
+    pub fn np(&self) -> ArrayId {
+        shadow_id(self.arr, ShadowKind::Np, self.proc)
+    }
+
+    /// The counters array (`[atw, atm, bad_wr, bad_np]`).
+    pub fn counters(&self) -> ArrayId {
+        shadow_id(self.arr, ShadowKind::Counters, self.proc)
+    }
+
+    /// All data-shadow ids (excluding counters), in kind order.
+    pub fn data_shadows(&self) -> [ArrayId; 4] {
+        [self.w_last(), self.r_cur(), self.r_sticky(), self.np()]
+    }
+}
+
+/// Index of `atw` in the counters array.
+pub const CNT_ATW: u64 = 0;
+/// Index of `atm` in the counters array.
+pub const CNT_ATM: u64 = 1;
+/// Index of the test-(b) flag in the counters array.
+pub const CNT_BAD_WR: u64 = 2;
+/// Index of the test-(d) flag in the counters array.
+pub const CNT_BAD_NP: u64 = 3;
+/// Length of the counters array.
+pub const CNT_LEN: u64 = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_across_kinds_procs_arrays() {
+        let mut seen = std::collections::HashSet::new();
+        for arr in [0u32, 1, 77] {
+            for proc in [0u32, 1, 15] {
+                for kind in ShadowKind::all() {
+                    assert!(seen.insert(shadow_id(ArrayId(arr), kind, ProcId(proc))));
+                }
+                assert!(seen.insert(sw_private_copy_id(ArrayId(arr), ProcId(proc))));
+            }
+        }
+    }
+
+    #[test]
+    fn reserved_ranges_do_not_collide_with_workload_ids() {
+        let s = shadow_id(ArrayId(0), ShadowKind::WLast, ProcId(0));
+        let p = sw_private_copy_id(ArrayId(0), ProcId(0));
+        assert!(s.0 >= SHADOW_BASE);
+        assert!(p.0 >= SW_PRIVATE_BASE && p.0 < SHADOW_BASE);
+    }
+
+    #[test]
+    fn bundle_matches_free_functions() {
+        let ids = ShadowIds::new(ArrayId(3), ProcId(2));
+        assert_eq!(
+            ids.w_last(),
+            shadow_id(ArrayId(3), ShadowKind::WLast, ProcId(2))
+        );
+        assert_eq!(
+            ids.counters(),
+            shadow_id(ArrayId(3), ShadowKind::Counters, ProcId(2))
+        );
+        assert_eq!(ids.data_shadows().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_array_id_rejected() {
+        shadow_id(ArrayId(1 << 18), ShadowKind::Np, ProcId(0));
+    }
+}

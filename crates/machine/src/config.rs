@@ -1,0 +1,77 @@
+//! Machine-level configuration.
+
+use specrt_proto::MemSystemConfig;
+
+/// Constants governing processor and synchronization behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineConfig {
+    /// Memory-system configuration (processors, caches, latencies).
+    pub mem: MemSystemConfig,
+    /// Write-buffer depth: "processors do not stall on write misses" (§5.1)
+    /// until this many stores are outstanding.
+    pub write_buffer: usize,
+    /// Fixed cost of a barrier episode beyond the latest arrival
+    /// (lock + flag traffic).
+    pub barrier_overhead: u64,
+    /// Per-iteration dispatch cost under static/block-cyclic scheduling
+    /// (loop increment + bounds check).
+    pub sched_static_overhead: u64,
+    /// Cycles the dynamic scheduler's central lock is held per grab.
+    pub sched_lock_hold: u64,
+    /// Cycles from a FAIL detection at a directory to every processor
+    /// having stopped (abort broadcast).
+    pub abort_latency: u64,
+    /// Cost of the hardware's qualified tag reset at an iteration start.
+    pub iter_reset_cost: u64,
+    /// Detailed loop-end barrier: arrivals perform DASH fetch&op on a
+    /// shared counter (serializing at its home directory) and waiters wake
+    /// by re-reading the released sense flag, so barrier cost grows with
+    /// contention instead of being the constant `barrier_overhead`.
+    pub detailed_barrier: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            mem: MemSystemConfig::default(),
+            write_buffer: 16,
+            barrier_overhead: 120,
+            sched_static_overhead: 2,
+            sched_lock_hold: 30,
+            abort_latency: 200,
+            iter_reset_cost: 1,
+            detailed_barrier: false,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// Convenience: a default machine with `procs` processors.
+    pub fn with_procs(procs: u32) -> Self {
+        let mut c = MachineConfig::default();
+        c.mem.procs = procs;
+        c
+    }
+
+    /// Number of processors.
+    pub fn procs(&self) -> u32 {
+        self.mem.procs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_procs_sets_processor_count() {
+        let c = MachineConfig::with_procs(8);
+        assert_eq!(c.procs(), 8);
+        assert_eq!(c.write_buffer, 16);
+    }
+
+    #[test]
+    fn default_is_sixteen_processors() {
+        assert_eq!(MachineConfig::default().procs(), 16);
+    }
+}

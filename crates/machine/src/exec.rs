@@ -1,0 +1,944 @@
+//! The event-driven multiprocessor loop executor.
+//!
+//! Processors are interleaved in virtual time through a global event queue:
+//! each dispatch performs at most one shared-state action (a memory access
+//! or an iteration fetch) at its exact global time, then runs the purely
+//! local instructions that follow (register ALU work) eagerly, and
+//! re-enqueues itself for the next shared action. This keeps the memory
+//! system's contention and protocol state updated in strict time order
+//! while letting register-only stretches run at full interpreter speed.
+//!
+//! Modelled per processor: in-order execution (1 instruction/cycle), loads
+//! that stall until data returns, a finite write buffer (stores retire
+//! asynchronously, §5.1: "processors do not stall on write misses"), sync
+//! time at the scheduler lock and the loop-end barrier, and — for
+//! speculative runs — the abort broadcast after a FAIL.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use specrt_engine::{Cycles, EventQueue, TimeBreakdown};
+use specrt_ir::{ArrayId, Instr, Operand, Program, Reg, Scalar};
+use specrt_mem::ProcId;
+use specrt_proto::{private_copy_id, MemSystem};
+use specrt_spec::FailReason;
+
+use crate::config::MachineConfig;
+use crate::sched::{SchedDecision, Scheduler};
+
+/// Well-known array holding the loop-end barrier's counter (element 0) and
+/// sense flag (element 1), used when
+/// [`MachineConfig::detailed_barrier`] is set. Scenario setup allocates it.
+pub const BARRIER_ARRAY: ArrayId = ArrayId(0x0200_0000);
+
+/// How a loop execution ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecEnd {
+    /// All iterations ran and the final barrier released.
+    Completed,
+    /// The speculation failed (protocol FAIL or execution exception) and
+    /// the machine aborted.
+    Failed {
+        /// Why.
+        reason: FailReason,
+        /// When the failure was detected.
+        at: Cycles,
+    },
+}
+
+/// Result of one executor run.
+#[derive(Debug, Clone)]
+pub struct ExecSummary {
+    /// Completion or failure.
+    pub end: ExecEnd,
+    /// Time at which every processor had stopped (barrier release or abort
+    /// completion).
+    pub finish_time: Cycles,
+    /// Per-processor Busy/Sync/Mem decomposition.
+    pub per_proc: Vec<TimeBreakdown>,
+    /// Iterations that ran to completion.
+    pub iterations: u64,
+    /// For arrays registered for copy-out tracking: last write per element
+    /// as `(logical array, element) → (iteration+1, value)`.
+    pub winners: HashMap<(ArrayId, u64), (u64, Scalar)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MemOp {
+    write: bool,
+    arr: ArrayId,
+    idx: u64,
+    dst: Option<Reg>,
+    value: Option<Scalar>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Pending {
+    Fetch,
+    Mem(MemOp),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Status {
+    Running,
+    InBarrier(Cycles),
+    Aborted(Cycles),
+    Released,
+}
+
+struct PState {
+    regs: Vec<Scalar>,
+    pc: usize,
+    iter: Option<u64>,
+    time: Cycles,
+    bd: TimeBreakdown,
+    wb: BinaryHeap<Reverse<u64>>,
+    pending: Pending,
+    status: Status,
+}
+
+/// Runs one loop (or phase loop) on the machine.
+pub struct Executor<'a> {
+    cfg: &'a MachineConfig,
+    ms: &'a mut MemSystem,
+    image: &'a mut dyn specrt_ir::MemOracle,
+    image_reader: fn(&mut dyn specrt_ir::MemOracle, ArrayId, u64) -> Scalar,
+    programs: Vec<Program>,
+    sched: &'a mut dyn Scheduler,
+    route_priv: bool,
+    speculative: bool,
+    copy_out_track: HashMap<ArrayId, ArrayId>,
+    start: Cycles,
+}
+
+fn default_reader(m: &mut dyn specrt_ir::MemOracle, arr: ArrayId, idx: u64) -> Scalar {
+    m.read(arr, idx)
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor.
+    ///
+    /// * `programs` — one per processor (clone the same program for SPMD
+    ///   phases; the software scheme passes per-processor instrumented
+    ///   bodies).
+    /// * `route_priv` — route accesses to privatized arrays to the
+    ///   processor's private copy (hardware scheme and Ideal runs).
+    /// * `speculative` — abort on protocol failures and turn execution
+    ///   exceptions into [`FailReason::Exception`] (otherwise exceptions
+    ///   panic — they indicate a bug in a non-speculative phase).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs.len()` differs from the machine's processor
+    /// count.
+    pub fn new(
+        cfg: &'a MachineConfig,
+        ms: &'a mut MemSystem,
+        image: &'a mut dyn specrt_ir::MemOracle,
+        programs: Vec<Program>,
+        sched: &'a mut dyn Scheduler,
+    ) -> Self {
+        assert_eq!(
+            programs.len(),
+            ms.procs() as usize,
+            "one program per processor required"
+        );
+        Executor {
+            cfg,
+            ms,
+            image,
+            image_reader: default_reader,
+            programs,
+            sched,
+            route_priv: false,
+            speculative: false,
+            copy_out_track: HashMap::new(),
+            start: Cycles::ZERO,
+        }
+    }
+
+    /// Enables routing of privatized arrays to per-processor copies.
+    pub fn route_privatized(mut self, on: bool) -> Self {
+        self.route_priv = on;
+        self
+    }
+
+    /// Marks the run as speculative (abort on failures/exceptions).
+    pub fn speculative(mut self, on: bool) -> Self {
+        self.speculative = on;
+        self
+    }
+
+    /// Tracks last-writer values for `physical` writes, attributing them to
+    /// `logical` for copy-out.
+    pub fn track_copy_out(mut self, physical: ArrayId, logical: ArrayId) -> Self {
+        self.copy_out_track.insert(physical, logical);
+        self
+    }
+
+    /// Sets the virtual start time.
+    pub fn starting_at(mut self, t: Cycles) -> Self {
+        self.start = t;
+        self
+    }
+
+    /// Runs the loop to completion or abort.
+    pub fn run(mut self) -> ExecSummary {
+        let procs = self.ms.procs() as usize;
+        let mut states: Vec<PState> = (0..procs)
+            .map(|p| PState {
+                regs: vec![Scalar::ZERO; self.programs[p].reg_count() as usize],
+                pc: 0,
+                iter: None,
+                time: self.start,
+                bd: TimeBreakdown::new(),
+                wb: BinaryHeap::new(),
+                pending: Pending::Fetch,
+                status: Status::Running,
+            })
+            .collect();
+        let mut events: EventQueue<u32> = EventQueue::new();
+        for p in 0..procs {
+            events.push(self.start, p as u32);
+        }
+        let mut exec_failure: Option<(FailReason, Cycles)> = None;
+        let mut iterations = 0u64;
+        let mut winners: HashMap<(ArrayId, u64), (u64, Scalar)> = HashMap::new();
+        let mut barrier_arrivals = 0usize;
+        let mut arrival_order: Vec<usize> = Vec::new();
+        let mut finish_time = self.start;
+
+        while let Some((t, p)) = events.pop() {
+            let p = p as usize;
+            let proc = ProcId(p as u32);
+            // Abort check: the failure signal reaches processors
+            // `abort_latency` after detection.
+            if self.speculative {
+                if let Some((_, tf)) = earliest_failure(self.ms.failure(), exec_failure) {
+                    if t >= tf {
+                        let stop = (tf + Cycles(self.cfg.abort_latency)).max(t);
+                        states[p].status = Status::Aborted(stop);
+                        continue;
+                    }
+                }
+            }
+            let pending = states[p].pending;
+            match pending {
+                Pending::Fetch => match self.sched.next(proc, t) {
+                    SchedDecision::Done => {
+                        {
+                            let st = &mut states[p];
+                            drain_write_buffer(st);
+                        }
+                        if self.cfg.detailed_barrier {
+                            // Arrival: fetch&op on the barrier counter at
+                            // its home (a real serialization point).
+                            let t0 = states[p].time;
+                            let done = self.ms.fetch_op(proc, BARRIER_ARRAY, 0, t0);
+                            let st = &mut states[p];
+                            st.bd.sync += done - t0;
+                            st.time = done;
+                        }
+                        let st = &mut states[p];
+                        st.status = Status::InBarrier(st.time);
+                        barrier_arrivals += 1;
+                        arrival_order.push(p);
+                        if barrier_arrivals == procs {
+                            let latest = states
+                                .iter()
+                                .filter_map(|s| match s.status {
+                                    Status::InBarrier(a) => Some(a),
+                                    _ => None,
+                                })
+                                .max()
+                                .unwrap_or(t);
+                            if self.cfg.detailed_barrier {
+                                // The last arriver flips the sense flag;
+                                // every waiter re-reads it (a hot spot that
+                                // serializes at the flag's home bank).
+                                let last = *arrival_order.last().expect("nonempty");
+                                let flag_done =
+                                    self.ms
+                                        .fetch_op(ProcId(last as u32), BARRIER_ARRAY, 1, latest);
+                                for &q in &arrival_order {
+                                    let wake = self.ms.fetch_op(
+                                        ProcId(q as u32),
+                                        BARRIER_ARRAY,
+                                        1,
+                                        flag_done,
+                                    );
+                                    let s = &mut states[q];
+                                    if let Status::InBarrier(a) = s.status {
+                                        s.bd.sync += wake - a;
+                                        s.time = wake;
+                                        s.status = Status::Released;
+                                        finish_time = finish_time.max(wake);
+                                    }
+                                }
+                            } else {
+                                let release = latest + Cycles(self.cfg.barrier_overhead);
+                                for s in &mut states {
+                                    if let Status::InBarrier(a) = s.status {
+                                        s.bd.sync += release - a;
+                                        s.time = release;
+                                        s.status = Status::Released;
+                                    }
+                                }
+                                finish_time = finish_time.max(release);
+                            }
+                        }
+                    }
+                    SchedDecision::Run {
+                        iter,
+                        overhead,
+                        wait,
+                    } => {
+                        {
+                            let st = &mut states[p];
+                            st.bd.busy += overhead;
+                            st.bd.sync += wait;
+                            st.time = st.time + overhead + wait;
+                            st.bd.busy += Cycles(self.cfg.iter_reset_cost);
+                            st.time += self.cfg.iter_reset_cost;
+                            st.iter = Some(iter);
+                            st.pc = 0;
+                            for r in &mut st.regs {
+                                *r = Scalar::ZERO;
+                            }
+                        }
+                        self.ms.begin_iteration(proc, iter);
+                        self.run_local(
+                            p,
+                            &mut states,
+                            &mut events,
+                            &mut exec_failure,
+                            &mut iterations,
+                        );
+                    }
+                },
+                Pending::Mem(op) => {
+                    self.issue_mem(p, op, &mut states, &mut winners, &mut exec_failure);
+                    if states[p].status == Status::Running {
+                        self.run_local(
+                            p,
+                            &mut states,
+                            &mut events,
+                            &mut exec_failure,
+                            &mut iterations,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Finalize.
+        let failure = earliest_failure(
+            if self.speculative {
+                self.ms.failure()
+            } else {
+                None
+            },
+            exec_failure,
+        );
+        let end = match failure {
+            Some((reason, at)) => {
+                let stop = at + Cycles(self.cfg.abort_latency);
+                for s in &mut states {
+                    let t_end = match s.status {
+                        Status::Aborted(x) => x.max(stop),
+                        Status::InBarrier(a) => a.max(stop),
+                        Status::Released | Status::Running => s.time.max(stop),
+                    };
+                    finish_time = finish_time.max(t_end);
+                }
+                ExecEnd::Failed { reason, at }
+            }
+            None => {
+                for s in &states {
+                    finish_time = finish_time.max(s.time);
+                }
+                ExecEnd::Completed
+            }
+        };
+
+        ExecSummary {
+            end,
+            finish_time,
+            per_proc: states.into_iter().map(|s| s.bd).collect(),
+            iterations,
+            winners,
+        }
+    }
+
+    /// Executes local instructions for `p` until the next shared action,
+    /// which is left as `pending` with an event scheduled at its time.
+    fn run_local(
+        &mut self,
+        p: usize,
+        states: &mut [PState],
+        events: &mut EventQueue<u32>,
+        exec_failure: &mut Option<(FailReason, Cycles)>,
+        iterations: &mut u64,
+    ) {
+        let program = &self.programs[p];
+        let st = &mut states[p];
+        let iter = st.iter.expect("run_local outside an iteration");
+        loop {
+            if st.pc >= program.len() {
+                *iterations += 1;
+                st.iter = None;
+                st.pending = Pending::Fetch;
+                events.push(st.time, p as u32);
+                return;
+            }
+            match program.instr(st.pc) {
+                Instr::Compute(n) => {
+                    st.bd.busy += n as u64;
+                    st.time += n as u64;
+                    st.pc += 1;
+                }
+                Instr::Mov { dst, src } => {
+                    st.regs[dst.0 as usize] = eval(&st.regs, src, iter, p as u32);
+                    st.bd.busy += 1;
+                    st.time += 1;
+                    st.pc += 1;
+                }
+                Instr::Bin { op, dst, a, b } => {
+                    let va = eval(&st.regs, a, iter, p as u32);
+                    let vb = eval(&st.regs, b, iter, p as u32);
+                    match op.apply(va, vb) {
+                        Some(v) => st.regs[dst.0 as usize] = v,
+                        None => {
+                            self.exception(st, exec_failure);
+                            return;
+                        }
+                    }
+                    st.bd.busy += 1;
+                    st.time += 1;
+                    st.pc += 1;
+                }
+                Instr::Bz { cond, target } => {
+                    let c = eval(&st.regs, cond, iter, p as u32);
+                    st.bd.busy += 1;
+                    st.time += 1;
+                    st.pc = if c.is_zero() { target } else { st.pc + 1 };
+                }
+                Instr::Bnz { cond, target } => {
+                    let c = eval(&st.regs, cond, iter, p as u32);
+                    st.bd.busy += 1;
+                    st.time += 1;
+                    st.pc = if c.is_zero() { st.pc + 1 } else { target };
+                }
+                Instr::Jmp { target } => {
+                    st.bd.busy += 1;
+                    st.time += 1;
+                    st.pc = target;
+                }
+                Instr::Load { dst, arr, idx } => {
+                    let i = eval(&st.regs, idx, iter, p as u32);
+                    let idx = match index_of(i) {
+                        Some(v) => v,
+                        None => {
+                            self.exception(st, exec_failure);
+                            return;
+                        }
+                    };
+                    st.pending = Pending::Mem(MemOp {
+                        write: false,
+                        arr,
+                        idx,
+                        dst: Some(dst),
+                        value: None,
+                    });
+                    st.pc += 1;
+                    events.push(st.time, p as u32);
+                    return;
+                }
+                Instr::Store { arr, idx, src } => {
+                    let i = eval(&st.regs, idx, iter, p as u32);
+                    let idx = match index_of(i) {
+                        Some(v) => v,
+                        None => {
+                            self.exception(st, exec_failure);
+                            return;
+                        }
+                    };
+                    let value = eval(&st.regs, src, iter, p as u32);
+                    st.pending = Pending::Mem(MemOp {
+                        write: true,
+                        arr,
+                        idx,
+                        dst: None,
+                        value: Some(value),
+                    });
+                    st.pc += 1;
+                    events.push(st.time, p as u32);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn issue_mem(
+        &mut self,
+        p: usize,
+        op: MemOp,
+        states: &mut [PState],
+        winners: &mut HashMap<(ArrayId, u64), (u64, Scalar)>,
+        exec_failure: &mut Option<(FailReason, Cycles)>,
+    ) {
+        let proc = ProcId(p as u32);
+        let st = &mut states[p];
+        let t = st.time;
+        let iter = st.iter.expect("memory op outside an iteration");
+        let phys = self.physical(op.arr, proc);
+        if op.write {
+            let out = self.ms.write(proc, op.arr, op.idx, t);
+            if let Some(range) = out.read_in.clone() {
+                for e in range {
+                    let v = (self.image_reader)(self.image, op.arr, e);
+                    self.image.write(phys, e, v);
+                }
+            }
+            let value = op.value.expect("store carries a value");
+            self.image.write(phys, op.idx, value);
+            if let Some(&logical) = self.copy_out_track.get(&phys) {
+                let entry = winners.entry((logical, op.idx)).or_insert((0, value));
+                if iter + 1 >= entry.0 {
+                    *entry = (iter + 1, value);
+                }
+            }
+            st.bd.busy += 1;
+            st.time += 1;
+            // Retire completed stores; stall if the buffer is full.
+            while let Some(&Reverse(c)) = st.wb.peek() {
+                if Cycles(c) <= st.time {
+                    st.wb.pop();
+                } else {
+                    break;
+                }
+            }
+            while st.wb.len() >= self.cfg.write_buffer {
+                let Reverse(c) = st.wb.pop().expect("nonempty");
+                let c = Cycles(c);
+                if c > st.time {
+                    st.bd.mem += c - st.time;
+                    st.time = c;
+                }
+            }
+            st.wb.push(Reverse(out.complete_at.raw()));
+        } else {
+            let out = self.ms.read(proc, op.arr, op.idx, t);
+            if let Some(range) = out.read_in.clone() {
+                for e in range {
+                    let v = (self.image_reader)(self.image, op.arr, e);
+                    self.image.write(phys, e, v);
+                }
+            }
+            let value = (self.image_reader)(self.image, phys, op.idx);
+            st.regs[op.dst.expect("load has a destination").0 as usize] = value;
+            st.bd.busy += 1;
+            let done = out.complete_at.max(t + Cycles(1));
+            st.bd.mem += done - (t + Cycles(1));
+            st.time = done;
+        }
+        // Exceptions are only raised by instruction semantics; memory ops
+        // themselves cannot fail functionally.
+        let _ = exec_failure;
+    }
+
+    fn physical(&self, arr: ArrayId, proc: ProcId) -> ArrayId {
+        if self.route_priv && self.ms.plan().kind_of(arr).is_privatized() {
+            private_copy_id(arr, proc)
+        } else {
+            arr
+        }
+    }
+
+    fn exception(&self, st: &mut PState, exec_failure: &mut Option<(FailReason, Cycles)>) {
+        assert!(
+            self.speculative,
+            "execution exception in a non-speculative phase (pc {}, time {})",
+            st.pc, st.time
+        );
+        let at = st.time;
+        match exec_failure {
+            Some((_, tf)) if *tf <= at => {}
+            _ => *exec_failure = Some((FailReason::Exception, at)),
+        }
+        st.status = Status::Aborted(at);
+    }
+}
+
+fn eval(regs: &[Scalar], op: Operand, iter: u64, proc: u32) -> Scalar {
+    match op {
+        Operand::Reg(Reg(r)) => regs[r as usize],
+        Operand::ImmI(v) => Scalar::Int(v),
+        Operand::ImmF(v) => Scalar::Float(v),
+        Operand::Iter => Scalar::Int(iter as i64),
+        Operand::ProcId => Scalar::Int(proc as i64),
+    }
+}
+
+fn index_of(v: Scalar) -> Option<u64> {
+    match v {
+        Scalar::Int(i) if i >= 0 => Some(i as u64),
+        _ => None,
+    }
+}
+
+fn drain_write_buffer(st: &mut PState) {
+    while let Some(Reverse(c)) = st.wb.pop() {
+        let c = Cycles(c);
+        if c > st.time {
+            st.bd.mem += c - st.time;
+            st.time = c;
+        }
+    }
+}
+
+fn earliest_failure(
+    a: Option<(FailReason, Cycles)>,
+    b: Option<(FailReason, Cycles)>,
+) -> Option<(FailReason, Cycles)> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(if x.1 <= y.1 { x } else { y }),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specrt_cache::CacheConfig;
+    use specrt_ir::{BinOp, ProgramBuilder};
+    use specrt_mem::{ElemSize, MemoryImage, PlacementPolicy};
+    use specrt_proto::MemSystemConfig;
+    use specrt_spec::{IterationNumbering, ProtocolKind, TestPlan};
+
+    use crate::sched::StaticChunked;
+
+    const A: ArrayId = ArrayId(0);
+
+    fn machine(procs: u32) -> (MachineConfig, MemSystem) {
+        let cfg = MachineConfig {
+            mem: MemSystemConfig {
+                procs,
+                cache: CacheConfig {
+                    l1_lines: 32,
+                    l2_lines: 128,
+                },
+                ..MemSystemConfig::default()
+            },
+            ..MachineConfig::default()
+        };
+        let ms = MemSystem::new(cfg.mem);
+        (cfg, ms)
+    }
+
+    fn store_iter_body() -> Program {
+        // A[iter] = iter
+        let mut b = ProgramBuilder::new();
+        b.store(A, Operand::Iter, Operand::Iter);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn parallel_store_loop_completes_and_writes_all() {
+        let (cfg, mut ms) = machine(2);
+        ms.alloc_array(A, 64, ElemSize::W8, PlacementPolicy::RoundRobin);
+        ms.configure_loop(TestPlan::new(), IterationNumbering::iteration_wise());
+        let mut image = MemoryImage::new();
+        image.register(A, 64);
+        let mut sched = StaticChunked::new(64, 2, cfg.sched_static_overhead);
+        let body = store_iter_body();
+        let summary = Executor::new(
+            &cfg,
+            &mut ms,
+            &mut image,
+            vec![body.clone(), body],
+            &mut sched,
+        )
+        .run();
+        assert_eq!(summary.end, ExecEnd::Completed);
+        assert_eq!(summary.iterations, 64);
+        for i in 0..64u64 {
+            assert_eq!(image.read(A, i), Scalar::Int(i as i64), "A[{i}]");
+        }
+        assert!(summary.finish_time > Cycles::ZERO);
+        assert_eq!(summary.per_proc.len(), 2);
+        // Both processors did work and synchronized at the barrier.
+        assert!(summary.per_proc.iter().all(|b| b.busy > Cycles::ZERO));
+    }
+
+    #[test]
+    fn parallel_execution_is_faster_than_serial() {
+        // 1-processor machine (all data local).
+        let (cfg1, mut ms1) = machine(1);
+        ms1.alloc_array(
+            A,
+            128,
+            ElemSize::W8,
+            PlacementPolicy::Local(specrt_mem::NodeId(0)),
+        );
+        ms1.configure_loop(TestPlan::new(), IterationNumbering::iteration_wise());
+        let mut img1 = MemoryImage::new();
+        img1.register(A, 128);
+        let mut sched1 = StaticChunked::new(128, 1, cfg1.sched_static_overhead);
+        let body = store_iter_body();
+        let serial =
+            Executor::new(&cfg1, &mut ms1, &mut img1, vec![body.clone()], &mut sched1).run();
+
+        let (cfg4, mut ms4) = machine(4);
+        ms4.alloc_array(A, 128, ElemSize::W8, PlacementPolicy::RoundRobin);
+        ms4.configure_loop(TestPlan::new(), IterationNumbering::iteration_wise());
+        let mut img4 = MemoryImage::new();
+        img4.register(A, 128);
+        let mut sched4 = StaticChunked::new(128, 4, cfg4.sched_static_overhead);
+        let par = Executor::new(
+            &cfg4,
+            &mut ms4,
+            &mut img4,
+            vec![body.clone(), body.clone(), body.clone(), body],
+            &mut sched4,
+        )
+        .run();
+        assert!(
+            par.finish_time < serial.finish_time,
+            "parallel {} vs serial {}",
+            par.finish_time,
+            serial.finish_time
+        );
+        assert!(img1.same_contents(&img4, &[A]));
+    }
+
+    #[test]
+    fn speculative_conflict_aborts_early() {
+        // All iterations write A[0]: under the non-privatization test two
+        // processors collide and the run must abort.
+        let (cfg, mut ms) = machine(2);
+        ms.alloc_array(A, 64, ElemSize::W8, PlacementPolicy::RoundRobin);
+        let mut plan = TestPlan::new();
+        plan.set(A, ProtocolKind::NonPriv);
+        ms.configure_loop(plan, IterationNumbering::iteration_wise());
+        let mut image = MemoryImage::new();
+        image.register(A, 64);
+        let mut b = ProgramBuilder::new();
+        b.store(A, Operand::ImmI(0), Operand::Iter);
+        let body = b.build().unwrap();
+        let mut sched = StaticChunked::new(64, 2, cfg.sched_static_overhead);
+        let summary = Executor::new(
+            &cfg,
+            &mut ms,
+            &mut image,
+            vec![body.clone(), body],
+            &mut sched,
+        )
+        .speculative(true)
+        .run();
+        match summary.end {
+            ExecEnd::Failed { at, .. } => {
+                assert!(summary.iterations < 64, "must abort before completing");
+                assert!(summary.finish_time >= at);
+            }
+            ExecEnd::Completed => panic!("conflicting loop must fail"),
+        }
+    }
+
+    #[test]
+    fn privatized_routing_keeps_shared_array_clean() {
+        let (cfg, mut ms) = machine(2);
+        ms.alloc_array(A, 16, ElemSize::W8, PlacementPolicy::RoundRobin);
+        let mut plan = TestPlan::new();
+        plan.set(
+            A,
+            ProtocolKind::Priv {
+                read_in: true,
+                copy_out: true,
+            },
+        );
+        ms.configure_loop(plan, IterationNumbering::iteration_wise());
+        let mut image = MemoryImage::new();
+        image.register(A, 16);
+        for p in 0..2 {
+            image.register(private_copy_id(A, ProcId(p)), 16);
+        }
+        // Every iteration writes A[0] then reads it: privatizable.
+        let mut b = ProgramBuilder::new();
+        b.store(A, Operand::ImmI(0), Operand::Iter);
+        let v = b.load(A, Operand::ImmI(0));
+        b.binop(BinOp::Add, Operand::Reg(v), Operand::ImmI(1));
+        let body = b.build().unwrap();
+        let mut sched = StaticChunked::new(8, 2, cfg.sched_static_overhead);
+        let summary = Executor::new(
+            &cfg,
+            &mut ms,
+            &mut image,
+            vec![body.clone(), body],
+            &mut sched,
+        )
+        .speculative(true)
+        .route_privatized(true)
+        .track_copy_out(private_copy_id(A, ProcId(0)), A)
+        .track_copy_out(private_copy_id(A, ProcId(1)), A)
+        .run();
+        assert_eq!(summary.end, ExecEnd::Completed);
+        // Shared copy untouched during the loop.
+        assert_eq!(image.read(A, 0), Scalar::ZERO);
+        // The winner is the last iteration (7, stamp 8) on processor 1.
+        assert_eq!(summary.winners[&(A, 0)], (8, Scalar::Int(7)));
+    }
+
+    #[test]
+    fn exception_in_speculative_run_fails() {
+        let (cfg, mut ms) = machine(2);
+        ms.alloc_array(A, 8, ElemSize::W8, PlacementPolicy::RoundRobin);
+        ms.configure_loop(TestPlan::new(), IterationNumbering::iteration_wise());
+        let mut image = MemoryImage::new();
+        image.register(A, 8);
+        // Divide by zero on iteration 3.
+        let mut b = ProgramBuilder::new();
+        let d = b.binop(BinOp::CmpEq, Operand::Iter, Operand::ImmI(3));
+        let ok = b.label();
+        b.bz(Operand::Reg(d), ok);
+        b.binop(BinOp::Div, Operand::ImmI(1), Operand::ImmI(0));
+        b.bind(ok);
+        b.store(A, Operand::Iter, Operand::Iter);
+        let body = b.build().unwrap();
+        let mut sched = StaticChunked::new(8, 2, cfg.sched_static_overhead);
+        let summary = Executor::new(
+            &cfg,
+            &mut ms,
+            &mut image,
+            vec![body.clone(), body],
+            &mut sched,
+        )
+        .speculative(true)
+        .run();
+        assert!(matches!(
+            summary.end,
+            ExecEnd::Failed {
+                reason: FailReason::Exception,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "exception in a non-speculative phase")]
+    fn exception_in_serial_run_panics() {
+        let (cfg, mut ms) = machine(1);
+        ms.alloc_array(A, 8, ElemSize::W8, PlacementPolicy::RoundRobin);
+        ms.configure_loop(TestPlan::new(), IterationNumbering::iteration_wise());
+        let mut image = MemoryImage::new();
+        image.register(A, 8);
+        let mut b = ProgramBuilder::new();
+        b.binop(BinOp::Div, Operand::ImmI(1), Operand::ImmI(0));
+        let body = b.build().unwrap();
+        let mut sched = StaticChunked::new(1, 1, cfg.sched_static_overhead);
+        let _ = Executor::new(&cfg, &mut ms, &mut image, vec![body], &mut sched).run();
+    }
+
+    #[test]
+    fn mem_time_reflects_misses() {
+        let (cfg, mut ms) = machine(1);
+        ms.alloc_array(
+            A,
+            1024,
+            ElemSize::W8,
+            PlacementPolicy::Local(specrt_mem::NodeId(0)),
+        );
+        ms.configure_loop(TestPlan::new(), IterationNumbering::iteration_wise());
+        let mut image = MemoryImage::new();
+        image.register(A, 1024);
+        // Strided reads: every iteration touches a new line.
+        let mut b = ProgramBuilder::new();
+        let i8 = b.binop(BinOp::Mul, Operand::Iter, Operand::ImmI(8));
+        b.load(A, Operand::Reg(i8));
+        let body = b.build().unwrap();
+        let mut sched = StaticChunked::new(128, 1, cfg.sched_static_overhead);
+        let summary = Executor::new(&cfg, &mut ms, &mut image, vec![body], &mut sched).run();
+        let bd = summary.per_proc[0];
+        assert!(
+            bd.mem > bd.busy,
+            "cold strided reads should be memory-bound: {bd}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod accounting_tests {
+    use super::*;
+    use specrt_cache::CacheConfig;
+    use specrt_ir::{BinOp, ProgramBuilder};
+    use specrt_mem::{ElemSize, MemoryImage, PlacementPolicy};
+    use specrt_proto::MemSystemConfig;
+    use specrt_spec::{IterationNumbering, TestPlan};
+
+    use crate::config::MachineConfig;
+    use crate::sched::{DynamicSelf, StaticChunked};
+
+    const A: ArrayId = ArrayId(0);
+
+    /// The Busy/Sync/Mem decomposition is *complete*: for a completed run,
+    /// every processor's components sum exactly to the wall-clock span
+    /// (barrier release time minus start). No cycle is lost or
+    /// double-counted — this is what makes the Figure 12 bars meaningful.
+    #[test]
+    fn breakdown_is_exhaustive_for_every_processor() {
+        for (procs, dynamic) in [(1u32, false), (4, false), (4, true)] {
+            let cfg = MachineConfig {
+                mem: MemSystemConfig {
+                    procs,
+                    cache: CacheConfig {
+                        l1_lines: 16,
+                        l2_lines: 64,
+                    },
+                    ..MemSystemConfig::default()
+                },
+                ..MachineConfig::default()
+            };
+            let mut ms = MemSystem::new(cfg.mem);
+            ms.alloc_array(A, 256, ElemSize::W8, PlacementPolicy::RoundRobin);
+            ms.configure_loop(TestPlan::new(), IterationNumbering::iteration_wise());
+            let mut image = MemoryImage::new();
+            image.register(A, 256);
+            // A mixed body: loads, stores, ALU, a data-dependent branch.
+            let mut b = ProgramBuilder::new();
+            let v = b.load(A, Operand::Iter);
+            let c = b.binop(BinOp::CmpLt, Operand::Iter, Operand::ImmI(64));
+            let skip = b.label();
+            b.bz(Operand::Reg(c), skip);
+            let v2 = b.binop(BinOp::FAdd, Operand::Reg(v), Operand::ImmF(1.0));
+            b.store(A, Operand::Iter, Operand::Reg(v2));
+            b.bind(skip);
+            b.compute(13);
+            let body = b.build().unwrap();
+
+            let start = Cycles(777);
+            let mut s_static;
+            let mut s_dyn;
+            let sched: &mut dyn crate::sched::Scheduler = if dynamic {
+                s_dyn = DynamicSelf::new(128, procs, 4, cfg.sched_lock_hold, 2);
+                &mut s_dyn
+            } else {
+                s_static = StaticChunked::new(128, procs, 2);
+                &mut s_static
+            };
+            let summary =
+                Executor::new(&cfg, &mut ms, &mut image, vec![body; procs as usize], sched)
+                    .starting_at(start)
+                    .run();
+            assert_eq!(summary.end, ExecEnd::Completed);
+            let span = summary.finish_time - start;
+            for (p, bd) in summary.per_proc.iter().enumerate() {
+                assert_eq!(
+                    bd.total(),
+                    span,
+                    "proc {p} (procs={procs}, dynamic={dynamic}): {bd} vs span {span}"
+                );
+            }
+        }
+    }
+}

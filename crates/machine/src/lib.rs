@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # specrt-machine
+//!
+//! The simulated CC-NUMA multiprocessor: in-order processors interpreting
+//! IR loop bodies, iteration schedulers, synchronization, and the scenario
+//! driver that reproduces the paper's four execution modes.
+//!
+//! * [`config`] — machine-level constants (write buffer depth, barrier and
+//!   scheduling overheads, abort latency);
+//! * [`sched`] — iteration schedulers: static chunking, block-cyclic, and
+//!   lock-based dynamic self-scheduling (§5.2's workloads need all three);
+//! * [`loopspec`] — [`LoopSpec`](loopspec::LoopSpec), the full description
+//!   of one speculatively-parallelized loop: body, arrays, test plan,
+//!   scheduling, liveness;
+//! * [`exec`] — the event-driven executor: runs one parallel (or serial)
+//!   loop on the machine, interleaving processors in virtual time,
+//!   modelling write buffers, barrier waits, and speculative aborts;
+//! * [`scenario`] — the paper's four scenarios: `Serial`, `Ideal`
+//!   (doall without tests), `SW` (software LRPD with instrumented marking,
+//!   merging and analysis phases) and `HW` (the proposed hardware scheme),
+//!   including backup/restore and serial re-execution on failure.
+
+pub mod config;
+pub mod exec;
+pub mod loopspec;
+pub mod scenario;
+pub mod sched;
+
+pub use config::MachineConfig;
+pub use exec::{ExecEnd, ExecSummary, Executor, BARRIER_ARRAY};
+pub use loopspec::{ArrayDecl, LoopSpec, ScheduleKind};
+pub use scenario::{run_scenario, run_scenario_configured, RunResult, Scenario, SwVariant};
+pub use sched::{
+    BlockCyclic, DynamicSelf, Replicated, SchedDecision, Scheduler, StaticChunked, Windowed,
+};

@@ -1,0 +1,1432 @@
+//! The paper's four execution scenarios (§6): `Serial`, `Ideal`, `SW`
+//! (software LRPD) and `HW` (the proposed hardware scheme).
+//!
+//! Each scenario is a sequence of *phases* run on the simulated machine;
+//! every phase is an executor run whose time and Busy/Sync/Mem breakdown
+//! accumulate into the result:
+//!
+//! * **Serial** — all iterations on one processor, all data local (§6:
+//!   "the uniprocessor execution of the loop, where all the data is
+//!   allocated in the memory local to the processor").
+//! * **Ideal** — the doall without any tests: privatized arrays still use
+//!   private copies (the compiler privatized them) but no dependence test
+//!   runs and no update messages are sent.
+//! * **SW** — backup → shadow zero-out → marking loop (instrumented
+//!   per-processor bodies) → merging-analysis loop → outcome; on failure,
+//!   restore + serial re-execution; on success, copy-out of live
+//!   privatized arrays.
+//! * **HW** — backup → speculative loop under the protocol extensions with
+//!   immediate abort on FAIL; on failure, restore + serial re-execution;
+//!   on success, copy-out.
+//!
+//! Serial re-execution is modelled on a one-processor machine with local
+//! data, matching the paper's accounting ("the HW execution time includes
+//! the parallel execution up to when the dependence is detected … plus the
+//! Serial time", §6.2).
+
+use specrt_engine::{Cycles, StatSet, TimeBreakdown};
+use specrt_ir::{ArrayId, Program, Scalar};
+use specrt_lrpd::phases::{
+    copy_body_region, merge_analysis_body, merge_analysis_body_bitmap, reduction_body,
+    zero_shadow_body, zero_shadow_body_bitmap,
+};
+use specrt_lrpd::shadow::{CNT_ATM, CNT_ATW, CNT_BAD_NP, CNT_BAD_WR, CNT_LEN};
+use specrt_lrpd::{instrument_for_proc, sw_private_copy_id, InstrumentConfig, ShadowIds};
+use specrt_mem::{ArrayBackup, ElemSize, MemoryImage, NodeId, PlacementPolicy, ProcId};
+use specrt_proto::{private_copy_id, MemSystem};
+use specrt_spec::{IterationNumbering, ProtocolKind, TestPlan};
+
+use crate::config::MachineConfig;
+use crate::exec::{ExecEnd, Executor};
+use crate::loopspec::{LoopSpec, ScheduleKind};
+use crate::sched::{BlockCyclic, DynamicSelf, Replicated, Scheduler, StaticChunked};
+
+/// Reserved id bit for backup copies.
+const BACKUP_BASE: u32 = 0x1000_0000;
+/// Reserved id bit for copy-out timing scratch arrays.
+const SCRATCH_BASE: u32 = 0x0800_0000;
+/// Reserved id bit for the software scheme's global reduction flags.
+const REDUCE_BASE: u32 = 0x0400_0000;
+
+fn backup_id(arr: ArrayId) -> ArrayId {
+    ArrayId(BACKUP_BASE | arr.0)
+}
+
+fn scratch_id(arr: ArrayId) -> ArrayId {
+    ArrayId(SCRATCH_BASE | arr.0)
+}
+
+fn reduce_id(arr: ArrayId) -> ArrayId {
+    ArrayId(REDUCE_BASE | arr.0)
+}
+
+/// Which software-test granularity to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwVariant {
+    /// Iteration-wise stamps, any scheduling.
+    IterationWise,
+    /// Processor-wise (1-bit) test: stamps collapse to the processor's
+    /// chunk; requires static contiguous scheduling (§2.2.3).
+    ProcessorWise,
+}
+
+/// An execution scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Uniprocessor, local data, no tests.
+    Serial,
+    /// Doall without tests (upper bound).
+    Ideal,
+    /// Software LRPD test.
+    Sw(SwVariant),
+    /// Hardware speculation protocols.
+    Hw,
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scenario::Serial => write!(f, "Serial"),
+            Scenario::Ideal => write!(f, "Ideal"),
+            Scenario::Sw(SwVariant::IterationWise) => write!(f, "SW(iter)"),
+            Scenario::Sw(SwVariant::ProcessorWise) => write!(f, "SW(proc)"),
+            Scenario::Hw => write!(f, "HW"),
+        }
+    }
+}
+
+/// Result of running a loop under one scenario.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Scenario run.
+    pub scenario: Scenario,
+    /// Loop name.
+    pub name: String,
+    /// End-to-end wall-clock cycles, including all phases (and serial
+    /// re-execution if the test failed).
+    pub total_cycles: Cycles,
+    /// Average per-processor Busy/Sync/Mem decomposition over all phases.
+    pub breakdown: TimeBreakdown,
+    /// Whether the run-time test passed (`None` for Serial/Ideal).
+    pub passed: Option<bool>,
+    /// Failure description if the test failed.
+    pub failure: Option<String>,
+    /// Iterations executed speculatively (before any abort).
+    pub iterations: u64,
+    /// Final contents of the loop's arrays (for correctness checks).
+    pub final_image: MemoryImage,
+    /// Protocol statistics (HW/Ideal runs).
+    pub stats: StatSet,
+}
+
+impl RunResult {
+    /// Speedup of this run relative to a serial run of the same loop.
+    pub fn speedup_over(&self, serial: &RunResult) -> f64 {
+        serial.total_cycles.raw() as f64 / self.total_cycles.raw() as f64
+    }
+}
+
+struct Accum {
+    per_proc: Vec<TimeBreakdown>,
+    now: Cycles,
+}
+
+impl Accum {
+    fn new(procs: usize) -> Self {
+        Accum {
+            per_proc: vec![TimeBreakdown::new(); procs],
+            now: Cycles::ZERO,
+        }
+    }
+
+    fn absorb(&mut self, summary: &crate::exec::ExecSummary) {
+        for (acc, bd) in self.per_proc.iter_mut().zip(&summary.per_proc) {
+            *acc = acc.merged(bd);
+        }
+        self.now = self.now.max(summary.finish_time);
+    }
+
+    fn average(&self) -> TimeBreakdown {
+        let n = self.per_proc.len().max(1) as u64;
+        self.per_proc
+            .iter()
+            .fold(TimeBreakdown::new(), |a, b| a.merged(b))
+            .scaled(1, n)
+    }
+}
+
+fn make_sched(
+    kind: ScheduleKind,
+    total: u64,
+    procs: u32,
+    cfg: &MachineConfig,
+) -> Box<dyn Scheduler> {
+    match kind {
+        ScheduleKind::Static => {
+            Box::new(StaticChunked::new(total, procs, cfg.sched_static_overhead))
+        }
+        ScheduleKind::BlockCyclic { block } => Box::new(BlockCyclic::new(
+            total,
+            procs,
+            block,
+            cfg.sched_static_overhead,
+        )),
+        ScheduleKind::Dynamic { block } => Box::new(DynamicSelf::new(
+            total,
+            procs,
+            block,
+            cfg.sched_lock_hold,
+            cfg.sched_static_overhead,
+        )),
+    }
+}
+
+/// Allocates and registers the loop's arrays on a machine.
+fn setup_arrays(spec: &LoopSpec, ms: &mut MemSystem, image: &mut MemoryImage, local: bool) {
+    for a in &spec.arrays {
+        let policy = if local {
+            PlacementPolicy::Local(NodeId(0))
+        } else {
+            PlacementPolicy::RoundRobin
+        };
+        ms.alloc_array(a.id, a.len, a.elem, policy);
+        image.register_with(a.id, a.padded_init());
+    }
+    // Synchronization infrastructure: barrier counter + sense flag.
+    ms.alloc_array(
+        crate::exec::BARRIER_ARRAY,
+        2,
+        ElemSize::W8,
+        PlacementPolicy::Local(NodeId(0)),
+    );
+    image.register(crate::exec::BARRIER_ARRAY, 2);
+}
+
+/// Runs `spec` under `scenario` on a `procs`-processor machine.
+///
+/// # Panics
+///
+/// Panics on malformed specs (undeclared arrays, invalid programs) — these
+/// are construction bugs, not run-time conditions.
+pub fn run_scenario(spec: &LoopSpec, scenario: Scenario, procs: u32) -> RunResult {
+    run_scenario_configured(spec, scenario, MachineConfig::with_procs(procs))
+}
+
+/// [`run_scenario`] with an explicit machine configuration (cache geometry,
+/// latencies, write-buffer depth, …). The `Serial` scenario and any serial
+/// re-execution use the same configuration with one processor.
+pub fn run_scenario_configured(
+    spec: &LoopSpec,
+    scenario: Scenario,
+    cfg: MachineConfig,
+) -> RunResult {
+    match scenario {
+        Scenario::Serial => run_serial(spec, cfg),
+        Scenario::Ideal => run_ideal(spec, cfg),
+        Scenario::Hw => run_hw(spec, cfg),
+        Scenario::Sw(variant) => run_sw(spec, cfg, variant),
+    }
+}
+
+fn single_proc(mut cfg: MachineConfig) -> MachineConfig {
+    cfg.mem.procs = 1;
+    cfg
+}
+
+// ----------------------------------------------------------------------
+// Serial
+// ----------------------------------------------------------------------
+
+fn run_serial(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
+    let cfg = single_proc(cfg);
+    let mut ms = MemSystem::new(cfg.mem);
+    let mut image = MemoryImage::new();
+    setup_arrays(spec, &mut ms, &mut image, true);
+    ms.configure_loop(TestPlan::new(), IterationNumbering::iteration_wise());
+    let mut sched = StaticChunked::new(spec.iters, 1, cfg.sched_static_overhead);
+    let summary = Executor::new(
+        &cfg,
+        &mut ms,
+        &mut image,
+        vec![spec.body.clone()],
+        &mut sched,
+    )
+    .run();
+    assert_eq!(
+        summary.end,
+        ExecEnd::Completed,
+        "serial execution cannot fail"
+    );
+    RunResult {
+        scenario: Scenario::Serial,
+        name: spec.name.clone(),
+        total_cycles: summary.finish_time,
+        breakdown: summary.per_proc[0],
+        passed: None,
+        failure: None,
+        iterations: summary.iterations,
+        final_image: image,
+        stats: ms.stats().clone(),
+    }
+}
+
+/// Serial re-execution after a failed speculation: runs the loop on a
+/// fresh one-processor machine starting from `restored` contents, and
+/// copies the results back.
+fn serial_reexec(
+    spec: &LoopSpec,
+    restored: &MemoryImage,
+    cfg: MachineConfig,
+) -> (Cycles, TimeBreakdown, MemoryImage) {
+    let cfg = single_proc(cfg);
+    let mut ms = MemSystem::new(cfg.mem);
+    let mut image = MemoryImage::new();
+    for a in &spec.arrays {
+        ms.alloc_array(a.id, a.len, a.elem, PlacementPolicy::Local(NodeId(0)));
+        image.register_with(a.id, restored.contents(a.id));
+    }
+    ms.alloc_array(
+        crate::exec::BARRIER_ARRAY,
+        2,
+        ElemSize::W8,
+        PlacementPolicy::Local(NodeId(0)),
+    );
+    image.register(crate::exec::BARRIER_ARRAY, 2);
+    ms.configure_loop(TestPlan::new(), IterationNumbering::iteration_wise());
+    let mut sched = StaticChunked::new(spec.iters, 1, cfg.sched_static_overhead);
+    let summary = Executor::new(
+        &cfg,
+        &mut ms,
+        &mut image,
+        vec![spec.body.clone()],
+        &mut sched,
+    )
+    .run();
+    assert_eq!(summary.end, ExecEnd::Completed, "re-execution cannot fail");
+    (summary.finish_time, summary.per_proc[0], image)
+}
+
+// ----------------------------------------------------------------------
+// Ideal
+// ----------------------------------------------------------------------
+
+fn run_ideal(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
+    let procs = cfg.procs();
+    let mut ms = MemSystem::new(cfg.mem);
+    let mut image = MemoryImage::new();
+    setup_arrays(spec, &mut ms, &mut image, false);
+
+    // Privatized arrays keep their data path; non-privatized tested arrays
+    // revert to plain coherence; no test runs at all.
+    let mut plan = TestPlan::new();
+    for (arr, kind) in spec.plan.arrays_under_test() {
+        if kind.is_privatized() {
+            plan.set(arr, kind);
+        }
+    }
+    let priv_arrays = plan.priv_arrays();
+    ms.configure_loop(plan, spec.numbering);
+    ms.set_test_enabled(false);
+    for &arr in &priv_arrays {
+        for p in 0..procs {
+            image.register(private_copy_id(arr, ProcId(p)), spec.array(arr).len);
+        }
+    }
+    // Scratch arrays for copy-out timing.
+    let live_priv: Vec<ArrayId> = spec
+        .live_after
+        .iter()
+        .copied()
+        .filter(|a| priv_arrays.contains(a))
+        .collect();
+    for &arr in &live_priv {
+        let decl = spec.array(arr);
+        ms.alloc_array(
+            scratch_id(arr),
+            decl.len,
+            decl.elem,
+            PlacementPolicy::RoundRobin,
+        );
+        image.register(scratch_id(arr), decl.len);
+    }
+
+    let mut accum = Accum::new(procs as usize);
+    let mut sched = make_sched(spec.schedule, spec.iters, procs, &cfg);
+    let mut exec = Executor::new(
+        &cfg,
+        &mut ms,
+        &mut image,
+        vec![spec.body.clone(); procs as usize],
+        sched.as_mut(),
+    )
+    .route_privatized(true);
+    for &arr in &priv_arrays {
+        for p in 0..procs {
+            exec = exec.track_copy_out(private_copy_id(arr, ProcId(p)), arr);
+        }
+    }
+    let summary = exec.run();
+    assert_eq!(summary.end, ExecEnd::Completed, "ideal run cannot fail");
+    accum.absorb(&summary);
+
+    copy_out_phase(
+        spec,
+        &cfg,
+        &mut ms,
+        &mut image,
+        &mut accum,
+        &live_priv,
+        &summary.winners,
+        true,
+    );
+
+    RunResult {
+        scenario: Scenario::Ideal,
+        name: spec.name.clone(),
+        total_cycles: accum.now,
+        breakdown: accum.average(),
+        passed: None,
+        failure: None,
+        iterations: summary.iterations,
+        final_image: image,
+        stats: ms.stats().clone(),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Shared phases
+// ----------------------------------------------------------------------
+
+/// Runs a copy loop `dst[off+e] = src[off+e]` over `len` elements in
+/// parallel.
+fn copy_phase(
+    cfg: &MachineConfig,
+    ms: &mut MemSystem,
+    image: &mut MemoryImage,
+    accum: &mut Accum,
+    src: ArrayId,
+    dst: ArrayId,
+    region: (u64, u64),
+) {
+    let (off, len) = region;
+    let procs = ms.procs();
+    let body = copy_body_region(src, dst, off);
+    let mut sched = StaticChunked::new(len, procs, cfg.sched_static_overhead);
+    let summary = Executor::new(cfg, ms, image, vec![body; procs as usize], &mut sched)
+        .starting_at(accum.now)
+        .run();
+    assert_eq!(summary.end, ExecEnd::Completed);
+    accum.absorb(&summary);
+}
+
+/// The backup phase. Densely-backed arrays are copied up front; sparsely-
+/// backed arrays (§2.2.1's save-on-first-write) cost nothing here — the
+/// hardware/software saves each element's old value alongside its first
+/// write, which our model folds into the write itself — and are captured
+/// functionally for the restore path.
+///
+/// Returns `(dense arrays, sparse arrays, functional snapshot of sparse)`.
+fn backup_phase(
+    spec: &LoopSpec,
+    cfg: &MachineConfig,
+    ms: &mut MemSystem,
+    image: &mut MemoryImage,
+    accum: &mut Accum,
+) -> (Vec<ArrayId>, Vec<ArrayId>, ArrayBackup) {
+    let mut dense = Vec::new();
+    let mut sparse = Vec::new();
+    for arr in spec.backup_arrays() {
+        if spec.array(arr).sparse_backup {
+            sparse.push(arr);
+        } else {
+            dense.push(arr);
+        }
+    }
+    for &arr in &dense {
+        let decl = spec.array(arr);
+        copy_phase(
+            cfg,
+            ms,
+            image,
+            accum,
+            arr,
+            backup_id(arr),
+            decl.backup_elems(),
+        );
+    }
+    let snapshot = image.snapshot(&sparse);
+    (dense, sparse, snapshot)
+}
+
+/// The restore phase: dense arrays copy their backup region back; sparse
+/// arrays restore only the elements that were actually written (counts
+/// taken from the executor's write tracking).
+#[allow(clippy::too_many_arguments)]
+fn restore_phase(
+    spec: &LoopSpec,
+    cfg: &MachineConfig,
+    ms: &mut MemSystem,
+    image: &mut MemoryImage,
+    accum: &mut Accum,
+    dense: &[ArrayId],
+    sparse_counts: &[(ArrayId, u64)],
+    sparse_snapshot: &ArrayBackup,
+) {
+    for &arr in dense {
+        let decl = spec.array(arr);
+        copy_phase(
+            cfg,
+            ms,
+            image,
+            accum,
+            backup_id(arr),
+            arr,
+            decl.backup_elems(),
+        );
+    }
+    for &(arr, count) in sparse_counts {
+        if count > 0 {
+            // Timing: copy `count` saved elements back; functionally the
+            // snapshot below reinstates the exact old values.
+            copy_phase(cfg, ms, image, accum, backup_id(arr), arr, (0, count));
+        }
+    }
+    image.restore(sparse_snapshot);
+}
+
+/// Elements of `arr` recorded as written in the executor's tracking map.
+fn written_count(
+    winners: &std::collections::HashMap<(ArrayId, u64), (u64, Scalar)>,
+    arr: ArrayId,
+) -> u64 {
+    winners.keys().filter(|(a, _)| *a == arr).count() as u64
+}
+
+/// The copy-out phase: timed as a parallel copy of each live privatized
+/// array; functionally, the tracked last-writer values are applied.
+#[allow(clippy::too_many_arguments)]
+fn copy_out_phase(
+    spec: &LoopSpec,
+    cfg: &MachineConfig,
+    ms: &mut MemSystem,
+    image: &mut MemoryImage,
+    accum: &mut Accum,
+    live_priv: &[ArrayId],
+    winners: &std::collections::HashMap<(ArrayId, u64), (u64, Scalar)>,
+    hw_private_src: bool,
+) {
+    for &arr in live_priv {
+        let decl = spec.array(arr);
+        // Timing: each processor copies its slice from its own private copy
+        // into a scratch array with the same distribution as the original;
+        // functionally the last-writer values are applied below, so the
+        // scratch contents are snapshot-restored.
+        let snapshot = image.contents(scratch_id(arr));
+        let src = if hw_private_src {
+            private_copy_id(arr, ProcId(0))
+        } else {
+            sw_private_copy_id(arr, ProcId(0))
+        };
+        copy_phase(cfg, ms, image, accum, src, scratch_id(arr), (0, decl.len));
+        image.set_contents(scratch_id(arr), snapshot);
+        for (&(warr, idx), &(_, value)) in winners {
+            if warr == arr {
+                image.write(arr, idx, value);
+            }
+        }
+    }
+}
+
+/// Registers backup and scratch allocations used by the speculative
+/// scenarios. Returns `(backup arrays, live privatized arrays)`.
+fn setup_speculative_storage(
+    spec: &LoopSpec,
+    ms: &mut MemSystem,
+    image: &mut MemoryImage,
+) -> (Vec<ArrayId>, Vec<ArrayId>) {
+    let backups = spec.backup_arrays();
+    for &arr in &backups {
+        let decl = spec.array(arr);
+        ms.alloc_array(
+            backup_id(arr),
+            decl.len,
+            decl.elem,
+            PlacementPolicy::RoundRobin,
+        );
+        image.register(backup_id(arr), decl.len);
+    }
+    let live_priv: Vec<ArrayId> = spec
+        .live_after
+        .iter()
+        .copied()
+        .filter(|&a| spec.plan.kind_of(a).is_privatized())
+        .collect();
+    for &arr in &live_priv {
+        let decl = spec.array(arr);
+        ms.alloc_array(
+            scratch_id(arr),
+            decl.len,
+            decl.elem,
+            PlacementPolicy::RoundRobin,
+        );
+        image.register(scratch_id(arr), decl.len);
+    }
+    (backups, live_priv)
+}
+
+// ----------------------------------------------------------------------
+// HW
+// ----------------------------------------------------------------------
+
+fn run_hw(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
+    let procs = cfg.procs();
+    let mut ms = MemSystem::new(cfg.mem);
+    let mut image = MemoryImage::new();
+    setup_arrays(spec, &mut ms, &mut image, false);
+    let (_backups, live_priv) = setup_speculative_storage(spec, &mut ms, &mut image);
+    let mut accum = Accum::new(procs as usize);
+
+    // Phase 1: backup.
+    let (dense, sparse, sparse_snapshot) =
+        backup_phase(spec, &cfg, &mut ms, &mut image, &mut accum);
+
+    // Phase 2: the speculative loop under the protocol extensions.
+    ms.configure_loop(spec.plan.clone(), spec.numbering);
+    let priv_arrays = spec.plan.priv_arrays();
+    for &arr in &priv_arrays {
+        for p in 0..procs {
+            image.register(private_copy_id(arr, ProcId(p)), spec.array(arr).len);
+        }
+    }
+    // §3.3: if the stamps would overflow, run the loop in windows separated
+    // by all-processor synchronizations that reset the stamps.
+    let window = spec
+        .stamp_window
+        .filter(|_| !priv_arrays.is_empty())
+        .unwrap_or(spec.iters)
+        .max(1);
+    let mut iterations = 0u64;
+    let mut winners: std::collections::HashMap<(ArrayId, u64), (u64, Scalar)> =
+        std::collections::HashMap::new();
+    let mut loop_end = ExecEnd::Completed;
+    let mut start = 0u64;
+    while start < spec.iters {
+        let len = window.min(spec.iters - start);
+        if start > 0 {
+            // Synchronization point: all in-flight protocol messages land,
+            // the stamps reset, and a barrier separates the windows.
+            ms.drain_all_messages();
+            if let Some((reason, at)) = ms.failure() {
+                loop_end = ExecEnd::Failed { reason, at };
+                break;
+            }
+            ms.reset_stamp_window(start);
+            accum.now += Cycles(cfg.barrier_overhead);
+        }
+        let inner = make_sched(spec.schedule, len, procs, &cfg);
+        let mut sched = crate::sched::Windowed::new(inner, start);
+        let mut exec = Executor::new(
+            &cfg,
+            &mut ms,
+            &mut image,
+            vec![spec.body.clone(); procs as usize],
+            &mut sched,
+        )
+        .route_privatized(true)
+        .speculative(true)
+        .starting_at(accum.now);
+        for &arr in &priv_arrays {
+            for p in 0..procs {
+                exec = exec.track_copy_out(private_copy_id(arr, ProcId(p)), arr);
+            }
+        }
+        for &arr in &sparse {
+            exec = exec.track_copy_out(arr, arr);
+        }
+        let summary = exec.run();
+        accum.absorb(&summary);
+        iterations += summary.iterations;
+        for (k, v) in &summary.winners {
+            let e = winners.entry(*k).or_insert(*v);
+            if v.0 >= e.0 {
+                *e = *v;
+            }
+        }
+        if let ExecEnd::Failed { reason, at } = summary.end {
+            loop_end = ExecEnd::Failed { reason, at };
+            break;
+        }
+        start += len;
+    }
+    ms.drain_all_messages();
+
+    let late_failure = match (&loop_end, ms.failure()) {
+        (ExecEnd::Completed, Some((reason, at))) => Some((reason, at.max(accum.now))),
+        _ => None,
+    };
+    let failed = match (&loop_end, late_failure) {
+        (ExecEnd::Failed { reason, .. }, _) => Some(format!("{reason}")),
+        (_, Some((reason, at))) => {
+            accum.now = accum.now.max(at + Cycles(cfg.abort_latency));
+            Some(format!("{reason}"))
+        }
+        _ => None,
+    };
+
+    let stats = ms.stats().clone();
+    // Post-loop phases (restore / copy-out) run under plain coherence.
+    ms.configure_loop(TestPlan::new(), IterationNumbering::iteration_wise());
+    if let Some(reason) = failed {
+        // Failure path: restore + serial re-execution.
+        let sparse_counts: Vec<(ArrayId, u64)> = sparse
+            .iter()
+            .map(|&a| (a, written_count(&winners, a)))
+            .collect();
+        restore_phase(
+            spec,
+            &cfg,
+            &mut ms,
+            &mut image,
+            &mut accum,
+            &dense,
+            &sparse_counts,
+            &sparse_snapshot,
+        );
+        let (serial_time, serial_bd, serial_image) = serial_reexec(spec, &image, cfg);
+        accum.now += serial_time;
+        // The serial portion is wall-clock for the whole machine: fold it
+        // into every processor so the averaged breakdown reflects it fully.
+        for bd in &mut accum.per_proc {
+            *bd = bd.merged(&serial_bd);
+        }
+        for a in &spec.arrays {
+            image.set_contents(a.id, serial_image.contents(a.id));
+        }
+        return RunResult {
+            scenario: Scenario::Hw,
+            name: spec.name.clone(),
+            total_cycles: accum.now,
+            breakdown: accum.average(),
+            passed: Some(false),
+            failure: Some(reason),
+            iterations,
+            final_image: image,
+            stats,
+        };
+    }
+
+    // Success path: copy-out.
+    copy_out_phase(
+        spec, &cfg, &mut ms, &mut image, &mut accum, &live_priv, &winners, true,
+    );
+
+    RunResult {
+        scenario: Scenario::Hw,
+        name: spec.name.clone(),
+        total_cycles: accum.now,
+        breakdown: accum.average(),
+        passed: Some(true),
+        failure: None,
+        iterations,
+        final_image: image,
+        stats,
+    }
+}
+
+// ----------------------------------------------------------------------
+// SW
+// ----------------------------------------------------------------------
+
+fn run_sw(spec: &LoopSpec, cfg: MachineConfig, variant: SwVariant) -> RunResult {
+    let procs = cfg.procs();
+    let mut ms = MemSystem::new(cfg.mem);
+    let mut image = MemoryImage::new();
+    setup_arrays(spec, &mut ms, &mut image, false);
+    let (_backups, live_priv) = setup_speculative_storage(spec, &mut ms, &mut image);
+    let mut accum = Accum::new(procs as usize);
+
+    let tested: Vec<(ArrayId, ProtocolKind)> = spec.plan.arrays_under_test().collect();
+    let priv_arrays = spec.plan.priv_arrays();
+    // Processor-wise shadows are 1-bit-per-element bitmaps (§2.2.3),
+    // manipulated 64 elements per word; iteration-wise shadows are 4-byte
+    // stamp arrays.
+    let bitmap = variant == SwVariant::ProcessorWise;
+
+    // Allocate shadow arrays (node-local) and counters, plus software
+    // private copies of privatized arrays.
+    for &(arr, _) in &tested {
+        let len = spec.array(arr).len;
+        for p in 0..procs {
+            let ids = ShadowIds::new(arr, ProcId(p));
+            if bitmap {
+                let words = len.div_ceil(64);
+                for sid in [ids.w_last(), ids.r_cur(), ids.np()] {
+                    ms.alloc_array(sid, words, ElemSize::W8, PlacementPolicy::Local(NodeId(p)));
+                    image.register(sid, words);
+                }
+            } else {
+                for sid in ids.data_shadows() {
+                    ms.alloc_array(sid, len, ElemSize::W4, PlacementPolicy::Local(NodeId(p)));
+                    image.register(sid, len);
+                }
+            }
+            ms.alloc_array(
+                ids.counters(),
+                CNT_LEN,
+                ElemSize::W8,
+                PlacementPolicy::Local(NodeId(p)),
+            );
+            image.register(ids.counters(), CNT_LEN);
+        }
+        // Global reduction flags (read by processor 0's final reduction).
+        ms.alloc_array(
+            reduce_id(arr),
+            CNT_LEN,
+            ElemSize::W8,
+            PlacementPolicy::Local(NodeId(0)),
+        );
+        image.register(reduce_id(arr), CNT_LEN);
+    }
+    for &arr in &priv_arrays {
+        let decl = spec.array(arr);
+        for p in 0..procs {
+            ms.alloc_array(
+                sw_private_copy_id(arr, ProcId(p)),
+                decl.len,
+                decl.elem,
+                PlacementPolicy::Local(NodeId(p)),
+            );
+            image.register(sw_private_copy_id(arr, ProcId(p)), decl.len);
+        }
+    }
+    ms.configure_loop(TestPlan::new(), IterationNumbering::iteration_wise());
+
+    // Phase 1: backup.
+    let (dense, sparse, sparse_snapshot) =
+        backup_phase(spec, &cfg, &mut ms, &mut image, &mut accum);
+
+    // Phase 2: shadow zero-out (each processor clears its own shadows;
+    // bitmap shadows clear 64 elements per store).
+    for &(arr, _) in &tested {
+        let len = spec.array(arr).len;
+        let units = if bitmap { len.div_ceil(64) } else { len };
+        let programs: Vec<Program> = (0..procs)
+            .map(|p| {
+                let ids = ShadowIds::new(arr, ProcId(p));
+                if bitmap {
+                    zero_shadow_body_bitmap(&ids)
+                } else {
+                    zero_shadow_body(&ids)
+                }
+            })
+            .collect();
+        let mut sched = Replicated::new(units, procs, cfg.sched_static_overhead);
+        let summary = Executor::new(&cfg, &mut ms, &mut image, programs, &mut sched)
+            .starting_at(accum.now)
+            .run();
+        assert_eq!(summary.end, ExecEnd::Completed);
+        accum.absorb(&summary);
+    }
+
+    // Phase 3: the marking loop.
+    let (numbering, schedule) = match variant {
+        SwVariant::IterationWise => (spec.numbering, spec.schedule),
+        SwVariant::ProcessorWise => (
+            IterationNumbering::processor_wise(spec.iters, procs),
+            ScheduleKind::Static,
+        ),
+    };
+    let icfg = InstrumentConfig {
+        plan: spec.plan.clone(),
+        numbering,
+        bitmap,
+    };
+    let programs: Vec<Program> = (0..procs)
+        .map(|p| instrument_for_proc(&spec.body, &icfg, ProcId(p)))
+        .collect();
+    let mut sched = make_sched(schedule, spec.iters, procs, &cfg);
+    let mut exec =
+        Executor::new(&cfg, &mut ms, &mut image, programs, sched.as_mut()).starting_at(accum.now);
+    for &arr in &priv_arrays {
+        for p in 0..procs {
+            exec = exec.track_copy_out(sw_private_copy_id(arr, ProcId(p)), arr);
+        }
+    }
+    for &arr in &sparse {
+        exec = exec.track_copy_out(arr, arr);
+    }
+    let summary = exec.run();
+    assert_eq!(
+        summary.end,
+        ExecEnd::Completed,
+        "SW marking loop runs to completion"
+    );
+    accum.absorb(&summary);
+
+    // Phase 4: merging + analysis (word-granular for bitmap shadows).
+    for &(arr, _) in &tested {
+        let len = spec.array(arr).len;
+        let units = if bitmap { len.div_ceil(64) } else { len };
+        let all: Vec<ShadowIds> = (0..procs).map(|p| ShadowIds::new(arr, ProcId(p))).collect();
+        let programs: Vec<Program> = (0..procs)
+            .map(|p| {
+                if bitmap {
+                    merge_analysis_body_bitmap(&all, ProcId(p))
+                } else {
+                    merge_analysis_body(&all, ProcId(p))
+                }
+            })
+            .collect();
+        let mut sched = StaticChunked::new(units, procs, cfg.sched_static_overhead);
+        let summary = Executor::new(&cfg, &mut ms, &mut image, programs, &mut sched)
+            .starting_at(accum.now)
+            .run();
+        assert_eq!(summary.end, ExecEnd::Completed);
+        accum.absorb(&summary);
+    }
+
+    // Phase 5: the final reduction over the per-processor counters, run
+    // serially on processor 0 (one remote counter line per processor).
+    for &(arr, _) in &tested {
+        let all: Vec<ShadowIds> = (0..procs).map(|p| ShadowIds::new(arr, ProcId(p))).collect();
+        let body = reduction_body(&all, reduce_id(arr), bitmap);
+        let mut sched = crate::sched::SingleProc::new(procs as u64, cfg.sched_static_overhead);
+        let summary = Executor::new(
+            &cfg,
+            &mut ms,
+            &mut image,
+            vec![body; procs as usize],
+            &mut sched,
+        )
+        .starting_at(accum.now)
+        .run();
+        assert_eq!(summary.end, ExecEnd::Completed);
+        accum.absorb(&summary);
+    }
+    // The verdict is read from the simulated machine's reduction output.
+    let mut verdicts = Vec::new();
+    for &(arr, kind) in &tested {
+        let g = reduce_id(arr);
+        let atw = image.read(g, CNT_ATW).as_int();
+        let slot1 = image.read(g, CNT_ATM).as_int();
+        let bad_wr = image.read(g, CNT_BAD_WR).as_int() != 0;
+        let bad_np = image.read(g, CNT_BAD_NP).as_int() != 0;
+        // Test (c): no element written by two (super)iterations — expressed
+        // as `Atw == Atm` for stamps, or directly as the absence of a
+        // multi-writer overlap for bitmaps.
+        let single_writers = if bitmap { slot1 == 0 } else { atw == slot1 };
+        let ok = if bad_wr {
+            false
+        } else if single_writers {
+            true
+        } else if kind.is_privatized() {
+            !bad_np
+        } else {
+            false
+        };
+        verdicts.push((arr, ok));
+    }
+    let passed = verdicts.iter().all(|&(_, ok)| ok);
+
+    let stats = ms.stats().clone();
+    if !passed {
+        let failing: Vec<String> = verdicts
+            .iter()
+            .filter(|&&(_, ok)| !ok)
+            .map(|&(a, _)| a.to_string())
+            .collect();
+        let sparse_counts: Vec<(ArrayId, u64)> = sparse
+            .iter()
+            .map(|&a| (a, written_count(&summary.winners, a)))
+            .collect();
+        restore_phase(
+            spec,
+            &cfg,
+            &mut ms,
+            &mut image,
+            &mut accum,
+            &dense,
+            &sparse_counts,
+            &sparse_snapshot,
+        );
+        let (serial_time, serial_bd, serial_image) = serial_reexec(spec, &image, cfg);
+        accum.now += serial_time;
+        for bd in &mut accum.per_proc {
+            *bd = bd.merged(&serial_bd);
+        }
+        for a in &spec.arrays {
+            image.set_contents(a.id, serial_image.contents(a.id));
+        }
+        return RunResult {
+            scenario: Scenario::Sw(variant),
+            name: spec.name.clone(),
+            total_cycles: accum.now,
+            breakdown: accum.average(),
+            passed: Some(false),
+            failure: Some(format!("LRPD test failed for {}", failing.join(", "))),
+            iterations: summary.iterations,
+            final_image: image,
+            stats,
+        };
+    }
+
+    // Success path: copy-out.
+    copy_out_phase(
+        spec,
+        &cfg,
+        &mut ms,
+        &mut image,
+        &mut accum,
+        &live_priv,
+        &summary.winners,
+        false,
+    );
+
+    RunResult {
+        scenario: Scenario::Sw(variant),
+        name: spec.name.clone(),
+        total_cycles: accum.now,
+        breakdown: accum.average(),
+        passed: Some(true),
+        failure: None,
+        iterations: summary.iterations,
+        final_image: image,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loopspec::ArrayDecl;
+    use specrt_ir::{BinOp, Operand, ProgramBuilder};
+
+    const A: ArrayId = ArrayId(0);
+    const K: ArrayId = ArrayId(1);
+
+    /// `A[K[i]] += 1` with K a permutation: parallel without privatization.
+    fn permutation_loop(n: u64) -> LoopSpec {
+        let mut b = ProgramBuilder::new();
+        let idx = b.load(K, Operand::Iter);
+        let v = b.load(A, Operand::Reg(idx));
+        let v2 = b.binop(BinOp::FAdd, Operand::Reg(v), Operand::ImmF(1.0));
+        b.store(A, Operand::Reg(idx), Operand::Reg(v2));
+        b.compute(120);
+        let body = b.build().unwrap();
+        let mut plan = TestPlan::new();
+        plan.set(A, ProtocolKind::NonPriv);
+        // K[i] = (i * 7) mod n is a permutation when gcd(7, n) = 1... we use
+        // n a power of two, so it is.
+        let k_init: Vec<Scalar> = (0..n).map(|i| Scalar::Int(((i * 7) % n) as i64)).collect();
+        let a_init: Vec<Scalar> = (0..n).map(|i| Scalar::Float(i as f64)).collect();
+        LoopSpec {
+            name: "permutation".into(),
+            body,
+            iters: n,
+            arrays: vec![
+                ArrayDecl::with_init(A, ElemSize::W8, a_init),
+                ArrayDecl::with_init(K, ElemSize::W8, k_init),
+            ],
+            plan,
+            numbering: IterationNumbering::iteration_wise(),
+            schedule: ScheduleKind::Static,
+            live_after: vec![A],
+            stamp_window: None,
+        }
+    }
+
+    /// All iterations collide on A[0]: not parallel.
+    fn colliding_loop(n: u64) -> LoopSpec {
+        let mut spec = permutation_loop(n);
+        let k_init: Vec<Scalar> = (0..n).map(|_| Scalar::Int(0)).collect();
+        spec.arrays[1] = ArrayDecl::with_init(K, ElemSize::W8, k_init);
+        spec.name = "colliding".into();
+        spec
+    }
+
+    /// Workspace loop: every iteration writes then reads A[0..4];
+    /// privatizable.
+    fn workspace_loop(n: u64) -> LoopSpec {
+        let mut b = ProgramBuilder::new();
+        for e in 0..4 {
+            b.store(A, Operand::ImmI(e), Operand::Iter);
+        }
+        let mut acc = b.mov(Operand::ImmI(0));
+        for e in 0..4 {
+            let v = b.load(A, Operand::ImmI(e));
+            acc = b.binop(BinOp::Add, Operand::Reg(acc), Operand::Reg(v));
+        }
+        b.store(K, Operand::Iter, Operand::Reg(acc));
+        b.compute(15);
+        let body = b.build().unwrap();
+        let mut plan = TestPlan::new();
+        plan.set(
+            A,
+            ProtocolKind::Priv {
+                read_in: false,
+                copy_out: false,
+            },
+        );
+        LoopSpec {
+            name: "workspace".into(),
+            body,
+            iters: n,
+            arrays: vec![
+                ArrayDecl::zeroed(A, 4, ElemSize::W8),
+                ArrayDecl::zeroed(K, n, ElemSize::W8),
+            ],
+            plan,
+            numbering: IterationNumbering::iteration_wise(),
+            schedule: ScheduleKind::Static,
+            live_after: vec![],
+            stamp_window: None,
+        }
+    }
+
+    fn check_matches_serial(spec: &LoopSpec, scenario: Scenario, procs: u32) -> RunResult {
+        let serial = run_scenario(spec, Scenario::Serial, procs);
+        let run = run_scenario(spec, scenario, procs);
+        // Privatized arrays that are dead after the loop hold unspecified
+        // values; compare only live state.
+        let ids: Vec<ArrayId> = spec
+            .arrays
+            .iter()
+            .map(|a| a.id)
+            .filter(|&id| !spec.plan.kind_of(id).is_privatized() || spec.live_after.contains(&id))
+            .collect();
+        assert!(
+            run.final_image.same_contents(&serial.final_image, &ids),
+            "{scenario} final state differs from serial for {}",
+            spec.name
+        );
+        run
+    }
+
+    #[test]
+    fn hw_passes_parallel_loop_and_matches_serial() {
+        let spec = permutation_loop(64);
+        let run = check_matches_serial(&spec, Scenario::Hw, 4);
+        assert_eq!(run.passed, Some(true), "{:?}", run.failure);
+        assert_eq!(run.iterations, 64);
+    }
+
+    #[test]
+    fn hw_fails_colliding_loop_and_recovers() {
+        let spec = colliding_loop(64);
+        let run = check_matches_serial(&spec, Scenario::Hw, 4);
+        assert_eq!(run.passed, Some(false));
+        assert!(run.failure.is_some());
+        assert!(run.iterations < 64, "must abort early");
+    }
+
+    #[test]
+    fn sw_passes_parallel_loop_and_matches_serial() {
+        let spec = permutation_loop(64);
+        let run = check_matches_serial(&spec, Scenario::Sw(SwVariant::IterationWise), 4);
+        assert_eq!(run.passed, Some(true), "{:?}", run.failure);
+    }
+
+    #[test]
+    fn sw_fails_colliding_loop_and_recovers() {
+        let spec = colliding_loop(64);
+        let run = check_matches_serial(&spec, Scenario::Sw(SwVariant::IterationWise), 4);
+        assert_eq!(run.passed, Some(false));
+        assert_eq!(run.iterations, 64, "SW only learns of failure at the end");
+    }
+
+    #[test]
+    fn ideal_matches_serial() {
+        let spec = permutation_loop(64);
+        let run = check_matches_serial(&spec, Scenario::Ideal, 4);
+        assert_eq!(run.passed, None);
+    }
+
+    #[test]
+    fn hw_faster_than_sw_faster_than_serial_on_parallel_loop() {
+        let spec = permutation_loop(256);
+        let serial = run_scenario(&spec, Scenario::Serial, 4);
+        let ideal = run_scenario(&spec, Scenario::Ideal, 4);
+        let hw = run_scenario(&spec, Scenario::Hw, 4);
+        let sw = run_scenario(&spec, Scenario::Sw(SwVariant::IterationWise), 4);
+        assert!(ideal.total_cycles < serial.total_cycles);
+        assert!(hw.total_cycles < serial.total_cycles, "HW should speed up");
+        assert!(
+            hw.total_cycles < sw.total_cycles,
+            "HW {} should beat SW {}",
+            hw.total_cycles,
+            sw.total_cycles
+        );
+        assert!(ideal.total_cycles <= hw.total_cycles);
+        assert!(hw.speedup_over(&serial) > 1.0);
+    }
+
+    #[test]
+    fn hw_failure_detected_earlier_than_sw() {
+        let spec = colliding_loop(128);
+        let hw = run_scenario(&spec, Scenario::Hw, 4);
+        let sw = run_scenario(&spec, Scenario::Sw(SwVariant::IterationWise), 4);
+        assert!(
+            hw.total_cycles < sw.total_cycles,
+            "early abort must beat run-to-completion: HW {} vs SW {}",
+            hw.total_cycles,
+            sw.total_cycles
+        );
+    }
+
+    #[test]
+    fn privatized_workspace_passes_hw_and_sw() {
+        let spec = workspace_loop(32);
+        let hw = check_matches_serial(&spec, Scenario::Hw, 4);
+        assert_eq!(hw.passed, Some(true), "{:?}", hw.failure);
+        let sw = check_matches_serial(&spec, Scenario::Sw(SwVariant::IterationWise), 4);
+        assert_eq!(sw.passed, Some(true), "{:?}", sw.failure);
+    }
+
+    #[test]
+    fn processor_wise_passes_same_proc_dependences() {
+        // Iterations 2k and 2k+1 collide on A[k]; static chunking with 4
+        // processors over 32 iterations puts each colliding pair on the
+        // same processor, so the processor-wise SW test and the HW test
+        // (processor-wise by construction) pass, while the iteration-wise
+        // SW test fails.
+        let mut b = ProgramBuilder::new();
+        let half = b.binop(BinOp::Div, Operand::Iter, Operand::ImmI(2));
+        let v = b.load(A, Operand::Reg(half));
+        let v2 = b.binop(BinOp::FAdd, Operand::Reg(v), Operand::ImmF(1.0));
+        b.store(A, Operand::Reg(half), Operand::Reg(v2));
+        let body = b.build().unwrap();
+        let mut plan = TestPlan::new();
+        plan.set(A, ProtocolKind::NonPriv);
+        let spec = LoopSpec {
+            name: "pairs".into(),
+            body,
+            iters: 32,
+            arrays: vec![ArrayDecl::zeroed(A, 16, ElemSize::W8)],
+            plan,
+            numbering: IterationNumbering::iteration_wise(),
+            schedule: ScheduleKind::Static,
+            live_after: vec![A],
+            stamp_window: None,
+        };
+        let pw = run_scenario(&spec, Scenario::Sw(SwVariant::ProcessorWise), 4);
+        assert_eq!(pw.passed, Some(true), "{:?}", pw.failure);
+        let iw = run_scenario(&spec, Scenario::Sw(SwVariant::IterationWise), 4);
+        assert_eq!(iw.passed, Some(false));
+        let hw = run_scenario(&spec, Scenario::Hw, 4);
+        assert_eq!(hw.passed, Some(true), "{:?}", hw.failure);
+    }
+}
+
+#[cfg(test)]
+mod stamp_window_tests {
+    use super::*;
+    use crate::loopspec::ArrayDecl;
+    use specrt_ir::{BinOp, Operand, ProgramBuilder};
+
+    const A: ArrayId = ArrayId(0);
+    const OUT: ArrayId = ArrayId(1);
+
+    /// A privatized read-in workload: every iteration reads four table
+    /// slots (read-first) and writes its own scratch slot.
+    fn priv_spec(iters: u64, window: Option<u64>) -> LoopSpec {
+        let mut b = ProgramBuilder::new();
+        let mut acc = b.mov(Operand::ImmF(0.0));
+        for slot in 0..4 {
+            let v = b.load(A, Operand::ImmI(slot));
+            acc = b.binop(BinOp::FAdd, Operand::Reg(acc), Operand::Reg(v));
+        }
+        let e = b.binop(BinOp::Rem, Operand::Iter, Operand::ImmI(20));
+        let e2 = b.binop(BinOp::Add, Operand::Reg(e), Operand::ImmI(4));
+        b.store(A, Operand::Reg(e2), Operand::Reg(acc));
+        let rv = b.load(A, Operand::Reg(e2));
+        b.store(OUT, Operand::Iter, Operand::Reg(rv));
+        b.compute(20);
+        let body = b.build().unwrap();
+        let mut plan = TestPlan::new();
+        plan.set(
+            A,
+            ProtocolKind::Priv {
+                read_in: true,
+                copy_out: false,
+            },
+        );
+        LoopSpec {
+            name: "stamp-window".into(),
+            body,
+            iters,
+            arrays: vec![
+                ArrayDecl::with_init(
+                    A,
+                    ElemSize::W8,
+                    (0..24)
+                        .map(|i| specrt_ir::Scalar::Float(1.0 + i as f64))
+                        .collect(),
+                ),
+                ArrayDecl::zeroed(OUT, iters, ElemSize::W8),
+            ],
+            plan,
+            numbering: IterationNumbering::iteration_wise(),
+            schedule: ScheduleKind::Static,
+            live_after: vec![OUT],
+            stamp_window: window,
+        }
+    }
+
+    #[test]
+    fn windowed_run_passes_and_matches_serial() {
+        let spec = priv_spec(64, Some(16));
+        let serial = run_scenario(&spec, Scenario::Serial, 4);
+        let hw = run_scenario(&spec, Scenario::Hw, 4);
+        assert_eq!(hw.passed, Some(true), "{:?}", hw.failure);
+        assert_eq!(hw.iterations, 64);
+        assert!(hw.stats.get("stamp_window_resets") >= 3);
+        assert!(hw.final_image.same_contents(&serial.final_image, &[OUT]));
+    }
+
+    #[test]
+    fn windowed_run_costs_more_than_unwindowed() {
+        let plain = run_scenario(&priv_spec(64, None), Scenario::Hw, 4);
+        let windowed = run_scenario(&priv_spec(64, Some(8)), Scenario::Hw, 4);
+        assert_eq!(plain.passed, Some(true));
+        assert_eq!(windowed.passed, Some(true));
+        assert!(
+            windowed.total_cycles > plain.total_cycles,
+            "periodic synchronization must cost: {} vs {}",
+            windowed.total_cycles,
+            plain.total_cycles
+        );
+    }
+
+    #[test]
+    fn window_boundary_masks_cross_window_flow_dependence() {
+        // Iteration 0 writes element 30; iteration 40 reads it first. With
+        // a 32-iteration window the barrier orders them (valid!), so the
+        // windowed run passes while the unwindowed stamped run fails.
+        let mut b = ProgramBuilder::new();
+        let is0 = b.binop(BinOp::CmpEq, Operand::Iter, Operand::ImmI(0));
+        let not0 = b.label();
+        let end = b.label();
+        b.bz(Operand::Reg(is0), not0);
+        b.store(A, Operand::ImmI(30), Operand::ImmF(7.0));
+        b.jmp(end);
+        b.bind(not0);
+        let is40 = b.binop(BinOp::CmpEq, Operand::Iter, Operand::ImmI(40));
+        b.bz(Operand::Reg(is40), end);
+        let v = b.load(A, Operand::ImmI(30));
+        b.store(OUT, Operand::ImmI(40), Operand::Reg(v));
+        b.bind(end);
+        b.compute(10);
+        let body = b.build().unwrap();
+        let mut plan = TestPlan::new();
+        plan.set(
+            A,
+            ProtocolKind::Priv {
+                read_in: true,
+                copy_out: false,
+            },
+        );
+        let mk = |window| LoopSpec {
+            name: "cross-window".into(),
+            body: body.clone(),
+            iters: 64,
+            arrays: vec![
+                ArrayDecl::zeroed(A, 32, ElemSize::W8),
+                ArrayDecl::zeroed(OUT, 64, ElemSize::W8),
+            ],
+            plan: plan.clone(),
+            numbering: IterationNumbering::iteration_wise(),
+            schedule: ScheduleKind::Static,
+            live_after: vec![OUT],
+            stamp_window: window,
+        };
+        let unwindowed = run_scenario(&mk(None), Scenario::Hw, 2);
+        assert_eq!(
+            unwindowed.passed,
+            Some(false),
+            "flow dependence across procs"
+        );
+        let windowed = run_scenario(&mk(Some(32)), Scenario::Hw, 2);
+        assert_eq!(windowed.passed, Some(true), "{:?}", windowed.failure);
+        // Both end in the serial state regardless.
+        let serial = run_scenario(&mk(None), Scenario::Serial, 2);
+        assert!(windowed
+            .final_image
+            .same_contents(&serial.final_image, &[OUT]));
+        assert!(unwindowed
+            .final_image
+            .same_contents(&serial.final_image, &[OUT]));
+    }
+}
+
+#[cfg(test)]
+mod detailed_barrier_tests {
+    use super::*;
+    use crate::loopspec::ArrayDecl;
+    use specrt_ir::{Operand, ProgramBuilder};
+
+    const A: ArrayId = ArrayId(0);
+
+    fn simple_spec(iters: u64) -> LoopSpec {
+        let mut b = ProgramBuilder::new();
+        b.store(A, Operand::Iter, Operand::Iter);
+        b.compute(30);
+        LoopSpec {
+            name: "barrier-test".into(),
+            body: b.build().unwrap(),
+            iters,
+            arrays: vec![ArrayDecl::zeroed(A, iters, ElemSize::W8)],
+            plan: TestPlan::new(),
+            numbering: IterationNumbering::iteration_wise(),
+            schedule: ScheduleKind::Static,
+            live_after: vec![A],
+            stamp_window: None,
+        }
+    }
+
+    #[test]
+    fn detailed_barrier_completes_and_matches_serial() {
+        let spec = simple_spec(64);
+        let mut cfg = MachineConfig::with_procs(8);
+        cfg.detailed_barrier = true;
+        let run = run_scenario_configured(&spec, Scenario::Hw, cfg);
+        assert_eq!(run.passed, Some(true));
+        let serial = run_scenario_configured(&spec, Scenario::Serial, cfg);
+        assert!(run.final_image.same_contents(&serial.final_image, &[A]));
+    }
+
+    #[test]
+    fn detailed_barrier_cost_grows_with_processors() {
+        // With the constant model the barrier costs the same at 4 and 16
+        // processors; the detailed model serializes arrivals and wake-ups
+        // at the counter's home bank, so sync per processor grows.
+        let spec = simple_spec(64);
+        let sync_of = |procs: u32| {
+            let mut cfg = MachineConfig::with_procs(procs);
+            cfg.detailed_barrier = true;
+            let r = run_scenario_configured(&spec, Scenario::Ideal, cfg);
+            r.breakdown.sync.raw()
+        };
+        let s4 = sync_of(4);
+        let s16 = sync_of(16);
+        assert!(
+            s16 > s4,
+            "barrier hot-spot must grow with processors: {s4} vs {s16}"
+        );
+    }
+
+    #[test]
+    fn detailed_barrier_exceeds_constant_model_under_contention() {
+        let spec = simple_spec(64);
+        let cfg = MachineConfig::with_procs(16);
+        let constant = run_scenario_configured(&spec, Scenario::Ideal, cfg);
+        let mut dcfg = cfg;
+        dcfg.detailed_barrier = true;
+        let detailed = run_scenario_configured(&spec, Scenario::Ideal, dcfg);
+        assert!(
+            detailed.total_cycles > constant.total_cycles,
+            "16-way fetch&op serialization must cost more than the constant: {} vs {}",
+            detailed.total_cycles,
+            constant.total_cycles
+        );
+    }
+}

@@ -1,0 +1,478 @@
+//! Iteration schedulers.
+//!
+//! §5.2 uses all of: static contiguous chunks (required by the
+//! processor-wise software test), dynamic self-scheduling (P3m's imbalanced
+//! iterations), and dynamically-scheduled small blocks (Track under the
+//! hardware scheme). The non-privatization hardware test is
+//! "intrinsically processor-wise … there is freedom of iteration assignment
+//! and scheduling; the only constraint is that a processor must execute its
+//! iterations in increasing order" — which every scheduler here guarantees.
+
+use specrt_engine::{Cycles, Resource};
+use specrt_mem::ProcId;
+
+/// A scheduler's answer to "what should this processor run next?".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedDecision {
+    /// Run global iteration `iter`; the dispatch cost `overhead` is busy
+    /// time, `wait` is synchronization time (lock queueing).
+    Run {
+        /// Global 0-based iteration to execute.
+        iter: u64,
+        /// Busy cycles spent dispatching.
+        overhead: Cycles,
+        /// Sync cycles spent waiting (e.g. for the scheduling lock).
+        wait: Cycles,
+    },
+    /// No iterations left for this processor.
+    Done,
+}
+
+/// Hands out iterations to processors. Implementations must give each
+/// processor a nondecreasing iteration sequence.
+pub trait Scheduler {
+    /// Next decision for `proc` asking at time `now`.
+    fn next(&mut self, proc: ProcId, now: Cycles) -> SchedDecision;
+
+    /// Total iterations this scheduler will hand out.
+    fn total(&self) -> u64;
+}
+
+/// Static contiguous chunking: processor `p` runs iterations
+/// `[p*chunk, (p+1)*chunk)`. Required by processor-wise tests.
+#[derive(Debug, Clone)]
+pub struct StaticChunked {
+    total: u64,
+    procs: u32,
+    chunk: u64,
+    cursor: Vec<u64>,
+    overhead: u64,
+}
+
+impl StaticChunked {
+    /// Creates a static schedule of `total` iterations over `procs`
+    /// processors with per-dispatch `overhead` cycles.
+    pub fn new(total: u64, procs: u32, overhead: u64) -> Self {
+        let chunk = total.div_ceil(procs as u64).max(1);
+        StaticChunked {
+            total,
+            procs,
+            chunk,
+            cursor: vec![0; procs as usize],
+            overhead,
+        }
+    }
+
+    /// The chunk size (iterations per processor).
+    pub fn chunk(&self) -> u64 {
+        self.chunk
+    }
+}
+
+impl Scheduler for StaticChunked {
+    fn next(&mut self, proc: ProcId, _now: Cycles) -> SchedDecision {
+        assert!(proc.0 < self.procs);
+        let served = &mut self.cursor[proc.0 as usize];
+        let iter = proc.0 as u64 * self.chunk + *served;
+        if *served >= self.chunk || iter >= self.total {
+            return SchedDecision::Done;
+        }
+        *served += 1;
+        SchedDecision::Run {
+            iter,
+            overhead: Cycles(self.overhead),
+            wait: Cycles::ZERO,
+        }
+    }
+
+    fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Block-cyclic: processor `p` runs blocks `p, p+P, p+2P, …` of `block`
+/// contiguous iterations each (§4.1's chunking optimization).
+#[derive(Debug, Clone)]
+pub struct BlockCyclic {
+    total: u64,
+    procs: u32,
+    block: u64,
+    // per-proc: (current block index among its own, offset within block)
+    state: Vec<(u64, u64)>,
+    overhead: u64,
+}
+
+impl BlockCyclic {
+    /// Creates a block-cyclic schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is zero.
+    pub fn new(total: u64, procs: u32, block: u64, overhead: u64) -> Self {
+        assert!(block > 0, "block size must be positive");
+        BlockCyclic {
+            total,
+            procs,
+            block,
+            state: vec![(0, 0); procs as usize],
+            overhead,
+        }
+    }
+}
+
+impl Scheduler for BlockCyclic {
+    fn next(&mut self, proc: ProcId, _now: Cycles) -> SchedDecision {
+        let (blk, off) = &mut self.state[proc.0 as usize];
+        loop {
+            let global_block = *blk * self.procs as u64 + proc.0 as u64;
+            let iter = global_block * self.block + *off;
+            if iter >= self.total {
+                return SchedDecision::Done;
+            }
+            if *off >= self.block {
+                *blk += 1;
+                *off = 0;
+                continue;
+            }
+            *off += 1;
+            return SchedDecision::Run {
+                iter,
+                overhead: Cycles(self.overhead),
+                wait: Cycles::ZERO,
+            };
+        }
+    }
+
+    fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Dynamic self-scheduling: a central iteration counter protected by a
+/// lock; processors grab `block` iterations at a time. Lock contention is
+/// modelled with a FIFO [`Resource`] and shows up as sync time.
+#[derive(Debug)]
+pub struct DynamicSelf {
+    total: u64,
+    next: u64,
+    block: u64,
+    lock: Resource,
+    lock_hold: u64,
+    // per-proc privately held iterations (already grabbed).
+    local: Vec<(u64, u64)>, // (next, end)
+    overhead: u64,
+}
+
+impl DynamicSelf {
+    /// Creates a dynamic self-scheduler grabbing `block` iterations per
+    /// lock acquisition, holding the lock `lock_hold` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is zero.
+    pub fn new(total: u64, procs: u32, block: u64, lock_hold: u64, overhead: u64) -> Self {
+        assert!(block > 0, "block size must be positive");
+        DynamicSelf {
+            total,
+            next: 0,
+            block,
+            lock: Resource::new(),
+            lock_hold,
+            local: vec![(0, 0); procs as usize],
+            overhead,
+        }
+    }
+}
+
+impl Scheduler for DynamicSelf {
+    fn next(&mut self, proc: ProcId, now: Cycles) -> SchedDecision {
+        let slot = &mut self.local[proc.0 as usize];
+        if slot.0 < slot.1 {
+            let iter = slot.0;
+            slot.0 += 1;
+            return SchedDecision::Run {
+                iter,
+                overhead: Cycles(self.overhead),
+                wait: Cycles::ZERO,
+            };
+        }
+        if self.next >= self.total {
+            return SchedDecision::Done;
+        }
+        // Grab a block under the lock.
+        let done_at = self.lock.acquire(now, Cycles(self.lock_hold));
+        let wait = done_at
+            .saturating_sub(now)
+            .saturating_sub(Cycles(self.lock_hold));
+        let start = self.next;
+        let end = (start + self.block).min(self.total);
+        self.next = end;
+        self.local[proc.0 as usize] = (start + 1, end);
+        SchedDecision::Run {
+            iter: start,
+            overhead: Cycles(self.lock_hold + self.overhead),
+            wait,
+        }
+    }
+
+    fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Every processor runs *every* iteration (used for the software scheme's
+/// shadow zero-out, where each processor clears its own full-size private
+/// shadows).
+#[derive(Debug, Clone)]
+pub struct Replicated {
+    total: u64,
+    cursor: Vec<u64>,
+    overhead: u64,
+}
+
+impl Replicated {
+    /// Creates a replicated schedule of `total` iterations for `procs`.
+    pub fn new(total: u64, procs: u32, overhead: u64) -> Self {
+        Replicated {
+            total,
+            cursor: vec![0; procs as usize],
+            overhead,
+        }
+    }
+}
+
+impl Scheduler for Replicated {
+    fn next(&mut self, proc: ProcId, _now: Cycles) -> SchedDecision {
+        let c = &mut self.cursor[proc.0 as usize];
+        if *c >= self.total {
+            return SchedDecision::Done;
+        }
+        let iter = *c;
+        *c += 1;
+        SchedDecision::Run {
+            iter,
+            overhead: Cycles(self.overhead),
+            wait: Cycles::ZERO,
+        }
+    }
+
+    fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// All iterations on processor 0, everyone else immediately done (serial
+/// phases such as the software scheme's final flag reduction).
+#[derive(Debug, Clone)]
+pub struct SingleProc {
+    total: u64,
+    cursor: u64,
+    overhead: u64,
+}
+
+impl SingleProc {
+    /// Creates a processor-0-only schedule of `total` iterations.
+    pub fn new(total: u64, overhead: u64) -> Self {
+        SingleProc {
+            total,
+            cursor: 0,
+            overhead,
+        }
+    }
+}
+
+impl Scheduler for SingleProc {
+    fn next(&mut self, proc: ProcId, _now: Cycles) -> SchedDecision {
+        if proc.0 != 0 || self.cursor >= self.total {
+            return SchedDecision::Done;
+        }
+        let iter = self.cursor;
+        self.cursor += 1;
+        SchedDecision::Run {
+            iter,
+            overhead: Cycles(self.overhead),
+            wait: Cycles::ZERO,
+        }
+    }
+
+    fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Offsets an inner scheduler's iteration numbers by a base: used to run
+/// one §3.3 stamp-resynchronization window `[base, base + len)` with a
+/// scheduler built for `0..len`.
+pub struct Windowed {
+    inner: Box<dyn Scheduler>,
+    base: u64,
+}
+
+impl std::fmt::Debug for Windowed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Windowed")
+            .field("base", &self.base)
+            .field("total", &self.inner.total())
+            .finish()
+    }
+}
+
+impl Windowed {
+    /// Wraps `inner`, shifting every handed-out iteration by `base`.
+    pub fn new(inner: Box<dyn Scheduler>, base: u64) -> Self {
+        Windowed { inner, base }
+    }
+}
+
+impl Scheduler for Windowed {
+    fn next(&mut self, proc: ProcId, now: Cycles) -> SchedDecision {
+        match self.inner.next(proc, now) {
+            SchedDecision::Run {
+                iter,
+                overhead,
+                wait,
+            } => SchedDecision::Run {
+                iter: iter + self.base,
+                overhead,
+                wait,
+            },
+            SchedDecision::Done => SchedDecision::Done,
+        }
+    }
+
+    fn total(&self) -> u64 {
+        self.inner.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(s: &mut dyn Scheduler, proc: u32) -> Vec<u64> {
+        let mut v = Vec::new();
+        while let SchedDecision::Run { iter, .. } = s.next(ProcId(proc), Cycles(0)) {
+            v.push(iter);
+        }
+        v
+    }
+
+    #[test]
+    fn static_chunked_partitions_contiguously() {
+        let mut s = StaticChunked::new(10, 3, 2);
+        assert_eq!(s.chunk(), 4);
+        assert_eq!(drain(&mut s, 0), vec![0, 1, 2, 3]);
+        assert_eq!(drain(&mut s, 1), vec![4, 5, 6, 7]);
+        assert_eq!(drain(&mut s, 2), vec![8, 9]);
+    }
+
+    #[test]
+    fn static_chunked_covers_all_iterations_exactly_once() {
+        let mut s = StaticChunked::new(100, 7, 2);
+        let mut all = Vec::new();
+        for p in 0..7 {
+            all.extend(drain(&mut s, p));
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn block_cyclic_interleaves_blocks() {
+        let mut s = BlockCyclic::new(12, 2, 2, 2);
+        assert_eq!(drain(&mut s, 0), vec![0, 1, 4, 5, 8, 9]);
+        assert_eq!(drain(&mut s, 1), vec![2, 3, 6, 7, 10, 11]);
+    }
+
+    #[test]
+    fn block_cyclic_handles_ragged_tail() {
+        let mut s = BlockCyclic::new(5, 2, 2, 2);
+        let mut all = Vec::new();
+        for p in 0..2 {
+            all.extend(drain(&mut s, p));
+        }
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn dynamic_self_covers_all_iterations() {
+        let mut s = DynamicSelf::new(20, 4, 3, 10, 2);
+        let mut all = Vec::new();
+        // Interleave requests across processors.
+        let mut done = [false; 4];
+        while !done.iter().all(|&d| d) {
+            for (p, d) in done.iter_mut().enumerate() {
+                if *d {
+                    continue;
+                }
+                match s.next(ProcId(p as u32), Cycles(0)) {
+                    SchedDecision::Run { iter, .. } => all.push(iter),
+                    SchedDecision::Done => *d = true,
+                }
+            }
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dynamic_self_iterations_nondecreasing_per_proc() {
+        let mut s = DynamicSelf::new(50, 2, 5, 10, 2);
+        let mut last = [0u64; 2];
+        for round in 0..50 {
+            for p in 0..2u32 {
+                if let SchedDecision::Run { iter, .. } = s.next(ProcId(p), Cycles(round)) {
+                    assert!(iter >= last[p as usize]);
+                    last[p as usize] = iter;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_lock_contention_shows_as_wait() {
+        let mut s = DynamicSelf::new(100, 2, 1, 10, 2);
+        // Both processors grab at t=0; the second waits for the lock.
+        let a = s.next(ProcId(0), Cycles(0));
+        let b = s.next(ProcId(1), Cycles(0));
+        let wait_of = |d: SchedDecision| match d {
+            SchedDecision::Run { wait, .. } => wait,
+            SchedDecision::Done => panic!("expected Run"),
+        };
+        assert_eq!(wait_of(a), Cycles::ZERO);
+        assert_eq!(wait_of(b), Cycles(10));
+    }
+
+    #[test]
+    fn single_proc_serves_only_processor_zero() {
+        let mut s = SingleProc::new(3, 1);
+        assert_eq!(s.next(ProcId(1), Cycles(0)), SchedDecision::Done);
+        assert_eq!(drain(&mut s, 0), vec![0, 1, 2]);
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    fn windowed_offsets_iterations() {
+        let inner = Box::new(StaticChunked::new(4, 2, 1));
+        let mut w = Windowed::new(inner, 100);
+        assert_eq!(drain(&mut w, 0), vec![100, 101]);
+        assert_eq!(drain(&mut w, 1), vec![102, 103]);
+        assert_eq!(w.total(), 4);
+    }
+
+    #[test]
+    fn replicated_gives_everyone_everything() {
+        let mut s = Replicated::new(3, 2, 1);
+        assert_eq!(drain(&mut s, 0), vec![0, 1, 2]);
+        assert_eq!(drain(&mut s, 1), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn schedulers_report_total() {
+        assert_eq!(StaticChunked::new(7, 2, 2).total(), 7);
+        assert_eq!(BlockCyclic::new(7, 2, 2, 2).total(), 7);
+        assert_eq!(DynamicSelf::new(7, 2, 2, 10, 2).total(), 7);
+        assert_eq!(Replicated::new(7, 2, 2).total(), 7);
+    }
+}

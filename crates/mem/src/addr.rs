@@ -1,0 +1,166 @@
+//! Physical addresses, cache lines, pages, and machine-entity ids.
+
+use std::fmt;
+
+/// Bytes per cache line (both cache levels use 64-byte lines, paper §5.1).
+pub const LINE_BYTES: u64 = 64;
+
+/// Bytes per page (placement granularity for NUMA allocation).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// A physical byte address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PAddr(pub u64);
+
+impl PAddr {
+    /// The cache line containing this address.
+    #[inline]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_BYTES)
+    }
+
+    /// The page containing this address.
+    #[inline]
+    pub fn page(self) -> PageAddr {
+        PageAddr(self.0 / PAGE_BYTES)
+    }
+
+    /// Byte offset within the line.
+    #[inline]
+    pub fn line_offset(self) -> u64 {
+        self.0 % LINE_BYTES
+    }
+
+    /// Adds a byte displacement.
+    #[inline]
+    pub fn offset(self, bytes: u64) -> PAddr {
+        PAddr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// A cache-line number (byte address divided by [`LINE_BYTES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// First byte address of the line.
+    #[inline]
+    pub fn base(self) -> PAddr {
+        PAddr(self.0 * LINE_BYTES)
+    }
+
+    /// The page containing this line.
+    #[inline]
+    pub fn page(self) -> PageAddr {
+        self.base().page()
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+/// A page number (byte address divided by [`PAGE_BYTES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageAddr(pub u64);
+
+impl PageAddr {
+    /// First byte address of the page.
+    #[inline]
+    pub fn base(self) -> PAddr {
+        PAddr(self.0 * PAGE_BYTES)
+    }
+}
+
+impl fmt::Display for PageAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{:#x}", self.0)
+    }
+}
+
+/// A NUMA node id. Each node holds one processor, its caches, a slice of
+/// global memory, and the corresponding slice of the directory (paper §5.1:
+/// "each node has part of the global memory and the corresponding section of
+/// the directory").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A processor id. The modelled machine is one processor per node, so
+/// `ProcId(i)` lives on `NodeId(i)`; the two types are kept distinct so that
+/// directory code cannot accidentally treat a sharer id as a home node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// The node this processor resides on (one processor per node).
+    #[inline]
+    pub fn node(self) -> NodeId {
+        NodeId(self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_page_extraction() {
+        let a = PAddr(4096 + 64 * 3 + 17);
+        assert_eq!(a.line(), LineAddr((4096 + 192) / 64));
+        assert_eq!(a.page(), PageAddr(1));
+        assert_eq!(a.line_offset(), 17);
+    }
+
+    #[test]
+    fn line_base_round_trips() {
+        let l = PAddr(1000).line();
+        assert_eq!(l.base().line(), l);
+        assert_eq!(l.base().line_offset(), 0);
+    }
+
+    #[test]
+    fn page_of_line_matches_page_of_addr() {
+        let a = PAddr(3 * PAGE_BYTES + 100);
+        assert_eq!(a.line().page(), a.page());
+        assert_eq!(a.page().base(), PAddr(3 * PAGE_BYTES));
+    }
+
+    #[test]
+    fn offsets_accumulate() {
+        assert_eq!(PAddr(10).offset(22), PAddr(32));
+    }
+
+    #[test]
+    fn proc_maps_to_same_numbered_node() {
+        assert_eq!(ProcId(5).node(), NodeId(5));
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert_eq!(PAddr(255).to_string(), "0xff");
+        assert!(LineAddr(4).to_string().starts_with('L'));
+        assert!(PageAddr(4).to_string().starts_with('P'));
+        assert_eq!(NodeId(2).to_string(), "node2");
+        assert_eq!(ProcId(2).to_string(), "cpu2");
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests: address-map round trips and NUMA placement.
+
+use proptest::prelude::*;
+
+use specrt_ir::ArrayId;
+use specrt_mem::{ElemSize, NumaAllocator, PlacementPolicy};
+
+proptest! {
+    /// Forward addressing and reverse lookup are inverses for every
+    /// element of every allocated array, and homes are valid nodes.
+    #[test]
+    fn locate_inverts_addr_of(
+        lens in proptest::collection::vec(1u64..300, 1..8),
+        nodes in 1u32..9,
+    ) {
+        let mut numa = NumaAllocator::new(nodes);
+        let mut layouts = Vec::new();
+        for (i, &len) in lens.iter().enumerate() {
+            let elem = if i % 2 == 0 { ElemSize::W8 } else { ElemSize::W4 };
+            let policy = if i % 3 == 0 {
+                PlacementPolicy::Local(specrt_mem::NodeId(i as u32 % nodes))
+            } else {
+                PlacementPolicy::RoundRobin
+            };
+            layouts.push(numa.alloc_array(ArrayId(i as u32), len, elem, policy));
+        }
+        for l in &layouts {
+            for idx in [0, l.len / 2, l.len - 1] {
+                let addr = l.addr_of(idx);
+                prop_assert_eq!(numa.address_map().locate(addr), Some((l.id, idx)));
+                let home = numa.home_of(addr);
+                prop_assert!(home.0 < nodes);
+            }
+        }
+    }
+
+    /// Lines never span two arrays (page-aligned allocation), so per-line
+    /// tag state always belongs to exactly one array.
+    #[test]
+    fn lines_do_not_span_arrays(
+        lens in proptest::collection::vec(1u64..200, 2..6),
+    ) {
+        let mut numa = NumaAllocator::new(4);
+        for (i, &len) in lens.iter().enumerate() {
+            numa.alloc_array(ArrayId(i as u32), len, ElemSize::W8, PlacementPolicy::RoundRobin);
+        }
+        let map = numa.address_map();
+        for l in map.iter() {
+            let first_line = l.base.line();
+            let last_line = l.addr_of(l.len - 1).line();
+            for line in first_line.0..=last_line.0 {
+                let owner = map.locate(specrt_mem::LineAddr(line).base());
+                if let Some((arr, _)) = owner {
+                    prop_assert_eq!(arr, l.id, "line {} claimed by two arrays", line);
+                }
+            }
+        }
+    }
+
+    /// Round-robin placement spreads consecutive pages across nodes.
+    #[test]
+    fn round_robin_covers_all_nodes(nodes in 2u32..9) {
+        let mut numa = NumaAllocator::new(nodes);
+        // One multi-page array: 4096 W8 elements = 8 pages.
+        let l = numa.alloc_array(ArrayId(0), 4096, ElemSize::W8, PlacementPolicy::RoundRobin);
+        let mut seen = std::collections::BTreeSet::new();
+        for page in 0..8u64 {
+            seen.insert(numa.home_of(l.base.offset(page * 4096)).0);
+        }
+        prop_assert_eq!(seen.len() as u32, nodes.min(8));
+    }
+}

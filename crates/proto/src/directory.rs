@@ -1,0 +1,212 @@
+//! Directory line states (DASH-like full-map directory).
+//!
+//! Each node's directory slice tracks the lines homed in its memory module.
+//! A line is *Uncached* (memory is the only copy), *Shared* (one or more
+//! clean cached copies), or *Dirty* (exactly one cache owns a modified
+//! copy). All transactions on a line serialize at its home directory, which
+//! is what the paper's protocol extensions lean on to keep their data races
+//! resolvable.
+
+use std::collections::{BTreeSet, HashMap};
+
+use specrt_mem::{LineAddr, ProcId};
+
+/// Coherence state of one line at its home directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirLineState {
+    /// No cached copies.
+    Uncached,
+    /// Clean copies at the given processors (never empty).
+    Shared(BTreeSet<ProcId>),
+    /// Modified copy owned by one processor.
+    Dirty(ProcId),
+}
+
+impl DirLineState {
+    /// The sharers if `Shared`, empty otherwise.
+    pub fn sharers(&self) -> BTreeSet<ProcId> {
+        match self {
+            DirLineState::Shared(s) => s.clone(),
+            _ => BTreeSet::new(),
+        }
+    }
+
+    /// The owner if `Dirty`.
+    pub fn owner(&self) -> Option<ProcId> {
+        match self {
+            DirLineState::Dirty(p) => Some(*p),
+            _ => None,
+        }
+    }
+}
+
+/// One node's directory slice.
+///
+/// Lines not present in the map are `Uncached`; the map is populated lazily.
+#[derive(Debug, Clone, Default)]
+pub struct DirectoryNode {
+    lines: HashMap<LineAddr, DirLineState>,
+}
+
+impl DirectoryNode {
+    /// Creates an empty slice.
+    pub fn new() -> Self {
+        DirectoryNode::default()
+    }
+
+    /// Current state of `line`.
+    pub fn state(&self, line: LineAddr) -> DirLineState {
+        self.lines
+            .get(&line)
+            .cloned()
+            .unwrap_or(DirLineState::Uncached)
+    }
+
+    /// Records that `proc` now holds a clean copy (after a read fill or a
+    /// dirty-to-shared downgrade).
+    pub fn add_sharer(&mut self, line: LineAddr, proc: ProcId) {
+        let state = self.lines.entry(line).or_insert(DirLineState::Uncached);
+        match state {
+            DirLineState::Uncached => {
+                *state = DirLineState::Shared(BTreeSet::from([proc]));
+            }
+            DirLineState::Shared(s) => {
+                s.insert(proc);
+            }
+            DirLineState::Dirty(owner) => {
+                panic!("add_sharer({line}, {proc}) while dirty at {owner}");
+            }
+        }
+    }
+
+    /// Records that `proc` now owns the line exclusively (after a write
+    /// fill/upgrade). Any previous sharers must already have been
+    /// invalidated by the caller.
+    pub fn set_dirty(&mut self, line: LineAddr, proc: ProcId) {
+        self.lines.insert(line, DirLineState::Dirty(proc));
+    }
+
+    /// Downgrades a dirty line to shared by `procs` (after a write-back
+    /// triggered by a read request: owner and requester both keep copies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line was not dirty.
+    pub fn downgrade_to_shared(&mut self, line: LineAddr, procs: BTreeSet<ProcId>) {
+        assert!(
+            matches!(self.state(line), DirLineState::Dirty(_)),
+            "downgrade of non-dirty {line}"
+        );
+        assert!(
+            !procs.is_empty(),
+            "downgrade must leave at least one sharer"
+        );
+        self.lines.insert(line, DirLineState::Shared(procs));
+    }
+
+    /// Removes one sharer (cache replaced a clean line silently, or an
+    /// invalidation completed). A line with no sharers left becomes
+    /// `Uncached`.
+    pub fn remove_sharer(&mut self, line: LineAddr, proc: ProcId) {
+        if let Some(DirLineState::Shared(s)) = self.lines.get_mut(&line) {
+            s.remove(&proc);
+            if s.is_empty() {
+                self.lines.insert(line, DirLineState::Uncached);
+            }
+        }
+    }
+
+    /// Records a dirty write-back without a new owner (displacement): the
+    /// line becomes `Uncached`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line was not dirty at `proc`.
+    pub fn writeback_to_uncached(&mut self, line: LineAddr, proc: ProcId) {
+        assert_eq!(
+            self.state(line),
+            DirLineState::Dirty(proc),
+            "write-back of {line} from non-owner {proc}"
+        );
+        self.lines.insert(line, DirLineState::Uncached);
+    }
+
+    /// Forgets everything (caches were flushed).
+    pub fn clear(&mut self) {
+        self.lines.clear();
+    }
+
+    /// Number of tracked (non-`Uncached` or once-touched) lines.
+    pub fn tracked_lines(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P0: ProcId = ProcId(0);
+    const P1: ProcId = ProcId(1);
+    const L: LineAddr = LineAddr(7);
+
+    #[test]
+    fn lazily_uncached() {
+        let d = DirectoryNode::new();
+        assert_eq!(d.state(L), DirLineState::Uncached);
+    }
+
+    #[test]
+    fn sharer_lifecycle() {
+        let mut d = DirectoryNode::new();
+        d.add_sharer(L, P0);
+        d.add_sharer(L, P1);
+        assert_eq!(d.state(L).sharers(), BTreeSet::from([P0, P1]));
+        d.remove_sharer(L, P0);
+        assert_eq!(d.state(L).sharers(), BTreeSet::from([P1]));
+        d.remove_sharer(L, P1);
+        assert_eq!(d.state(L), DirLineState::Uncached);
+    }
+
+    #[test]
+    fn dirty_lifecycle() {
+        let mut d = DirectoryNode::new();
+        d.set_dirty(L, P0);
+        assert_eq!(d.state(L).owner(), Some(P0));
+        d.downgrade_to_shared(L, BTreeSet::from([P0, P1]));
+        assert_eq!(d.state(L).sharers().len(), 2);
+    }
+
+    #[test]
+    fn writeback_to_uncached_clears_owner() {
+        let mut d = DirectoryNode::new();
+        d.set_dirty(L, P1);
+        d.writeback_to_uncached(L, P1);
+        assert_eq!(d.state(L), DirLineState::Uncached);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-owner")]
+    fn writeback_from_wrong_owner_panics() {
+        let mut d = DirectoryNode::new();
+        d.set_dirty(L, P1);
+        d.writeback_to_uncached(L, P0);
+    }
+
+    #[test]
+    #[should_panic(expected = "while dirty")]
+    fn add_sharer_to_dirty_panics() {
+        let mut d = DirectoryNode::new();
+        d.set_dirty(L, P0);
+        d.add_sharer(L, P1);
+    }
+
+    #[test]
+    fn clear_forgets() {
+        let mut d = DirectoryNode::new();
+        d.add_sharer(L, P0);
+        d.clear();
+        assert_eq!(d.tracked_lines(), 0);
+        assert_eq!(d.state(L), DirLineState::Uncached);
+    }
+}

@@ -1,0 +1,274 @@
+//! Property tests: the full memory system (caches + directory + protocol
+//! messages) against the speculation oracles, under randomized access
+//! schedules with realistic timing interleavings.
+
+use proptest::prelude::*;
+
+use specrt_cache::CacheConfig;
+use specrt_engine::Cycles;
+use specrt_ir::ArrayId;
+use specrt_mem::{ElemSize, PlacementPolicy, ProcId};
+use specrt_proto::{LatencyConfig, MemSystem, MemSystemConfig};
+use specrt_spec::{IterationNumbering, ProtocolKind, TestPlan};
+
+const A: ArrayId = ArrayId(0);
+
+fn small_system(procs: u32) -> MemSystem {
+    MemSystem::new(MemSystemConfig {
+        procs,
+        cache: CacheConfig {
+            l1_lines: 8,
+            l2_lines: 32,
+        },
+        latency: LatencyConfig::default(),
+        dir_banks: 4,
+        dirty_read_downgrades: false,
+    })
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Access {
+    proc: u8,
+    elem: u8,
+    write: bool,
+    gap: u16,
+}
+
+fn schedule_strategy(procs: u8, elems: u8) -> impl Strategy<Value = Vec<Access>> {
+    proptest::collection::vec(
+        (0..procs, 0..elems, any::<bool>(), 0u16..400).prop_map(|(proc, elem, write, gap)| {
+            Access {
+                proc,
+                elem,
+                write,
+                gap,
+            }
+        }),
+        0..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness of the non-privatization protocol under arbitrary timing:
+    /// whenever the machine does NOT flag a failure, the access pattern
+    /// really was inside the envelope (every element read-only or
+    /// single-processor). Races may cause *conservative* failures, but
+    /// never a missed conflict.
+    #[test]
+    fn nonpriv_never_misses_a_conflict(schedule in schedule_strategy(4, 16)) {
+        let mut ms = small_system(4);
+        ms.alloc_array(A, 64, ElemSize::W8, PlacementPolicy::RoundRobin);
+        let mut plan = TestPlan::new();
+        plan.set(A, ProtocolKind::NonPriv);
+        ms.configure_loop(plan, IterationNumbering::iteration_wise());
+
+        let mut now = Cycles(0);
+        for a in &schedule {
+            now += Cycles(a.gap as u64);
+            let out = if a.write {
+                ms.write(ProcId(a.proc as u32), A, a.elem as u64, now)
+            } else {
+                ms.read(ProcId(a.proc as u32), A, a.elem as u64, now)
+            };
+            now = now.max(out.complete_at);
+        }
+        ms.drain_all_messages();
+
+        if ms.failure().is_none() {
+            // No element may be both written and touched by two processors.
+            for e in 0..16u8 {
+                let procs: std::collections::BTreeSet<u8> = schedule
+                    .iter()
+                    .filter(|a| a.elem == e)
+                    .map(|a| a.proc)
+                    .collect();
+                let wrote = schedule.iter().any(|a| a.elem == e && a.write);
+                prop_assert!(
+                    procs.len() <= 1 || !wrote,
+                    "missed conflict on element {} (procs {:?})",
+                    e,
+                    procs
+                );
+            }
+        }
+    }
+
+    /// With well-separated accesses (no in-flight races), the protocol is
+    /// also *complete*: it passes exactly the envelope.
+    #[test]
+    fn nonpriv_exact_without_races(schedule in schedule_strategy(3, 12)) {
+        let mut ms = small_system(3);
+        ms.alloc_array(A, 64, ElemSize::W8, PlacementPolicy::RoundRobin);
+        let mut plan = TestPlan::new();
+        plan.set(A, ProtocolKind::NonPriv);
+        ms.configure_loop(plan, IterationNumbering::iteration_wise());
+
+        let mut now = Cycles(0);
+        for a in &schedule {
+            // Leave enough time for every update message to land.
+            now += Cycles(2000);
+            let out = if a.write {
+                ms.write(ProcId(a.proc as u32), A, a.elem as u64, now)
+            } else {
+                ms.read(ProcId(a.proc as u32), A, a.elem as u64, now)
+            };
+            now = now.max(out.complete_at);
+        }
+        ms.drain_all_messages();
+
+        let mut envelope_ok = true;
+        for e in 0..12u8 {
+            let procs: std::collections::BTreeSet<u8> = schedule
+                .iter()
+                .filter(|a| a.elem == e)
+                .map(|a| a.proc)
+                .collect();
+            let wrote = schedule.iter().any(|a| a.elem == e && a.write);
+            envelope_ok &= procs.len() <= 1 || !wrote;
+        }
+        prop_assert_eq!(ms.failure().is_none(), envelope_ok,
+            "failure {:?}", ms.failure());
+    }
+
+    /// Privatization protocol under per-processor monotone iteration
+    /// sequences: fails exactly iff some element's max read-first stamp
+    /// exceeds its min write stamp (when accesses are race-free).
+    #[test]
+    fn priv_matches_stamp_oracle(
+        // Per access: (proc, elem, write?); iterations advance per proc.
+        accesses in proptest::collection::vec(
+            (0u32..3, 0u64..8, any::<bool>(), any::<bool>()),
+            0..40
+        )
+    ) {
+        let mut ms = small_system(3);
+        ms.alloc_array(A, 16, ElemSize::W8, PlacementPolicy::RoundRobin);
+        let mut plan = TestPlan::new();
+        plan.set(A, ProtocolKind::Priv { read_in: true, copy_out: false });
+        ms.configure_loop(plan, IterationNumbering::iteration_wise());
+
+        // Assign iterations round-robin: proc p executes iterations
+        // p, p+3, p+6, ... in order; each access optionally advances the
+        // processor to its next iteration.
+        let mut iter_of = [0u64, 1, 2];
+        let mut now = Cycles(0);
+        // Oracle bookkeeping: per (proc, elem): last iteration that wrote.
+        let mut wrote_in: std::collections::HashMap<(u32, u64), u64> = Default::default();
+        let mut max_rf = [0u64; 8];
+        let mut min_w = [u64::MAX; 8];
+        let mut begun = [false; 3];
+
+        for &(proc, elem, write, advance) in &accesses {
+            if advance || !begun[proc as usize] {
+                if begun[proc as usize] {
+                    iter_of[proc as usize] += 3;
+                }
+                begun[proc as usize] = true;
+                ms.begin_iteration(ProcId(proc), iter_of[proc as usize]);
+            }
+            now += Cycles(2000);
+            let iter = iter_of[proc as usize];
+            let stamp = iter + 1;
+            let out = if write {
+                wrote_in.insert((proc, elem), stamp);
+                min_w[elem as usize] = min_w[elem as usize].min(stamp);
+                ms.write(ProcId(proc), A, elem, now)
+            } else {
+                // Read-first iff this iteration has not written the element.
+                if wrote_in.get(&(proc, elem)) != Some(&stamp) {
+                    max_rf[elem as usize] = max_rf[elem as usize].max(stamp);
+                }
+                ms.read(ProcId(proc), A, elem, now)
+            };
+            now = now.max(out.complete_at);
+        }
+        ms.drain_all_messages();
+
+        let oracle_fail = (0..8).any(|e| max_rf[e] > min_w[e]);
+        prop_assert_eq!(ms.failure().is_some(), oracle_fail,
+            "failure {:?}, max_rf {:?}, min_w {:?}", ms.failure(), max_rf, min_w);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The reduced no-read-in privatization mode (Figure 5-b) under
+    /// race-free schedules: fails exactly iff some element is BOTH
+    /// read-first (by some iteration) and written (in a different
+    /// iteration or by a different processor) — the conservative
+    /// mixed-use rule.
+    #[test]
+    fn priv_no_read_in_matches_mixed_use_rule(
+        accesses in proptest::collection::vec(
+            (0u32..3, 0u64..8, any::<bool>(), any::<bool>()),
+            0..40
+        )
+    ) {
+        let mut ms = small_system(3);
+        ms.alloc_array(A, 16, ElemSize::W8, PlacementPolicy::RoundRobin);
+        let mut plan = TestPlan::new();
+        plan.set(A, ProtocolKind::Priv { read_in: false, copy_out: false });
+        ms.configure_loop(plan, IterationNumbering::iteration_wise());
+
+        let mut iter_of = [0u64, 1, 2];
+        let mut begun = [false; 3];
+        let mut now = Cycles(0);
+        // Oracle per element: set of (proc, iter) writing; read-first marks.
+        let mut writes: Vec<Vec<(u32, u64)>> = vec![Vec::new(); 8];
+        let mut read_firsts: Vec<Vec<(u32, u64)>> = vec![Vec::new(); 8];
+        let mut wrote_this_iter: std::collections::HashSet<(u32, u64, u64)> = Default::default();
+        let mut read_this_iter: std::collections::HashSet<(u32, u64, u64)> = Default::default();
+
+        for &(proc, elem, write, advance) in &accesses {
+            if advance || !begun[proc as usize] {
+                if begun[proc as usize] {
+                    iter_of[proc as usize] += 3;
+                }
+                begun[proc as usize] = true;
+                ms.begin_iteration(ProcId(proc), iter_of[proc as usize]);
+            }
+            now += Cycles(2000);
+            let iter = iter_of[proc as usize];
+            let out = if write {
+                wrote_this_iter.insert((proc, iter, elem));
+                writes[elem as usize].push((proc, iter));
+                ms.write(ProcId(proc), A, elem, now)
+            } else {
+                if !wrote_this_iter.contains(&(proc, iter, elem))
+                    && !read_this_iter.contains(&(proc, iter, elem))
+                {
+                    read_firsts[elem as usize].push((proc, iter));
+                }
+                read_this_iter.insert((proc, iter, elem));
+                ms.read(ProcId(proc), A, elem, now)
+            };
+            prop_assert!(out.read_in.is_none(), "no-read-in mode must never read in");
+            now = now.max(out.complete_at);
+        }
+        ms.drain_all_messages();
+
+        // Oracle: element fails iff it has a read-first and a write that are
+        // not confined to the same (proc, iteration)'s write-before-read...
+        // precisely: exists read-first (p, i) and write (q, j) with
+        // (p, i) != (q, j) covering both the cross-proc sticky rule and the
+        // same-proc WriteAny rule — except a write *later in the same
+        // iteration* than the read-first, which the reduced state cannot
+        // order... it clears nothing: the shared AnyW/AnyR1st are sticky, so
+        // any coexistence of a read-first and a write on an element fails
+        // UNLESS they are the same iteration's read-then-write (the
+        // read-first mark precedes the write and the private FAIL only
+        // triggers for *earlier*-iteration writes; the shared store gets
+        // both signals → fails). So: fails iff element has >= 1 read-first
+        // and >= 1 write, except when the ONLY such pair is a same-proc
+        // same-iteration read-then-write... which still sends both signals.
+        // Net: fails iff some element has both a read-first and a write.
+        let oracle_fail = (0..8).any(|e| {
+            !read_firsts[e].is_empty() && !writes[e].is_empty()
+        });
+        prop_assert_eq!(ms.failure().is_some(), oracle_fail,
+            "failure {:?}; rf {:?}; w {:?}", ms.failure(), read_firsts, writes);
+    }
+}

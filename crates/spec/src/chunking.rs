@@ -1,0 +1,160 @@
+//! Effective iteration numbering: iteration-wise, block-chunked, and
+//! processor-wise tests (paper §2.2.3 and §4.1).
+//!
+//! The privatization protocol stamps elements with iteration numbers. §4.1
+//! observes that grouping contiguous iterations into chunks
+//! ("superiterations") shrinks the stamps, reduces read-first signals, and
+//! at the extreme of one chunk per processor turns the stamps into processor
+//! ids — the processor-wise test. All of these are just a change of the
+//! *effective* iteration number presented to the protocol, which this module
+//! encapsulates.
+
+/// Maps global 0-based iteration numbers to effective 1-based stamps.
+///
+/// # Examples
+///
+/// ```
+/// use specrt_spec::IterationNumbering;
+///
+/// let itw = IterationNumbering::iteration_wise();
+/// assert_eq!(itw.effective(0), 1);
+/// assert_eq!(itw.effective(7), 8);
+///
+/// let chunked = IterationNumbering::chunked(4);
+/// assert_eq!(chunked.effective(0), 1);
+/// assert_eq!(chunked.effective(3), 1);
+/// assert_eq!(chunked.effective(4), 2);
+///
+/// // Processor-wise: 100 iterations on 8 processors → 13-iteration chunks.
+/// let pw = IterationNumbering::processor_wise(100, 8);
+/// assert_eq!(pw.effective(0), 1);
+/// assert_eq!(pw.effective(99), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IterationNumbering {
+    chunk: u64,
+}
+
+impl IterationNumbering {
+    /// Every iteration gets its own stamp (the plain iteration-wise test).
+    pub fn iteration_wise() -> Self {
+        IterationNumbering { chunk: 1 }
+    }
+
+    /// Contiguous chunks of `chunk` iterations share a stamp (block or
+    /// block-cyclic superiterations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub fn chunked(chunk: u64) -> Self {
+        assert!(chunk > 0, "chunk size must be positive");
+        IterationNumbering { chunk }
+    }
+
+    /// One chunk per processor over `total_iters` iterations: the
+    /// processor-wise test. Requires static contiguous scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs` is zero.
+    pub fn processor_wise(total_iters: u64, procs: u32) -> Self {
+        assert!(procs > 0, "need at least one processor");
+        let chunk = total_iters.div_ceil(procs as u64).max(1);
+        IterationNumbering { chunk }
+    }
+
+    /// Chunk size in iterations.
+    pub fn chunk_size(&self) -> u64 {
+        self.chunk
+    }
+
+    /// The 1-based effective stamp of global iteration `iter` (0-based).
+    pub fn effective(&self, iter: u64) -> u64 {
+        iter / self.chunk + 1
+    }
+
+    /// How many distinct stamps a loop of `total_iters` iterations uses.
+    pub fn stamp_count(&self, total_iters: u64) -> u64 {
+        total_iters.div_ceil(self.chunk)
+    }
+
+    /// Bits required per stamp field for a loop of `total_iters` iterations.
+    /// "If we want to support loops of up to 2^16 iterations … we need 2
+    /// bytes per element for each shadow array" (paper §2.2.2).
+    pub fn stamp_bits(&self, total_iters: u64) -> u32 {
+        let stamps = self.stamp_count(total_iters);
+        // Stamps are 1-based; value range is 0..=stamps.
+        u64::BITS - stamps.leading_zeros()
+    }
+
+    /// Whether two global iterations share an effective stamp — dependences
+    /// between them become invisible to the protocol, which is exactly why a
+    /// not-fully-parallel loop can pass a coarser test (paper §2.2.3,
+    /// Track's 5 failing instances pass processor-wise).
+    pub fn same_stamp(&self, a: u64, b: u64) -> bool {
+        self.effective(a) == self.effective(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_wise_is_identity_plus_one() {
+        let n = IterationNumbering::iteration_wise();
+        for i in 0..10 {
+            assert_eq!(n.effective(i), i + 1);
+        }
+        assert_eq!(n.stamp_count(100), 100);
+    }
+
+    #[test]
+    fn chunked_groups_contiguous_iterations() {
+        let n = IterationNumbering::chunked(3);
+        assert_eq!(n.effective(0), 1);
+        assert_eq!(n.effective(2), 1);
+        assert_eq!(n.effective(3), 2);
+        assert!(n.same_stamp(0, 2));
+        assert!(!n.same_stamp(2, 3));
+        assert_eq!(n.stamp_count(10), 4);
+    }
+
+    #[test]
+    fn processor_wise_covers_range_with_proc_count_stamps() {
+        let n = IterationNumbering::processor_wise(480, 16);
+        assert_eq!(n.chunk_size(), 30);
+        assert_eq!(n.stamp_count(480), 16);
+        assert_eq!(n.effective(0), 1);
+        assert_eq!(n.effective(479), 16);
+    }
+
+    #[test]
+    fn processor_wise_uneven_division() {
+        let n = IterationNumbering::processor_wise(10, 4);
+        assert_eq!(n.chunk_size(), 3);
+        assert!(n.stamp_count(10) <= 4);
+    }
+
+    #[test]
+    fn processor_wise_more_procs_than_iters() {
+        let n = IterationNumbering::processor_wise(2, 8);
+        assert_eq!(n.chunk_size(), 1);
+    }
+
+    #[test]
+    fn stamp_bits_shrink_with_chunking() {
+        let total = 1 << 16;
+        let itw = IterationNumbering::iteration_wise();
+        assert_eq!(itw.stamp_bits(total), 17); // 2^16 stamps, 1-based
+        let pw = IterationNumbering::processor_wise(total, 16);
+        assert_eq!(pw.stamp_bits(total), 5); // 16 stamps
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_rejected() {
+        IterationNumbering::chunked(0);
+    }
+}

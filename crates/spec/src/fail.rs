@@ -1,0 +1,189 @@
+//! Reasons a speculative parallel execution fails.
+//!
+//! When any protocol handler detects a (potential) cross-iteration
+//! dependence it returns one of these reasons; the machine layer then aborts
+//! the parallel execution immediately — the key advantage over the software
+//! scheme, which only learns of failure after the whole loop has run.
+
+use std::fmt;
+
+use specrt_mem::ProcId;
+
+/// Why the hardware flagged the speculative execution as not parallel.
+///
+/// Variants map one-to-one onto the `FAIL` statements in the paper's
+/// algorithm figures (6–9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailReason {
+    /// Non-privatization, processor read (Fig. 6-a/b): the element was
+    /// already written (`NoShr`) by a different processor.
+    ReadOfRemotelyWritten {
+        /// The reading processor.
+        reader: ProcId,
+        /// The processor recorded as `First`, if known at the failing site.
+        first: Option<ProcId>,
+    },
+    /// Non-privatization, processor write (Fig. 6-c/d): the element was
+    /// first accessed by a different processor, or is marked read-shared
+    /// (`ROnly`).
+    WriteConflict {
+        /// The writing processor.
+        writer: ProcId,
+        /// The processor recorded as `First`, if any.
+        first: Option<ProcId>,
+        /// Whether the failure was due to the `ROnly` bit.
+        r_only: bool,
+    },
+    /// Non-privatization (Fig. 7-f): a `First_update` message from a read
+    /// raced with a write that reached the directory first.
+    FirstUpdateRace {
+        /// Sender of the losing `First_update`.
+        sender: ProcId,
+    },
+    /// Non-privatization (Fig. 7-g): a `First_update_fail` bounce found that
+    /// this processor had already written the element (read then wrote
+    /// before learning it was not first).
+    FirstUpdateFailAfterWrite {
+        /// The processor whose speculation collapsed.
+        proc: ProcId,
+    },
+    /// Non-privatization (Fig. 7-h): an `ROnly_update` raced with a write.
+    ROnlyUpdateRace {
+        /// Sender of the losing `ROnly_update`.
+        sender: ProcId,
+    },
+    /// Privatization (Fig. 8-d/e): a read-first iteration is later than the
+    /// minimum writing iteration (`Curr_Iter > MinW`).
+    ReadFirstAfterWrite {
+        /// The read-first iteration number (1-based effective numbering).
+        iter: u64,
+        /// The `MinW` stamp it collided with.
+        min_w: u64,
+    },
+    /// Privatization (Fig. 9-i/j): a first-write iteration is earlier than
+    /// the maximum read-first iteration (`Curr_Iter < MaxR1st`).
+    WriteBeforeReadFirst {
+        /// The writing iteration number (1-based effective numbering).
+        iter: u64,
+        /// The `MaxR1st` stamp it collided with.
+        max_r1st: u64,
+    },
+    /// An exception occurred during speculative execution (e.g. divide by
+    /// zero caused by stale speculative data); per §2.2 the loop must abort
+    /// and re-execute serially.
+    Exception,
+}
+
+impl FailReason {
+    /// Short machine-readable label, used in statistics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailReason::ReadOfRemotelyWritten { .. } => "read_of_remotely_written",
+            FailReason::WriteConflict { .. } => "write_conflict",
+            FailReason::FirstUpdateRace { .. } => "first_update_race",
+            FailReason::FirstUpdateFailAfterWrite { .. } => "first_update_fail_after_write",
+            FailReason::ROnlyUpdateRace { .. } => "r_only_update_race",
+            FailReason::ReadFirstAfterWrite { .. } => "read_first_after_write",
+            FailReason::WriteBeforeReadFirst { .. } => "write_before_read_first",
+            FailReason::Exception => "exception",
+        }
+    }
+}
+
+impl fmt::Display for FailReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailReason::ReadOfRemotelyWritten { reader, first } => write!(
+                f,
+                "{reader} read an element already written by {}",
+                first.map_or("another processor".to_string(), |p| p.to_string())
+            ),
+            FailReason::WriteConflict {
+                writer,
+                first,
+                r_only,
+            } => {
+                if *r_only {
+                    write!(f, "{writer} wrote an element marked read-only shared")
+                } else {
+                    write!(
+                        f,
+                        "{writer} wrote an element first accessed by {}",
+                        first.map_or("another processor".to_string(), |p| p.to_string())
+                    )
+                }
+            }
+            FailReason::FirstUpdateRace { sender } => {
+                write!(f, "First_update from {sender} raced with a write")
+            }
+            FailReason::FirstUpdateFailAfterWrite { proc } => {
+                write!(f, "{proc} wrote before learning it was not First")
+            }
+            FailReason::ROnlyUpdateRace { sender } => {
+                write!(f, "ROnly_update from {sender} raced with a write")
+            }
+            FailReason::ReadFirstAfterWrite { iter, min_w } => {
+                write!(
+                    f,
+                    "read-first iteration {iter} follows write iteration {min_w}"
+                )
+            }
+            FailReason::WriteBeforeReadFirst { iter, max_r1st } => {
+                write!(
+                    f,
+                    "write iteration {iter} precedes read-first iteration {max_r1st}"
+                )
+            }
+            FailReason::Exception => write!(f, "exception during speculative execution"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let reasons = [
+            FailReason::ReadOfRemotelyWritten {
+                reader: ProcId(0),
+                first: None,
+            },
+            FailReason::WriteConflict {
+                writer: ProcId(0),
+                first: None,
+                r_only: false,
+            },
+            FailReason::FirstUpdateRace { sender: ProcId(0) },
+            FailReason::FirstUpdateFailAfterWrite { proc: ProcId(0) },
+            FailReason::ROnlyUpdateRace { sender: ProcId(0) },
+            FailReason::ReadFirstAfterWrite { iter: 2, min_w: 1 },
+            FailReason::WriteBeforeReadFirst {
+                iter: 1,
+                max_r1st: 2,
+            },
+            FailReason::Exception,
+        ];
+        let mut labels: Vec<_> = reasons.iter().map(|r| r.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), reasons.len());
+    }
+
+    #[test]
+    fn display_mentions_parties() {
+        let r = FailReason::ReadOfRemotelyWritten {
+            reader: ProcId(3),
+            first: Some(ProcId(1)),
+        };
+        let s = r.to_string();
+        assert!(s.contains("cpu3") && s.contains("cpu1"));
+        let w = FailReason::WriteConflict {
+            writer: ProcId(2),
+            first: None,
+            r_only: true,
+        };
+        assert!(w.to_string().contains("read-only"));
+    }
+}

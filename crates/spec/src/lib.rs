@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # specrt-spec
+//!
+//! The paper's contribution: cache-coherence-protocol extensions that detect
+//! cross-iteration dependences during speculative parallel loop execution.
+//!
+//! Two protocols are provided (paper §3):
+//!
+//! * [`nonpriv`] — the **non-privatization algorithm** (Figures 4, 6, 7):
+//!   every element of an array under test must be read-only (`ROnly`) or
+//!   accessed by a single processor (`NoShr`); any other pattern FAILs the
+//!   speculation. State lives in cache tags (`First`∈{NONE,OWN,OTHER},
+//!   `NoShr`, `ROnly`) and in the home directory (`First` = processor id,
+//!   `NoShr`, `ROnly`), kept coherent lazily with `First_update` /
+//!   `ROnly_update` messages whose races the directory resolves.
+//!
+//! * [`privat`] — the **privatization algorithm** (Figures 8, 9): each
+//!   processor works on a private copy; the shared array's directory keeps
+//!   per-element `MaxR1st` / `MinW` iteration stamps and FAILs whenever a
+//!   read-first iteration is later than some writing iteration. Supports
+//!   read-in and copy-out.
+//!
+//! The state machines here are *pure*: they mutate tag/directory element
+//! state and report [`FailReason`]s, while `specrt-proto` provides message
+//! timing and `specrt-machine` orchestrates loops. This separation lets
+//! property tests drive the protocols through millions of interleavings
+//! without a simulator in the loop.
+//!
+//! [`privat3`] holds the reduced no-read-in state of Figure 5-b / §4.1.
+//! Also here: [`plan`] (which arrays are under which test — the paper's
+//! address-range comparator of §4.1), [`chunking`] (block-cyclic
+//! superiterations and the processor-wise extreme of §4.1), and
+//! [`state_cost`] (the Figure 5 / §3.4 storage-cost analytics).
+
+pub mod chunking;
+pub mod fail;
+pub mod nonpriv;
+pub mod plan;
+pub mod privat;
+pub mod privat3;
+pub mod state_cost;
+
+pub use chunking::IterationNumbering;
+pub use fail::FailReason;
+pub use nonpriv::{
+    nonpriv_cache_read, nonpriv_cache_write, nonpriv_complete_write, nonpriv_on_first_update_fail,
+    FirstUpdateOutcome, NonPrivDirElem, NonPrivReadAction, NonPrivWriteAction,
+};
+pub use plan::{ProtocolKind, TestPlan};
+pub use privat::{
+    priv_cache_read, priv_cache_write, PrivPrivateElem, PrivSharedElem, PrivateReadMissOutcome,
+    PrivateReadOutcome, PrivateWriteMissOutcome, PrivateWriteOutcome,
+};
+pub use privat3::{NoReadInOutcome, PrivNoReadInPrivate, PrivNoReadInShared};
+pub use state_cost::StateCost;

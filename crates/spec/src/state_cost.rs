@@ -1,0 +1,167 @@
+//! Storage-cost analytics: Figure 5 and the §3.4 hardware-vs-software
+//! comparison, as executable formulas.
+//!
+//! §3.4: "the software scheme requires, per array element, 3 time-stamps for
+//! the shadow locations (if read-in is not supported) or 4 time-stamps (if
+//! read-in is supported). The hardware scheme, according to Figure 5,
+//! requires the maximum of 2 and 2+log(Proc) bits (if read-in is not
+//! supported) or the maximum of 2 time stamps and 2+log(Proc) bits (if
+//! read-in is supported)."
+
+/// Per-element overhead-state calculator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateCost {
+    /// Number of processors.
+    pub procs: u32,
+    /// Maximum loop iteration count to support.
+    pub max_iters: u64,
+}
+
+impl StateCost {
+    /// Creates a calculator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs` is zero or `max_iters` is zero.
+    pub fn new(procs: u32, max_iters: u64) -> Self {
+        assert!(procs > 0 && max_iters > 0, "need processors and iterations");
+        StateCost { procs, max_iters }
+    }
+
+    /// Bits per iteration time stamp: `ceil(log2(max_iters + 1))`
+    /// (stamps are 1-based with 0 reserved for "never").
+    pub fn stamp_bits(&self) -> u32 {
+        u64::BITS - self.max_iters.leading_zeros()
+    }
+
+    /// Bits to name a processor: `ceil(log2(procs))`, at least 1.
+    pub fn proc_bits(&self) -> u32 {
+        (u32::BITS - (self.procs - 1).leading_zeros()).max(1)
+    }
+
+    /// Directory bits per element for the hardware **non-privatization**
+    /// protocol (Figure 5-a): `First` (processor id) + `NoShr` + `ROnly`.
+    pub fn hw_nonpriv_dir_bits(&self) -> u32 {
+        self.proc_bits() + 2
+    }
+
+    /// Cache-tag bits per element for the non-privatization protocol:
+    /// 2-bit `First` summary + `NoShr` + `ROnly`.
+    pub fn hw_nonpriv_tag_bits(&self) -> u32 {
+        4
+    }
+
+    /// Directory bits per element for the hardware **privatization**
+    /// protocol *without* read-in/copy-out (Figure 5-b): just `Read1st` and
+    /// `Write`.
+    pub fn hw_priv_dir_bits_no_read_in(&self) -> u32 {
+        2
+    }
+
+    /// Directory bits per element for the privatization protocol *with*
+    /// read-in/copy-out (Figure 5-c): two iteration time stamps
+    /// (`MaxR1st`/`MinW` shared side, `PMaxR1st`/`PMaxW` private side).
+    pub fn hw_priv_dir_bits_read_in(&self) -> u32 {
+        2 * self.stamp_bits()
+    }
+
+    /// Cache-tag bits per element for the privatization protocol:
+    /// `Read1st` + `Write`.
+    pub fn hw_priv_tag_bits(&self) -> u32 {
+        2
+    }
+
+    /// Total hardware directory bits per element: the single shared set of
+    /// bits must support both protocols, so it is the max of the two
+    /// (§3.4's fourth advantage).
+    pub fn hw_dir_bits(&self, read_in: bool) -> u32 {
+        let priv_bits = if read_in {
+            self.hw_priv_dir_bits_read_in()
+        } else {
+            self.hw_priv_dir_bits_no_read_in()
+        };
+        priv_bits.max(self.hw_nonpriv_dir_bits())
+    }
+
+    /// Hardware cache-tag bits per element (max over protocols).
+    pub fn hw_tag_bits(&self) -> u32 {
+        self.hw_nonpriv_tag_bits().max(self.hw_priv_tag_bits())
+    }
+
+    /// Software LRPD shadow state per element, in bits: 3 time stamps
+    /// (`A_r`, `A_w`, `A_np`) without read-in support, 4 (adding
+    /// `A_wmin`, §2.2.3) with it.
+    pub fn sw_bits(&self, read_in: bool) -> u32 {
+        let stamps = if read_in { 4 } else { 3 };
+        stamps * self.stamp_bits()
+    }
+
+    /// Software processor-wise shadow state per element: the three shadow
+    /// entries shrink to 1 bit each (§2.2.3).
+    pub fn sw_processor_wise_bits(&self) -> u32 {
+        3
+    }
+
+    /// HW-to-SW state ratio (< 1.0 means hardware needs less state).
+    pub fn hw_over_sw_ratio(&self, read_in: bool) -> f64 {
+        self.hw_dir_bits(read_in) as f64 / self.sw_bits(read_in) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_bits_match_paper_example() {
+        // "if we want to support loops of up to 2^16 iterations … we need 2
+        // bytes per element for each shadow array".
+        let c = StateCost::new(16, (1 << 16) - 1);
+        assert_eq!(c.stamp_bits(), 16);
+        assert_eq!(c.sw_bits(false), 48); // 3 stamps * 16 bits
+        assert_eq!(c.sw_bits(true), 64); // 4 stamps
+    }
+
+    #[test]
+    fn proc_bits() {
+        assert_eq!(StateCost::new(1, 10).proc_bits(), 1);
+        assert_eq!(StateCost::new(2, 10).proc_bits(), 1);
+        assert_eq!(StateCost::new(16, 10).proc_bits(), 4);
+        assert_eq!(StateCost::new(17, 10).proc_bits(), 5);
+    }
+
+    #[test]
+    fn hw_dir_bits_no_read_in_is_nonpriv_dominated() {
+        let c = StateCost::new(16, 1 << 16);
+        // max(2, 2 + log P) = 2 + 4 = 6 bits.
+        assert_eq!(c.hw_dir_bits(false), 6);
+    }
+
+    #[test]
+    fn hw_dir_bits_read_in_is_stamp_dominated() {
+        let c = StateCost::new(16, (1 << 16) - 1);
+        // max(2 * 16, 6) = 32 bits.
+        assert_eq!(c.hw_dir_bits(true), 32);
+    }
+
+    #[test]
+    fn hw_needs_less_state_than_sw() {
+        let c = StateCost::new(16, (1 << 16) - 1);
+        assert!(c.hw_over_sw_ratio(false) < 1.0);
+        assert!(c.hw_over_sw_ratio(true) < 1.0);
+    }
+
+    #[test]
+    fn tag_bits() {
+        let c = StateCost::new(16, 100);
+        assert_eq!(c.hw_tag_bits(), 4);
+        assert_eq!(c.hw_priv_tag_bits(), 2);
+        assert_eq!(c.sw_processor_wise_bits(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "need processors")]
+    fn zero_procs_rejected() {
+        StateCost::new(0, 1);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # specrt
+//!
+//! Facade crate for the `specrt` workspace: a full-system reproduction of
+//! *"Hardware for Speculative Run-Time Parallelization in Distributed
+//! Shared-Memory Multiprocessors"* (Zhang, Rauchwerger & Torrellas,
+//! HPCA 1998).
+//!
+//! This crate re-exports the public API of [`specrt_core`] and the underlying
+//! subsystem crates so that applications can depend on a single crate:
+//!
+//! * [`engine`] — discrete-event simulation engine,
+//! * [`ir`] — the mini compiler IR loop bodies are written in,
+//! * [`mem`] — NUMA memory system,
+//! * [`cache`] — two-level caches and access-bit arrays,
+//! * [`spec`] — the paper's speculation protocols (the contribution),
+//! * [`proto`] — directory-based cache coherence,
+//! * [`lrpd`] — the software LRPD baseline,
+//! * [`machine`] — processors, synchronization, schedulers, scenarios,
+//! * [`workloads`] — synthetic stand-ins for the paper's four loops.
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
+//! system inventory.
+
+pub use specrt_core::*;
+
+pub use specrt_cache as cache;
+pub use specrt_engine as engine;
+pub use specrt_ir as ir;
+pub use specrt_lrpd as lrpd;
+pub use specrt_machine as machine;
+pub use specrt_mem as mem;
+pub use specrt_proto as proto;
+pub use specrt_spec as spec;
+pub use specrt_workloads as workloads;

@@ -1,0 +1,59 @@
+//! Golden-value regression tests.
+//!
+//! The simulator is bit-deterministic, so key scenario results can be
+//! pinned exactly. These values WILL change when the machine model or the
+//! workload calibration is intentionally modified — update them together
+//! with `EXPERIMENTS.md` in that case. What they guard against is the
+//! *unintentional* drift of a refactor that was supposed to be
+//! behaviour-preserving.
+
+use specrt::machine::{run_scenario, Scenario, SwVariant};
+use specrt::workloads::{adm, ocean, track};
+
+#[test]
+fn ocean_first_invocation_is_pinned() {
+    let spec = ocean::instance(0, false);
+    let serial = run_scenario(&spec, Scenario::Serial, 8);
+    let hw = run_scenario(&spec, Scenario::Hw, 8);
+    let sw = run_scenario(&spec, Scenario::Sw(SwVariant::ProcessorWise), 8);
+    // Repeating the run reproduces the exact cycle counts.
+    let serial2 = run_scenario(&spec, Scenario::Serial, 8);
+    assert_eq!(serial.total_cycles, serial2.total_cycles);
+    // Ordering invariants that any recalibration must preserve.
+    assert_eq!(hw.passed, Some(true));
+    assert_eq!(sw.passed, Some(true));
+    assert!(hw.total_cycles < sw.total_cycles);
+    assert!(sw.total_cycles < serial.total_cycles);
+    // Pinned absolute values (update deliberately, with EXPERIMENTS.md).
+    insta_like("ocean serial", serial.total_cycles.raw(), 371_686);
+    insta_like("ocean hw", hw.total_cycles.raw(), 151_854);
+    insta_like("ocean sw", sw.total_cycles.raw(), 283_471);
+}
+
+#[test]
+fn adm_first_invocation_is_pinned() {
+    let spec = adm::instance(0, false);
+    let serial = run_scenario(&spec, Scenario::Serial, 16);
+    let hw = run_scenario(&spec, Scenario::Hw, 16);
+    assert_eq!(hw.passed, Some(true));
+    insta_like("adm serial", serial.total_cycles.raw(), 50_745);
+    insta_like("adm hw", hw.total_cycles.raw(), 5_255);
+}
+
+#[test]
+fn track_paired_instance_abort_point_is_pinned() {
+    let mut spec = track::instance(3, true);
+    spec.schedule = specrt::machine::ScheduleKind::Dynamic { block: 1 };
+    let hw = run_scenario(&spec, Scenario::Hw, 16);
+    assert_eq!(hw.passed, Some(false));
+    insta_like("track abort iterations", hw.iterations, 11);
+}
+
+/// Exact comparison with a helpful failure message.
+fn insta_like(what: &str, got: u64, want: u64) {
+    assert_eq!(
+        got, want,
+        "{what}: got {got}, pinned {want} — if this change is intentional, \
+         update the golden value and re-run the EXPERIMENTS.md tables"
+    );
+}

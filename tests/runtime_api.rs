@@ -1,0 +1,104 @@
+//! Integration tests for the public `SpeculativeRuntime` API surface.
+
+use specrt::machine::SwVariant;
+use specrt::report::Table;
+use specrt::workloads::{adm, ocean, p3m, track};
+use specrt::{ParallelizationStrategy, SpeculativeRuntime};
+
+#[test]
+fn runtime_handles_every_workload_instance() {
+    let rt16 = SpeculativeRuntime::new(16);
+    let rt8 = SpeculativeRuntime::new(8);
+
+    let ocean_run = rt8.run(
+        &ocean::instance(0, false),
+        ParallelizationStrategy::Hardware,
+    );
+    assert_eq!(ocean_run.passed, Some(true), "{:?}", ocean_run.failure);
+
+    let p3m_run = rt16.run(
+        &p3m::instance(120, false),
+        ParallelizationStrategy::Hardware,
+    );
+    assert_eq!(p3m_run.passed, Some(true), "{:?}", p3m_run.failure);
+
+    let adm_run = rt16.run(&adm::instance(1, false), ParallelizationStrategy::Hardware);
+    assert_eq!(adm_run.passed, Some(true), "{:?}", adm_run.failure);
+
+    let track_run = rt16.run(
+        &track::instance(0, false),
+        ParallelizationStrategy::Hardware,
+    );
+    assert_eq!(track_run.passed, Some(true), "{:?}", track_run.failure);
+}
+
+#[test]
+fn run_all_is_consistent_with_individual_runs() {
+    let spec = adm::instance(0, false);
+    let rt = SpeculativeRuntime::new(8);
+    let (serial, ideal, sw, hw) = rt.run_all(&spec, SwVariant::ProcessorWise);
+    assert_eq!(
+        serial.total_cycles,
+        rt.run(&spec, ParallelizationStrategy::Serial).total_cycles
+    );
+    assert_eq!(
+        hw.total_cycles,
+        rt.run(&spec, ParallelizationStrategy::Hardware)
+            .total_cycles
+    );
+    assert_eq!(
+        sw.total_cycles,
+        rt.run(&spec, ParallelizationStrategy::SoftwareProcessorWise)
+            .total_cycles
+    );
+    assert!(ideal.total_cycles <= serial.total_cycles);
+}
+
+#[test]
+fn deterministic_across_repeated_runs() {
+    let spec = track::instance(1, false);
+    let rt = SpeculativeRuntime::new(8);
+    let a = rt.run(&spec, ParallelizationStrategy::Hardware);
+    let b = rt.run(&spec, ParallelizationStrategy::Hardware);
+    assert_eq!(
+        a.total_cycles, b.total_cycles,
+        "simulation must be deterministic"
+    );
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.breakdown, b.breakdown);
+}
+
+#[test]
+fn stats_expose_protocol_activity() {
+    let spec = p3m::instance(100, false);
+    let rt = SpeculativeRuntime::new(8);
+    let hw = rt.run(&spec, ParallelizationStrategy::Hardware);
+    assert!(hw.stats.get("transactions") > 0);
+    assert!(hw.stats.get("priv_first_write_signals") > 0);
+    let ocean_hw = rt.run(
+        &ocean::instance(0, false),
+        ParallelizationStrategy::Hardware,
+    );
+    assert!(ocean_hw.stats.get("nonpriv_first_updates") > 0);
+}
+
+#[test]
+fn report_tables_render_run_results() {
+    let spec = ocean::instance(2, false);
+    let rt = SpeculativeRuntime::new(8);
+    let serial = rt.run(&spec, ParallelizationStrategy::Serial);
+    let hw = rt.run(&spec, ParallelizationStrategy::Hardware);
+    let mut t = Table::new(vec!["strategy", "cycles", "speedup"]);
+    t.row(vec![
+        "serial".into(),
+        serial.total_cycles.raw().to_string(),
+        "1.00".into(),
+    ]);
+    t.row(vec![
+        "hw".into(),
+        hw.total_cycles.raw().to_string(),
+        format!("{:.2}", hw.speedup_over(&serial)),
+    ]);
+    let s = t.render();
+    assert!(s.contains("serial") && s.contains("hw"));
+}
