@@ -1,12 +1,12 @@
 //! §4.1 ablation: superiteration chunking on the privatization protocol.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use specrt_bench::harness::bench_default;
 use specrt_core::experiments::{ablation_chunking, ablation_track_block};
 use specrt_machine::{run_scenario, Scenario, ScheduleKind};
 use specrt_spec::IterationNumbering;
 use specrt_workloads::Scale;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     for r in ablation_chunking(Scale::Smoke) {
         println!(
             "chunking[chunk={}]: {} cycles, {} read-first signals, {} stamp bits",
@@ -19,20 +19,14 @@ fn bench(c: &mut Criterion) {
             r.block, r.passed, r.hw_cycles
         );
     }
-    let mut g = c.benchmark_group("ablation_chunking");
-    g.sample_size(10);
     for chunk in [1u64, 16, 64] {
         let mut spec = specrt_workloads::p3m::instance(200, false);
         if chunk > 1 {
             spec.numbering = IterationNumbering::chunked(chunk);
             spec.schedule = ScheduleKind::BlockCyclic { block: chunk };
         }
-        g.bench_function(format!("p3m_chunk{chunk}"), |b| {
-            b.iter(|| run_scenario(&spec, Scenario::Hw, 16))
+        bench_default(&format!("ablation/p3m_chunk{chunk}"), || {
+            run_scenario(&spec, Scenario::Hw, 16)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

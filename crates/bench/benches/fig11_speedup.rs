@@ -1,13 +1,13 @@
 //! Figure 11: speedups of Ideal/SW/HW over Serial, one bench per workload
-//! scenario. The criterion numbers measure host simulation cost; the
-//! simulated speedups are printed once at startup.
+//! scenario. The bench numbers measure host simulation cost; the simulated
+//! speedups are printed once at startup.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use specrt_bench::harness::bench_default;
 use specrt_core::experiments::run_workload;
 use specrt_machine::{run_scenario, Scenario};
 use specrt_workloads::{all_workloads, Scale};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     // Print the figure once, at smoke scale, for quick inspection.
     for w in all_workloads(Scale::Smoke) {
         let r = run_workload(&w, w.procs);
@@ -20,20 +20,14 @@ fn bench(c: &mut Criterion) {
             r.speedup(&r.hw)
         );
     }
-    let mut g = c.benchmark_group("fig11");
-    g.sample_size(10);
     for w in all_workloads(Scale::Smoke) {
         let spec = w.invocations[0].clone();
         let procs = w.procs;
-        g.bench_function(format!("{}_hw", w.name), |b| {
-            b.iter(|| run_scenario(&spec, Scenario::Hw, procs))
+        bench_default(&format!("fig11/{}_hw", w.name), || {
+            run_scenario(&spec, Scenario::Hw, procs)
         });
-        g.bench_function(format!("{}_sw", w.name), |b| {
-            b.iter(|| run_scenario(&spec, Scenario::Sw(w.sw_variant), procs))
+        bench_default(&format!("fig11/{}_sw", w.name), || {
+            run_scenario(&spec, Scenario::Sw(w.sw_variant), procs)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,13 +1,11 @@
 //! Figure 12: Busy/Sync/Mem breakdown of each scenario, normalized to
 //! Serial; benches each scenario of each workload's first invocation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use specrt_bench::harness::bench_default;
 use specrt_machine::{run_scenario, Scenario, SwVariant};
 use specrt_workloads::{all_workloads, Scale};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig12");
-    g.sample_size(10);
+fn main() {
     for w in all_workloads(Scale::Smoke) {
         let spec = w.invocations[0].clone();
         let procs = w.procs;
@@ -28,13 +26,9 @@ fn bench(c: &mut Criterion) {
                 r.breakdown.sync.raw() as f64 / n,
                 r.breakdown.mem.raw() as f64 / n
             );
-            g.bench_function(format!("{}_{label}", w.name), |b| {
-                b.iter(|| run_scenario(&spec, scenario, procs))
+            bench_default(&format!("fig12/{}_{label}", w.name), || {
+                run_scenario(&spec, scenario, procs)
             });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

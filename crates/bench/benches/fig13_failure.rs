@@ -1,12 +1,10 @@
 //! Figure 13: cost of a failed speculation (forced-failure instances).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use specrt_bench::harness::bench_default;
 use specrt_machine::{run_scenario, Scenario, SwVariant};
 use specrt_workloads::{all_workloads, Scale};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig13");
-    g.sample_size(10);
+fn main() {
     for w in all_workloads(Scale::Smoke) {
         let spec = w.failure_instance.clone();
         let procs = w.procs;
@@ -24,12 +22,8 @@ fn bench(c: &mut Criterion) {
             sw.total_cycles.raw() as f64 / serial.total_cycles.raw() as f64,
             hw.total_cycles.raw() as f64 / serial.total_cycles.raw() as f64,
         );
-        g.bench_function(format!("{}_hw_fail", w.name), |b| {
-            b.iter(|| run_scenario(&spec, Scenario::Hw, procs))
+        bench_default(&format!("fig13/{}_hw_fail", w.name), || {
+            run_scenario(&spec, Scenario::Hw, procs)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,11 +1,11 @@
 //! Figure 14: scalability of SW and HW at 8 vs 16 processors.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use specrt_bench::harness::bench_default;
 use specrt_core::experiments::run_workload;
 use specrt_machine::{run_scenario, Scenario};
 use specrt_workloads::{all_workloads, Scale};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     for w in all_workloads(Scale::Smoke) {
         if w.name == "ocean" {
             continue;
@@ -22,21 +22,15 @@ fn bench(c: &mut Criterion) {
             );
         }
     }
-    let mut g = c.benchmark_group("fig14");
-    g.sample_size(10);
     for w in all_workloads(Scale::Smoke) {
         if w.name != "p3m" {
             continue;
         }
         let spec = w.invocations[0].clone();
         for procs in [8u32, 16] {
-            g.bench_function(format!("p3m_hw_{procs}p"), |b| {
-                b.iter(|| run_scenario(&spec, Scenario::Hw, procs))
+            bench_default(&format!("fig14/p3m_hw_{procs}p"), || {
+                run_scenario(&spec, Scenario::Hw, procs)
             });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

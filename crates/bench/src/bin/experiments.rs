@@ -2,23 +2,67 @@
 //!
 //! ```text
 //! experiments [all|claims|fig11|fig12|fig13|fig14|state|ablation] [smoke|bench|full]
+//! experiments --trace <path> [--metrics] [--workload <name>] [smoke|bench|full]
 //! ```
 //!
 //! Defaults to `all bench`. Output is the plain-text analogue of the
 //! paper's Figures 11–14 plus the §3.4 state-cost table and the §4.1
 //! ablations; `EXPERIMENTS.md` records the paper-vs-measured comparison.
+//!
+//! With `--trace <path>` the binary instead runs one traced HW execution
+//! of a paper workload (a passing invocation followed by its §6.2
+//! forced-failure instance), writes the structured event stream to
+//! `<path>` — JSONL if the path ends in `.jsonl`, a Chrome `trace_events`
+//! JSON document (loadable in Perfetto / `chrome://tracing`) otherwise —
+//! and prints an abort-forensics table. `--metrics` prints the unified
+//! metrics registry (protocol counters, latency histograms, Busy/Sync/Mem
+//! breakdowns) of the same runs as one JSON object on stdout.
 
 use specrt_core::experiments::{
     ablation_chunking, ablation_machine, ablation_policy, ablation_track_block, evaluate_all,
     extension_density, fig11_from, fig12_from, fig13, fig14, state_cost_table, LoopResults,
 };
 use specrt_core::report::{bar_chart, bsm, f2, stacked_bar, Table};
-use specrt_workloads::Scale;
+use specrt_engine::Cycles;
+use specrt_machine::{run_scenario_configured, MachineConfig, RunResult, Scenario};
+use specrt_trace::export::{chrome_trace, jsonl, metrics_json};
+use specrt_trace::{MetricsRegistry, TraceEvent};
+use specrt_workloads::{all_workloads, Scale};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(String::as_str).unwrap_or("all");
-    let scale = match args.get(1).map(String::as_str) {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_path: Option<String> = None;
+    let mut metrics = false;
+    let mut workload = String::from("adm");
+    let mut pos: Vec<String> = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trace" => match it.next() {
+                Some(p) => trace_path = Some(p),
+                None => {
+                    eprintln!("--trace requires an output path");
+                    std::process::exit(2);
+                }
+            },
+            "--metrics" => metrics = true,
+            "--workload" => match it.next() {
+                Some(w) => workload = w,
+                None => {
+                    eprintln!("--workload requires a workload name");
+                    std::process::exit(2);
+                }
+            },
+            _ => pos.push(a),
+        }
+    }
+    let what = pos.first().map(String::as_str).unwrap_or("all");
+    let scale_arg = if trace_path.is_some() || metrics {
+        pos.first()
+    } else {
+        pos.get(1)
+    };
+    let scale = match scale_arg.map(String::as_str) {
         Some("smoke") => Scale::Smoke,
         Some("full") => Scale::Full,
         None | Some("bench") => Scale::Bench,
@@ -27,6 +71,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if trace_path.is_some() || metrics {
+        trace_report(&workload, scale, trace_path.as_deref(), metrics);
+        return;
+    }
 
     let needs_eval = matches!(what, "all" | "claims" | "fig11" | "fig12");
     let results: Vec<LoopResults> = if needs_eval {
@@ -277,6 +326,182 @@ fn print_ablation(scale: Scale) {
             r.passed.to_string(),
             r.hw_cycles.to_string(),
         ]);
+    }
+    println!("{}", t.render());
+}
+
+// ----------------------------------------------------------------------
+// Structured tracing / metrics (`--trace` / `--metrics`)
+// ----------------------------------------------------------------------
+
+/// Events a run can collect before the ring buffer starts evicting.
+const TRACE_CAPACITY: usize = 1 << 18;
+
+/// Shifts every timestamp in `events` forward by `by` cycles, so that two
+/// runs can share one trace file without overlapping on the timeline.
+fn shift_events(events: &mut [TraceEvent], by: Cycles) {
+    for e in events {
+        match e {
+            TraceEvent::Transaction { at, complete, .. } => {
+                *at += by;
+                *complete += by;
+            }
+            TraceEvent::SpecTransition { at, .. }
+            | TraceEvent::Message { at, .. }
+            | TraceEvent::Sched { at, .. }
+            | TraceEvent::Abort { at, .. } => *at += by,
+        }
+    }
+}
+
+/// Runs HW executions of `name` with tracing on (one passing invocation,
+/// then the §6.2 forced-failure instance), exports the combined event
+/// stream and prints forensics / metrics.
+fn trace_report(name: &str, scale: Scale, trace_path: Option<&str>, metrics: bool) {
+    let workloads = all_workloads(scale);
+    let Some(w) = workloads.iter().find(|w| w.name == name) else {
+        let names: Vec<&str> = workloads.iter().map(|w| w.name).collect();
+        eprintln!("unknown workload {name:?}; available: {}", names.join(", "));
+        std::process::exit(2);
+    };
+    let mut cfg = MachineConfig::with_procs(w.procs);
+    cfg.trace_capacity = TRACE_CAPACITY;
+
+    eprintln!(
+        "tracing HW run of {name} ({} procs, {scale:?} scale)...",
+        w.procs
+    );
+    let mut pass = run_scenario_configured(&w.invocations[0], Scenario::Hw, cfg);
+    eprintln!("tracing HW run of the forced-failure instance...");
+    let mut fail = run_scenario_configured(&w.failure_instance, Scenario::Hw, cfg);
+
+    // Place the failure run after the passing run on the shared timeline.
+    shift_events(&mut fail.trace, pass.total_cycles + Cycles(1000));
+    let mut events = std::mem::take(&mut pass.trace);
+    events.append(&mut fail.trace);
+
+    print_trace_summary(&events, &pass, &fail);
+    print_abort_forensics(&events);
+
+    if let Some(path) = trace_path {
+        let doc = if path.ends_with(".jsonl") {
+            jsonl(&events)
+        } else {
+            chrome_trace(&events)
+        };
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "wrote {} events to {path} ({})",
+            events.len(),
+            if path.ends_with(".jsonl") {
+                "JSONL"
+            } else {
+                "Chrome trace_events; load in Perfetto or chrome://tracing"
+            }
+        );
+    }
+
+    if metrics {
+        let mut m = MetricsRegistry::new();
+        for (tag, run) in [("pass", &pass), ("fail", &fail)] {
+            m.absorb_stats(&format!("proto.{tag}"), &run.stats);
+            m.record_breakdown(&format!("machine.{tag}"), run.breakdown);
+            m.incr(
+                &format!("machine.{tag}.total_cycles"),
+                run.total_cycles.raw(),
+            );
+            m.incr(&format!("machine.{tag}.iterations"), run.iterations);
+        }
+        for e in &events {
+            m.incr(&format!("trace.events.{}", e.kind()), 1);
+            if let TraceEvent::Transaction {
+                at,
+                complete,
+                queue,
+                ..
+            } = e
+            {
+                m.observe("mem.access_latency", complete.raw() - at.raw());
+                m.observe("mem.queue_delay", queue.raw());
+            }
+        }
+        println!("{}", metrics_json(&m));
+    }
+}
+
+fn print_trace_summary(events: &[TraceEvent], pass: &RunResult, fail: &RunResult) {
+    let count = |k: &str| events.iter().filter(|e| e.kind() == k).count();
+    let mut protocols: Vec<&'static str> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::SpecTransition { protocol, .. } => Some(*protocol),
+            _ => None,
+        })
+        .collect();
+    protocols.sort_unstable();
+    protocols.dedup();
+    println!("== Traced HW runs ==\n");
+    let mut t = Table::new(vec!["run", "passed", "cycles", "iterations"]);
+    for r in [pass, fail] {
+        t.row(vec![
+            r.name.clone(),
+            r.passed.map(|p| p.to_string()).unwrap_or_default(),
+            r.total_cycles.raw().to_string(),
+            r.iterations.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "events: {} transactions, {} spec transitions ({}), {} messages, {} sched, {} aborts\n",
+        count("txn"),
+        count("spec"),
+        if protocols.is_empty() {
+            "none".to_string()
+        } else {
+            protocols.join(", ")
+        },
+        count("msg"),
+        count("sched"),
+        count("abort"),
+    );
+}
+
+/// The abort-forensics table: one row per FAIL with full context.
+fn print_abort_forensics(events: &[TraceEvent]) {
+    let aborts: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Abort { .. }))
+        .collect();
+    if aborts.is_empty() {
+        println!("no speculation failures detected in the traced runs\n");
+        return;
+    }
+    println!("== Abort forensics ==\n");
+    let mut t = Table::new(vec!["cycle", "proc", "array", "elem", "iter", "reason"]);
+    let opt = |v: Option<String>| v.unwrap_or_else(|| "-".into());
+    for e in &aborts {
+        if let TraceEvent::Abort {
+            at,
+            proc,
+            arr,
+            idx,
+            iter,
+            reason,
+            ..
+        } = e
+        {
+            t.row(vec![
+                at.raw().to_string(),
+                opt(proc.map(|p| format!("cpu{p}"))),
+                opt(arr.map(|a| format!("arr{a}"))),
+                opt(idx.map(|i| i.to_string())),
+                opt(iter.map(|i| i.to_string())),
+                reason.clone(),
+            ]);
+        }
     }
     println!("{}", t.render());
 }

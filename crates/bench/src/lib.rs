@@ -1,9 +1,103 @@
 //! # specrt-bench
 //!
-//! Benchmark harness for the `specrt` reproduction: criterion benches (one
-//! per figure of the paper plus protocol microbenchmarks and ablations)
-//! and the `experiments` binary that regenerates every table and figure of
-//! the evaluation section.
+//! Benchmark harness for the `specrt` reproduction: self-contained micro
+//! benches (one per figure of the paper plus protocol microbenchmarks and
+//! ablations, under `benches/`) and the `experiments` binary that
+//! regenerates every table and figure of the evaluation section.
 //!
 //! Run `cargo run -p specrt-bench --bin experiments -- all` for the full
-//! set at benchmark scale, or `cargo bench` for the criterion benches.
+//! set at benchmark scale, or `cargo bench` for the micro benches. The
+//! benches use the in-repo [`harness`] (plain `std::time`) so the
+//! workspace builds and benches with no network access and no external
+//! crates.
+
+pub mod harness {
+    //! A small wall-clock micro-benchmark harness.
+    //!
+    //! Not a statistics package: it warms up, calibrates an iteration
+    //! count to a time budget, and reports mean ns/iter. That is enough
+    //! to compare two in-process variants (e.g. tracing off vs. on) and
+    //! to watch for order-of-magnitude regressions.
+
+    use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    /// One benchmark's measurement.
+    #[derive(Debug, Clone)]
+    pub struct Measurement {
+        /// Benchmark name.
+        pub name: String,
+        /// Iterations timed (after warm-up).
+        pub iters: u64,
+        /// Total wall-clock time across `iters`.
+        pub total: Duration,
+    }
+
+    impl Measurement {
+        /// Mean nanoseconds per iteration.
+        pub fn ns_per_iter(&self) -> f64 {
+            self.total.as_nanos() as f64 / self.iters.max(1) as f64
+        }
+    }
+
+    impl std::fmt::Display for Measurement {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(
+                f,
+                "{:<44} {:>12.1} ns/iter  ({} iters)",
+                self.name,
+                self.ns_per_iter(),
+                self.iters
+            )
+        }
+    }
+
+    /// Times `f` for roughly `budget` of wall-clock time (after a short
+    /// calibration), prints the measurement, and returns it. The closure's
+    /// result goes through [`black_box`] so the work is not optimized away.
+    pub fn bench<T, F: FnMut() -> T>(name: &str, budget: Duration, mut f: F) -> Measurement {
+        // Calibrate: double the batch until one batch lasts ~1/20 of the
+        // budget, then scale the batch up to fill the budget and measure.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= budget / 20 || batch >= 1 << 30 {
+                let per = (dt.as_nanos().max(1) as u64).div_ceil(batch);
+                let iters = (budget.as_nanos() as u64 / per.max(1)).clamp(batch, 1 << 32);
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                let m = Measurement {
+                    name: name.to_string(),
+                    iters,
+                    total: t0.elapsed(),
+                };
+                println!("{m}");
+                return m;
+            }
+            batch *= 2;
+        }
+    }
+
+    /// [`bench`] with the default 200 ms budget.
+    pub fn bench_default<T, F: FnMut() -> T>(name: &str, f: F) -> Measurement {
+        bench(name, Duration::from_millis(200), f)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn measures_something() {
+            let m = bench("noop", Duration::from_millis(5), || 1 + 1);
+            assert!(m.iters >= 1);
+            assert!(m.ns_per_iter() >= 0.0);
+        }
+    }
+}

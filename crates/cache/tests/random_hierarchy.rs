@@ -1,8 +1,8 @@
-//! Property tests: the inclusive two-level cache hierarchy.
-
-use proptest::prelude::*;
+//! Randomized tests: the inclusive two-level cache hierarchy, driven by
+//! the in-repo deterministic [`SplitMix64`] generator.
 
 use specrt_cache::{CacheConfig, CacheHierarchy, HitLevel, LineState, LineTags};
+use specrt_engine::SplitMix64;
 use specrt_mem::LineAddr;
 
 #[derive(Debug, Clone, Copy)]
@@ -14,24 +14,29 @@ enum Op {
     MarkDirty(u64),
 }
 
-fn op_strategy(lines: u64) -> impl Strategy<Value = Op> {
-    (0..5u8, 0..lines).prop_map(|(k, l)| match k {
-        0 => Op::Access(l),
-        1 => Op::FillClean(l),
-        2 => Op::FillDirty(l),
-        3 => Op::Invalidate(l),
-        _ => Op::MarkDirty(l),
-    })
+fn random_ops(rng: &mut SplitMix64, lines: u64, max_len: u64) -> Vec<Op> {
+    (0..rng.below(max_len))
+        .map(|_| {
+            let l = rng.below(lines);
+            match rng.below(5) {
+                0 => Op::Access(l),
+                1 => Op::FillClean(l),
+                2 => Op::FillDirty(l),
+                3 => Op::Invalidate(l),
+                _ => Op::MarkDirty(l),
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    /// Inclusion invariant: after any operation sequence, every line
-    /// resident in L1 is also resident in L2 (probe of L1 implies not
-    /// Miss), and state/tags accessors agree with residency.
-    #[test]
-    fn inclusion_and_consistency_hold(
-        ops in proptest::collection::vec(op_strategy(64), 0..200)
-    ) {
+/// Inclusion invariant: after any operation sequence, every line resident
+/// in L1 is also resident in L2 (probe of L1 implies not Miss), and
+/// state/tags accessors agree with residency.
+#[test]
+fn inclusion_and_consistency_hold() {
+    let mut rng = SplitMix64::new(0x0cac_4e01);
+    for _case in 0..64 {
+        let ops = random_ops(&mut rng, 64, 200);
         let mut c = CacheHierarchy::new(CacheConfig {
             l1_lines: 4,
             l2_lines: 16,
@@ -42,7 +47,7 @@ proptest! {
                 Op::Access(l) => {
                     let line = LineAddr(l);
                     let level = c.access(line);
-                    prop_assert_eq!(level == HitLevel::Miss, !resident.contains(&l));
+                    assert_eq!(level == HitLevel::Miss, !resident.contains(&l));
                 }
                 Op::FillClean(l) | Op::FillDirty(l) => {
                     let line = LineAddr(l);
@@ -55,30 +60,30 @@ proptest! {
                         LineState::Clean
                     };
                     if let Some(v) = c.fill(line, state, LineTags::empty()) {
-                        prop_assert!(resident.remove(&v.line.0), "victim was resident");
+                        assert!(resident.remove(&v.line.0), "victim was resident");
                     }
                     resident.insert(l);
                 }
                 Op::Invalidate(l) => {
                     let line = LineAddr(l);
                     let was = c.invalidate(line);
-                    prop_assert_eq!(was.is_some(), resident.remove(&l));
+                    assert_eq!(was.is_some(), resident.remove(&l));
                 }
                 Op::MarkDirty(l) => {
                     let line = LineAddr(l);
                     if resident.contains(&l) {
                         c.mark_dirty(line);
-                        prop_assert_eq!(c.state_of(line), Some(LineState::Dirty));
+                        assert_eq!(c.state_of(line), Some(LineState::Dirty));
                     }
                 }
             }
             // Global invariants.
-            prop_assert_eq!(c.resident_lines(), resident.len());
+            assert_eq!(c.resident_lines(), resident.len());
             for &l in &resident {
                 let line = LineAddr(l);
-                prop_assert_ne!(c.probe(line), HitLevel::Miss, "L{} lost", l);
-                prop_assert!(c.state_of(line).is_some());
-                prop_assert!(c.tags_of(line).is_some());
+                assert_ne!(c.probe(line), HitLevel::Miss, "L{l} lost");
+                assert!(c.state_of(line).is_some());
+                assert!(c.tags_of(line).is_some());
             }
         }
         // Flush returns exactly the dirty lines.
@@ -88,19 +93,20 @@ proptest! {
             .filter(|&l| c.state_of(LineAddr(l)) == Some(LineState::Dirty))
             .collect();
         let victims = c.flush();
-        let flushed: std::collections::HashSet<u64> =
-            victims.iter().map(|v| v.line.0).collect();
-        prop_assert_eq!(flushed, dirty_before);
-        prop_assert_eq!(c.resident_lines(), 0);
+        let flushed: std::collections::HashSet<u64> = victims.iter().map(|v| v.line.0).collect();
+        assert_eq!(flushed, dirty_before);
+        assert_eq!(c.resident_lines(), 0);
     }
+}
 
-    /// Direct-mapped conflict behaviour: filling more lines than one slot
-    /// can hold evicts in a deterministic, loss-free way — the set of
-    /// resident lines always matches the model.
-    #[test]
-    fn conflicting_fills_never_lose_lines(
-        lines in proptest::collection::vec(0u64..256, 1..64)
-    ) {
+/// Direct-mapped conflict behaviour: filling more lines than one slot can
+/// hold evicts in a deterministic, loss-free way — the set of resident
+/// lines always matches the model.
+#[test]
+fn conflicting_fills_never_lose_lines() {
+    let mut rng = SplitMix64::new(0x0cac_4e02);
+    for _case in 0..128 {
+        let lines: Vec<u64> = (0..rng.range(1, 64)).map(|_| rng.below(256)).collect();
         let mut c = CacheHierarchy::new(CacheConfig {
             l1_lines: 2,
             l2_lines: 8,
@@ -113,10 +119,10 @@ proptest! {
             let victim = c.fill(LineAddr(l), LineState::Clean, LineTags::empty());
             let slot = l % 8;
             let expected_victim = model.insert(slot, l);
-            prop_assert_eq!(victim.map(|v| v.line.0), expected_victim);
+            assert_eq!(victim.map(|v| v.line.0), expected_victim);
         }
         for &l in model.values() {
-            prop_assert_ne!(c.probe(LineAddr(l)), HitLevel::Miss);
+            assert_ne!(c.probe(LineAddr(l)), HitLevel::Miss);
         }
     }
 }

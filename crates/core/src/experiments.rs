@@ -3,7 +3,7 @@
 //!
 //! Every driver returns structured rows; `specrt-bench`'s `experiments`
 //! binary renders them with [`crate::report`] and they are exercised by the
-//! criterion benches. The paper's absolute numbers come from a different
+//! micro benches. The paper's absolute numbers come from a different
 //! substrate (Tangolite + Perfect Club binaries); what these drivers are
 //! expected to reproduce is the *shape* of each figure — who wins, by
 //! roughly what factor, and where the crossovers are. `EXPERIMENTS.md`

@@ -209,6 +209,21 @@ impl Histogram {
     pub fn bucket(&self, i: usize) -> u64 {
         self.buckets[i]
     }
+
+    /// Sum of all samples recorded.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Merges another histogram into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// A named bundle of counters, keyed by static strings.
@@ -287,6 +302,19 @@ mod tests {
         assert!((t.busy_fraction() - 0.5).abs() < 1e-12);
         assert!((t.sync_fraction() - 0.25).abs() < 1e-12);
         assert!((t.mem_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        for (busy, sync, mem) in [(1, 0, 0), (3, 5, 7), (1000, 1, 999), (2, 2, 2)] {
+            let t = TimeBreakdown {
+                busy: Cycles(busy),
+                sync: Cycles(sync),
+                mem: Cycles(mem),
+            };
+            let sum = t.busy_fraction() + t.sync_fraction() + t.mem_fraction();
+            assert!((sum - 1.0).abs() < 1e-12, "fractions sum to {sum}");
+        }
     }
 
     #[test]

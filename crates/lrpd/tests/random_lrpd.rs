@@ -1,8 +1,8 @@
-//! Property tests: the LRPD test against the ground-truth dependence
-//! oracle, and the instrumented-IR marking against the pure algorithm.
+//! Randomized tests: the LRPD test against the ground-truth dependence
+//! oracle, and the instrumented-IR marking against the pure algorithm —
+//! driven by the in-repo deterministic [`SplitMix64`] generator.
 
-use proptest::prelude::*;
-
+use specrt_engine::SplitMix64;
 use specrt_ir::{
     execute_iteration, AccessKind, ArrayId, BinOp, MemOracle, Operand, Program, ProgramBuilder,
     Scalar,
@@ -17,11 +17,14 @@ use specrt_spec::{IterationNumbering, ProtocolKind, TestPlan};
 /// One iteration's accesses: (element, is_write) in program order.
 type IterTrace = Vec<(u64, bool)>;
 
-fn traces_strategy() -> impl Strategy<Value = Vec<IterTrace>> {
-    proptest::collection::vec(
-        proptest::collection::vec((0u64..6, any::<bool>()), 0..6),
-        1..8,
-    )
+fn random_traces(rng: &mut SplitMix64) -> Vec<IterTrace> {
+    (0..rng.range(1, 8))
+        .map(|_| {
+            (0..rng.below(6))
+                .map(|_| (rng.below(6), rng.chance(0.5)))
+                .collect()
+        })
+        .collect()
 }
 
 fn mark_all(traces: &[IterTrace]) -> LrpdShadow {
@@ -59,45 +62,60 @@ fn to_oracle(traces: &[IterTrace]) -> Vec<Vec<(u64, AccessKind)>> {
         .collect()
 }
 
-proptest! {
-    /// LRPD without privatization passes exactly the loops the oracle
-    /// calls DoallNoPriv.
-    #[test]
-    fn lrpd_nopriv_equals_oracle(traces in traces_strategy()) {
+/// LRPD without privatization passes exactly the loops the oracle calls
+/// DoallNoPriv.
+#[test]
+fn lrpd_nopriv_equals_oracle() {
+    let mut rng = SplitMix64::new(0x14bd_0001);
+    for _case in 0..256 {
+        let traces = random_traces(&mut rng);
         let sh = mark_all(&traces);
         let verdict = analyze_iteration_traces(&to_oracle(&traces));
         let lrpd_ok = sh.analyze(false) == LrpdOutcome::DoallNoPriv;
-        prop_assert_eq!(lrpd_ok, verdict == OracleVerdict::DoallNoPriv,
-            "traces {:?}", traces);
+        assert_eq!(
+            lrpd_ok,
+            verdict == OracleVerdict::DoallNoPriv,
+            "traces {traces:?}"
+        );
     }
+}
 
-    /// LRPD with privatization passes exactly the loops the oracle calls
-    /// DoallNoPriv or DoallPriv (basic privatization, no read-in).
-    #[test]
-    fn lrpd_priv_equals_oracle(traces in traces_strategy()) {
+/// LRPD with privatization passes exactly the loops the oracle calls
+/// DoallNoPriv or DoallPriv (basic privatization, no read-in).
+#[test]
+fn lrpd_priv_equals_oracle() {
+    let mut rng = SplitMix64::new(0x14bd_0002);
+    for _case in 0..256 {
+        let traces = random_traces(&mut rng);
         let sh = mark_all(&traces);
         let verdict = analyze_iteration_traces(&to_oracle(&traces));
         let lrpd_ok = sh.analyze(true).passed();
-        prop_assert_eq!(lrpd_ok, verdict.priv_ok(), "traces {:?}", traces);
+        assert_eq!(lrpd_ok, verdict.priv_ok(), "traces {traces:?}");
     }
+}
 
-    /// The privatized verdict is monotone: whatever passes without
-    /// privatization also passes with it.
-    #[test]
-    fn privatization_only_helps(traces in traces_strategy()) {
+/// The privatized verdict is monotone: whatever passes without
+/// privatization also passes with it.
+#[test]
+fn privatization_only_helps() {
+    let mut rng = SplitMix64::new(0x14bd_0003);
+    for _case in 0..256 {
+        let traces = random_traces(&mut rng);
         let sh = mark_all(&traces);
         if sh.analyze(false) == LrpdOutcome::DoallNoPriv {
-            prop_assert!(sh.analyze(true).passed());
+            assert!(sh.analyze(true).passed());
         }
     }
+}
 
-    /// Merging per-processor shadows is equivalent to marking globally
-    /// when iterations are partitioned across processors.
-    #[test]
-    fn merge_equals_global_marking(
-        traces in traces_strategy(),
-        procs in 1usize..4,
-    ) {
+/// Merging per-processor shadows is equivalent to marking globally when
+/// iterations are partitioned across processors.
+#[test]
+fn merge_equals_global_marking() {
+    let mut rng = SplitMix64::new(0x14bd_0004);
+    for _case in 0..256 {
+        let traces = random_traces(&mut rng);
+        let procs = rng.range(1, 4) as usize;
         let global = mark_all(&traces);
         let mut shadows = vec![LrpdShadow::new(6); procs];
         for (i, t) in traces.iter().enumerate() {
@@ -115,10 +133,10 @@ proptest! {
         for sh in &shadows {
             merged.merge(sh);
         }
-        prop_assert_eq!(merged.analyze(true), global.analyze(true));
-        prop_assert_eq!(merged.analyze(false), global.analyze(false));
-        prop_assert_eq!(merged.atw(), global.atw());
-        prop_assert_eq!(merged.atm(), global.atm());
+        assert_eq!(merged.analyze(true), global.analyze(true));
+        assert_eq!(merged.analyze(false), global.analyze(false));
+        assert_eq!(merged.atw(), global.atw());
+        assert_eq!(merged.atm(), global.atm());
     }
 }
 
@@ -161,15 +179,20 @@ fn generic_body() -> Program {
     b.build().unwrap()
 }
 
-proptest! {
-    /// Executing the instrumented body leaves shadow memory whose
-    /// observable predicates (A_w, A_r, A_np, Atw) agree with the pure
-    /// reference marking the same accesses.
-    #[test]
-    fn instrumented_marks_agree_with_reference(
-        kvals in proptest::collection::vec(0i64..6, 2..16),
-        wflags in proptest::collection::vec(any::<bool>(), 8),
-    ) {
+fn random_kvals_wflags(rng: &mut SplitMix64) -> (Vec<i64>, Vec<bool>) {
+    let kvals: Vec<i64> = (0..rng.range(2, 16)).map(|_| rng.below(6) as i64).collect();
+    let wflags: Vec<bool> = (0..8).map(|_| rng.chance(0.5)).collect();
+    (kvals, wflags)
+}
+
+/// Executing the instrumented body leaves shadow memory whose observable
+/// predicates (A_w, A_r, A_np, Atw) agree with the pure reference marking
+/// the same accesses.
+#[test]
+fn instrumented_marks_agree_with_reference() {
+    let mut rng = SplitMix64::new(0x14bd_0005);
+    for _case in 0..64 {
+        let (kvals, wflags) = random_kvals_wflags(&mut rng);
         let iters = (kvals.len() / 2) as u64;
         let mut plan = TestPlan::new();
         plan.set(A, ProtocolKind::NonPriv);
@@ -203,22 +226,23 @@ proptest! {
             let rc = mem.read(ids.r_cur(), e).as_int() as u64;
             let rs = mem.read(ids.r_sticky(), e).as_int() != 0;
             let np = mem.read(ids.np(), e).as_int() != 0;
-            prop_assert_eq!(w != 0, reference.a_w(e), "A_w[{}]", e);
-            prop_assert_eq!(rs || rc != 0, reference.a_r(e), "A_r[{}]", e);
-            prop_assert_eq!(np, reference.a_np(e), "A_np[{}]", e);
+            assert_eq!(w != 0, reference.a_w(e), "A_w[{e}]");
+            assert_eq!(rs || rc != 0, reference.a_r(e), "A_r[{e}]");
+            assert_eq!(np, reference.a_np(e), "A_np[{e}]");
         }
         let atw = mem.read(ids.counters(), 0).as_int() as u64;
-        prop_assert_eq!(atw, reference.atw());
+        assert_eq!(atw, reference.atw());
     }
+}
 
-    /// The bitmap (processor-wise) instrumentation marks the same
-    /// A_w/A_r/A_np predicates as a reference shadow where the whole
-    /// processor execution counts as one superiteration.
-    #[test]
-    fn bitmap_marks_agree_with_superiteration_reference(
-        kvals in proptest::collection::vec(0i64..6, 2..16),
-        wflags in proptest::collection::vec(any::<bool>(), 8),
-    ) {
+/// The bitmap (processor-wise) instrumentation marks the same
+/// A_w/A_r/A_np predicates as a reference shadow where the whole processor
+/// execution counts as one superiteration.
+#[test]
+fn bitmap_marks_agree_with_superiteration_reference() {
+    let mut rng = SplitMix64::new(0x14bd_0006);
+    for _case in 0..64 {
+        let (kvals, wflags) = random_kvals_wflags(&mut rng);
         let iters = (kvals.len() / 2) as u64;
         let mut plan = TestPlan::new();
         plan.set(A, ProtocolKind::NonPriv);
@@ -251,9 +275,9 @@ proptest! {
         let anp = mem.read(ids.np(), 0).as_int() as u64;
         for e in 0..6u64 {
             let bit = 1u64 << e;
-            prop_assert_eq!(aw & bit != 0, reference.a_w(e), "A_w[{}]", e);
-            prop_assert_eq!(ar & bit != 0, reference.a_r(e), "A_r[{}]", e);
-            prop_assert_eq!(anp & bit != 0, reference.a_np(e), "A_np[{}]", e);
+            assert_eq!(aw & bit != 0, reference.a_w(e), "A_w[{e}]");
+            assert_eq!(ar & bit != 0, reference.a_r(e), "A_r[{e}]");
+            assert_eq!(anp & bit != 0, reference.a_np(e), "A_np[{e}]");
         }
     }
 }

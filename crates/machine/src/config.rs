@@ -28,6 +28,9 @@ pub struct MachineConfig {
     /// by re-reading the released sense flag, so barrier cost grows with
     /// contention instead of being the constant `barrier_overhead`.
     pub detailed_barrier: bool,
+    /// Ring-buffer capacity for structured trace events; `0` disables
+    /// tracing entirely (the default — no overhead on the access path).
+    pub trace_capacity: usize,
 }
 
 impl Default for MachineConfig {
@@ -41,6 +44,7 @@ impl Default for MachineConfig {
             abort_latency: 200,
             iter_reset_cost: 1,
             detailed_barrier: false,
+            trace_capacity: 0,
         }
     }
 }

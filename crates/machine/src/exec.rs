@@ -20,7 +20,7 @@ use std::collections::{BinaryHeap, HashMap};
 use specrt_engine::{Cycles, EventQueue, TimeBreakdown};
 use specrt_ir::{ArrayId, Instr, Operand, Program, Reg, Scalar};
 use specrt_mem::ProcId;
-use specrt_proto::{private_copy_id, MemSystem};
+use specrt_proto::{private_copy_id, MemSystem, TraceEvent};
 use specrt_spec::FailReason;
 
 use crate::config::MachineConfig;
@@ -307,6 +307,17 @@ impl<'a> Executor<'a> {
                             }
                         }
                         self.ms.begin_iteration(proc, iter);
+                        if self.ms.tracer().enabled() {
+                            let policy = self.sched.name();
+                            self.ms.tracer_mut().emit(TraceEvent::Sched {
+                                at: t,
+                                proc: p as u32,
+                                iter,
+                                policy,
+                                overhead,
+                                wait,
+                            });
+                        }
                         self.run_local(
                             p,
                             &mut states,

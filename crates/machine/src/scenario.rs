@@ -33,7 +33,7 @@ use specrt_lrpd::phases::{
 use specrt_lrpd::shadow::{CNT_ATM, CNT_ATW, CNT_BAD_NP, CNT_BAD_WR, CNT_LEN};
 use specrt_lrpd::{instrument_for_proc, sw_private_copy_id, InstrumentConfig, ShadowIds};
 use specrt_mem::{ArrayBackup, ElemSize, MemoryImage, NodeId, PlacementPolicy, ProcId};
-use specrt_proto::{private_copy_id, MemSystem};
+use specrt_proto::{private_copy_id, MemSystem, TraceEvent};
 use specrt_spec::{IterationNumbering, ProtocolKind, TestPlan};
 
 use crate::config::MachineConfig;
@@ -117,6 +117,9 @@ pub struct RunResult {
     pub final_image: MemoryImage,
     /// Protocol statistics (HW/Ideal runs).
     pub stats: StatSet,
+    /// Structured trace events collected during the run (empty unless
+    /// [`MachineConfig::trace_capacity`] is non-zero).
+    pub trace: Vec<TraceEvent>,
 }
 
 impl RunResult {
@@ -240,6 +243,9 @@ fn single_proc(mut cfg: MachineConfig) -> MachineConfig {
 fn run_serial(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
     let cfg = single_proc(cfg);
     let mut ms = MemSystem::new(cfg.mem);
+    if cfg.trace_capacity > 0 {
+        ms.enable_event_trace(cfg.trace_capacity);
+    }
     let mut image = MemoryImage::new();
     setup_arrays(spec, &mut ms, &mut image, true);
     ms.configure_loop(TestPlan::new(), IterationNumbering::iteration_wise());
@@ -267,6 +273,7 @@ fn run_serial(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
         iterations: summary.iterations,
         final_image: image,
         stats: ms.stats().clone(),
+        trace: ms.take_event_trace(),
     }
 }
 
@@ -313,6 +320,9 @@ fn serial_reexec(
 fn run_ideal(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
     let procs = cfg.procs();
     let mut ms = MemSystem::new(cfg.mem);
+    if cfg.trace_capacity > 0 {
+        ms.enable_event_trace(cfg.trace_capacity);
+    }
     let mut image = MemoryImage::new();
     setup_arrays(spec, &mut ms, &mut image, false);
 
@@ -390,6 +400,7 @@ fn run_ideal(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
         iterations: summary.iterations,
         final_image: image,
         stats: ms.stats().clone(),
+        trace: ms.take_event_trace(),
     }
 }
 
@@ -581,6 +592,9 @@ fn setup_speculative_storage(
 fn run_hw(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
     let procs = cfg.procs();
     let mut ms = MemSystem::new(cfg.mem);
+    if cfg.trace_capacity > 0 {
+        ms.enable_event_trace(cfg.trace_capacity);
+    }
     let mut image = MemoryImage::new();
     setup_arrays(spec, &mut ms, &mut image, false);
     let (_backups, live_priv) = setup_speculative_storage(spec, &mut ms, &mut image);
@@ -712,6 +726,7 @@ fn run_hw(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
             iterations,
             final_image: image,
             stats,
+            trace: ms.take_event_trace(),
         };
     }
 
@@ -730,6 +745,7 @@ fn run_hw(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
         iterations,
         final_image: image,
         stats,
+        trace: ms.take_event_trace(),
     }
 }
 
@@ -740,6 +756,9 @@ fn run_hw(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
 fn run_sw(spec: &LoopSpec, cfg: MachineConfig, variant: SwVariant) -> RunResult {
     let procs = cfg.procs();
     let mut ms = MemSystem::new(cfg.mem);
+    if cfg.trace_capacity > 0 {
+        ms.enable_event_trace(cfg.trace_capacity);
+    }
     let mut image = MemoryImage::new();
     setup_arrays(spec, &mut ms, &mut image, false);
     let (_backups, live_priv) = setup_speculative_storage(spec, &mut ms, &mut image);
@@ -967,6 +986,7 @@ fn run_sw(spec: &LoopSpec, cfg: MachineConfig, variant: SwVariant) -> RunResult 
             iterations: summary.iterations,
             final_image: image,
             stats,
+            trace: ms.take_event_trace(),
         };
     }
 
@@ -992,6 +1012,7 @@ fn run_sw(spec: &LoopSpec, cfg: MachineConfig, variant: SwVariant) -> RunResult 
         iterations: summary.iterations,
         final_image: image,
         stats,
+        trace: ms.take_event_trace(),
     }
 }
 

@@ -36,6 +36,11 @@ pub trait Scheduler {
 
     /// Total iterations this scheduler will hand out.
     fn total(&self) -> u64;
+
+    /// Stable policy name, used to label scheduler events in traces.
+    fn name(&self) -> &'static str {
+        "scheduler"
+    }
 }
 
 /// Static contiguous chunking: processor `p` runs iterations
@@ -87,6 +92,10 @@ impl Scheduler for StaticChunked {
 
     fn total(&self) -> u64 {
         self.total
+    }
+
+    fn name(&self) -> &'static str {
+        "static-chunked"
     }
 }
 
@@ -145,6 +154,10 @@ impl Scheduler for BlockCyclic {
 
     fn total(&self) -> u64 {
         self.total
+    }
+
+    fn name(&self) -> &'static str {
+        "block-cyclic"
     }
 }
 
@@ -218,6 +231,10 @@ impl Scheduler for DynamicSelf {
     fn total(&self) -> u64 {
         self.total
     }
+
+    fn name(&self) -> &'static str {
+        "dynamic-self"
+    }
 }
 
 /// Every processor runs *every* iteration (used for the software scheme's
@@ -259,6 +276,10 @@ impl Scheduler for Replicated {
     fn total(&self) -> u64 {
         self.total
     }
+
+    fn name(&self) -> &'static str {
+        "replicated"
+    }
 }
 
 /// All iterations on processor 0, everyone else immediately done (serial
@@ -297,6 +318,10 @@ impl Scheduler for SingleProc {
 
     fn total(&self) -> u64 {
         self.total
+    }
+
+    fn name(&self) -> &'static str {
+        "single-proc"
     }
 }
 
@@ -342,6 +367,10 @@ impl Scheduler for Windowed {
 
     fn total(&self) -> u64 {
         self.inner.total()
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
     }
 }
 

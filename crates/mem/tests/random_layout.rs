@@ -1,22 +1,26 @@
-//! Property tests: address-map round trips and NUMA placement.
+//! Randomized tests: address-map round trips and NUMA placement, driven
+//! by the in-repo deterministic [`SplitMix64`] generator.
 
-use proptest::prelude::*;
-
+use specrt_engine::SplitMix64;
 use specrt_ir::ArrayId;
 use specrt_mem::{ElemSize, NumaAllocator, PlacementPolicy};
 
-proptest! {
-    /// Forward addressing and reverse lookup are inverses for every
-    /// element of every allocated array, and homes are valid nodes.
-    #[test]
-    fn locate_inverts_addr_of(
-        lens in proptest::collection::vec(1u64..300, 1..8),
-        nodes in 1u32..9,
-    ) {
+/// Forward addressing and reverse lookup are inverses for every element of
+/// every allocated array, and homes are valid nodes.
+#[test]
+fn locate_inverts_addr_of() {
+    let mut rng = SplitMix64::new(0x1a40_0001);
+    for _case in 0..128 {
+        let lens: Vec<u64> = (0..rng.range(1, 8)).map(|_| rng.range(1, 300)).collect();
+        let nodes = rng.range(1, 9) as u32;
         let mut numa = NumaAllocator::new(nodes);
         let mut layouts = Vec::new();
         for (i, &len) in lens.iter().enumerate() {
-            let elem = if i % 2 == 0 { ElemSize::W8 } else { ElemSize::W4 };
+            let elem = if i % 2 == 0 {
+                ElemSize::W8
+            } else {
+                ElemSize::W4
+            };
             let policy = if i % 3 == 0 {
                 PlacementPolicy::Local(specrt_mem::NodeId(i as u32 % nodes))
             } else {
@@ -27,22 +31,29 @@ proptest! {
         for l in &layouts {
             for idx in [0, l.len / 2, l.len - 1] {
                 let addr = l.addr_of(idx);
-                prop_assert_eq!(numa.address_map().locate(addr), Some((l.id, idx)));
+                assert_eq!(numa.address_map().locate(addr), Some((l.id, idx)));
                 let home = numa.home_of(addr);
-                prop_assert!(home.0 < nodes);
+                assert!(home.0 < nodes);
             }
         }
     }
+}
 
-    /// Lines never span two arrays (page-aligned allocation), so per-line
-    /// tag state always belongs to exactly one array.
-    #[test]
-    fn lines_do_not_span_arrays(
-        lens in proptest::collection::vec(1u64..200, 2..6),
-    ) {
+/// Lines never span two arrays (page-aligned allocation), so per-line tag
+/// state always belongs to exactly one array.
+#[test]
+fn lines_do_not_span_arrays() {
+    let mut rng = SplitMix64::new(0x1a40_0002);
+    for _case in 0..128 {
+        let lens: Vec<u64> = (0..rng.range(2, 6)).map(|_| rng.range(1, 200)).collect();
         let mut numa = NumaAllocator::new(4);
         for (i, &len) in lens.iter().enumerate() {
-            numa.alloc_array(ArrayId(i as u32), len, ElemSize::W8, PlacementPolicy::RoundRobin);
+            numa.alloc_array(
+                ArrayId(i as u32),
+                len,
+                ElemSize::W8,
+                PlacementPolicy::RoundRobin,
+            );
         }
         let map = numa.address_map();
         for l in map.iter() {
@@ -51,15 +62,17 @@ proptest! {
             for line in first_line.0..=last_line.0 {
                 let owner = map.locate(specrt_mem::LineAddr(line).base());
                 if let Some((arr, _)) = owner {
-                    prop_assert_eq!(arr, l.id, "line {} claimed by two arrays", line);
+                    assert_eq!(arr, l.id, "line {line} claimed by two arrays");
                 }
             }
         }
     }
+}
 
-    /// Round-robin placement spreads consecutive pages across nodes.
-    #[test]
-    fn round_robin_covers_all_nodes(nodes in 2u32..9) {
+/// Round-robin placement spreads consecutive pages across nodes.
+#[test]
+fn round_robin_covers_all_nodes() {
+    for nodes in 2u32..9 {
         let mut numa = NumaAllocator::new(nodes);
         // One multi-page array: 4096 W8 elements = 8 pages.
         let l = numa.alloc_array(ArrayId(0), 4096, ElemSize::W8, PlacementPolicy::RoundRobin);
@@ -67,6 +80,6 @@ proptest! {
         for page in 0..8u64 {
             seen.insert(numa.home_of(l.base.offset(page * 4096)).0);
         }
-        prop_assert_eq!(seen.len() as u32, nodes.min(8));
+        assert_eq!(seen.len() as u32, nodes.min(8));
     }
 }

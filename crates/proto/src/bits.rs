@@ -299,6 +299,15 @@ impl Priv3SharedStore {
         self.arrays.contains_key(&arr)
     }
 
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if unregistered/out of range.
+    pub fn elem(&self, arr: ArrayId, idx: u64) -> &PrivNoReadInShared {
+        &self.arrays[&arr][idx as usize]
+    }
+
     /// Mutable element accessor.
     ///
     /// # Panics

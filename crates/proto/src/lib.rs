@@ -37,4 +37,5 @@ pub mod system;
 
 pub use directory::{DirLineState, DirectoryNode};
 pub use latency::LatencyConfig;
-pub use system::{private_copy_id, AccessOutcome, MemSystem, MemSystemConfig, ProtoTraceEvent};
+pub use specrt_trace::{HitKind, NullSink, RingBufferSink, TraceEvent, TraceSink, Tracer};
+pub use system::{private_copy_id, AccessOutcome, MemSystem, MemSystemConfig};

@@ -22,6 +22,7 @@ use specrt_spec::{
     NoReadInOutcome, NonPrivReadAction, NonPrivWriteAction, PrivateReadMissOutcome,
     PrivateReadOutcome, PrivateWriteMissOutcome, PrivateWriteOutcome, ProtocolKind, TestPlan,
 };
+use specrt_trace::{HitKind, TraceEvent, Tracer};
 
 use crate::bits::{
     NonPrivStore, Priv3PrivateStore, Priv3SharedStore, PrivPrivateStore, PrivSharedStore,
@@ -38,74 +39,6 @@ pub fn private_copy_id(arr: ArrayId, proc: ProcId) -> ArrayId {
     assert!(arr.0 < (1 << 23), "array id {arr} too large to privatize");
     assert!(proc.0 < 256, "processor id {proc} too large");
     ArrayId(PRIVATE_ID_BASE | (arr.0 << 8) | proc.0)
-}
-
-/// One recorded protocol event (see [`MemSystem::enable_event_trace`]).
-#[derive(Debug, Clone, PartialEq)]
-pub enum ProtoTraceEvent {
-    /// A processor load/store entered the memory system.
-    Access {
-        /// Issue time.
-        t: Cycles,
-        /// Issuing processor.
-        proc: ProcId,
-        /// Array and element.
-        arr: ArrayId,
-        /// Element index.
-        idx: u64,
-        /// Store (true) or load.
-        write: bool,
-        /// Whether it hit in the issuing processor's caches.
-        hit: bool,
-        /// Completion time.
-        complete: Cycles,
-    },
-    /// An asynchronous access-bit message was delivered at its home.
-    Message {
-        /// Delivery time.
-        t: Cycles,
-        /// Message kind (`First_update`, `ROnly_update`, …).
-        kind: &'static str,
-        /// Array and element the message concerns.
-        arr: ArrayId,
-        /// Element index.
-        idx: u64,
-    },
-    /// The speculation FAILed.
-    Failure {
-        /// Detection time.
-        t: Cycles,
-        /// Machine-readable reason label.
-        reason: &'static str,
-    },
-}
-
-impl std::fmt::Display for ProtoTraceEvent {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ProtoTraceEvent::Access {
-                t,
-                proc,
-                arr,
-                idx,
-                write,
-                hit,
-                complete,
-            } => write!(
-                f,
-                "t={:<8} {proc}  {} {arr}[{idx}] {} (done {complete})",
-                t.raw(),
-                if *write { "store" } else { "load " },
-                if *hit { "hit " } else { "MISS" },
-            ),
-            ProtoTraceEvent::Message { t, kind, arr, idx } => {
-                write!(f, "t={:<8} dir   {kind} for {arr}[{idx}]", t.raw())
-            }
-            ProtoTraceEvent::Failure { t, reason } => {
-                write!(f, "t={:<8} FAIL  {reason}", t.raw())
-            }
-        }
-    }
 }
 
 /// Result of one simulated memory access.
@@ -206,7 +139,16 @@ pub struct MemSystem {
     test_enabled: bool,
     stamp_base: u64,
     trace_filter: Option<(u32, u64)>,
-    event_trace: Option<(usize, Vec<ProtoTraceEvent>)>,
+    tracer: Tracer,
+    /// Scratch: queueing delay of the last directory transaction, read by
+    /// the tracing path right after the dispatch that produced it.
+    last_queue: Cycles,
+    /// Scratch: which of the paper's race-case algorithms (a)–(h) the last
+    /// dispatch took, for the transaction trace.
+    last_case: Option<&'static str>,
+    /// Scratch: abort context `(proc, arr, idx, iter)` of the access or
+    /// message currently being processed, consumed by [`Self::fail`].
+    cur_ctx: Option<(Option<u32>, u32, u64, Option<u64>)>,
 }
 
 impl MemSystem {
@@ -234,7 +176,10 @@ impl MemSystem {
             stats: StatSet::new(),
             test_enabled: true,
             stamp_base: 0,
-            event_trace: None,
+            tracer: Tracer::off(),
+            last_queue: Cycles(0),
+            last_case: None,
+            cur_ctx: None,
             trace_filter: std::env::var("SPECRT_TRACE").ok().and_then(|v| {
                 let parts: Vec<u64> = v.split(',').filter_map(|x| x.parse().ok()).collect();
                 (parts.len() == 2).then(|| (parts[0] as u32, parts[1]))
@@ -388,29 +333,37 @@ impl MemSystem {
         }
     }
 
-    /// Starts recording protocol events (accesses, delivered access-bit
-    /// messages, failures) into a buffer of at most `capacity` events.
-    /// Useful for debugging protocol interleavings and for the
-    /// `protocol_trace` example.
+    /// Starts recording protocol events (accesses, speculative state
+    /// transitions, delivered access-bit messages, aborts) into a ring
+    /// buffer keeping the most recent `capacity` events. Useful for
+    /// debugging protocol interleavings and for the `protocol_trace`
+    /// example. Shorthand for `set_tracer(Tracer::ring(capacity))`.
     pub fn enable_event_trace(&mut self, capacity: usize) {
-        self.event_trace = Some((capacity, Vec::new()));
+        self.tracer = Tracer::ring(capacity);
+    }
+
+    /// Installs a tracer (any [`specrt_trace::TraceSink`] behind it).
+    /// `Tracer::off()` disables tracing; disabled tracing costs one flag
+    /// check per access.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable access to the installed tracer, so higher layers (scheduler,
+    /// executor) can emit their events into the same stream.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
 
     /// Takes the recorded events, leaving tracing enabled with an empty
     /// buffer.
-    pub fn take_event_trace(&mut self) -> Vec<ProtoTraceEvent> {
-        match &mut self.event_trace {
-            Some((_, buf)) => std::mem::take(buf),
-            None => Vec::new(),
-        }
-    }
-
-    fn record(&mut self, ev: ProtoTraceEvent) {
-        if let Some((cap, buf)) = &mut self.event_trace {
-            if buf.len() < *cap {
-                buf.push(ev);
-            }
-        }
+    pub fn take_event_trace(&mut self) -> Vec<TraceEvent> {
+        self.tracer.drain()
     }
 
     /// §3.3 stamp-overflow resynchronization point: all processors have
@@ -488,74 +441,159 @@ impl MemSystem {
 
     /// Simulates a load of `arr[idx]` by `proc` issued at `now`.
     pub fn read(&mut self, proc: ProcId, arr: ArrayId, idx: u64, now: Cycles) -> AccessOutcome {
-        self.trace(proc, arr, idx, now, "read");
-        self.drain_messages(now);
-        let hit = self.probe_hit(proc, arr, idx);
-        let out = match self.plan.kind_of(arr) {
-            ProtocolKind::Plain => self.plain_access(proc, arr, idx, now, false),
-            ProtocolKind::NonPriv => self.nonpriv_read(proc, arr, idx, now),
-            ProtocolKind::Priv { read_in, copy_out } if !read_in && !copy_out => {
-                self.priv3_read(proc, arr, idx, now)
-            }
-            ProtocolKind::Priv { .. } => self.priv_read(proc, arr, idx, now),
-        };
-        if self.event_trace.is_some() {
-            self.record(ProtoTraceEvent::Access {
-                t: now,
-                proc,
-                arr,
-                idx,
-                write: false,
-                hit,
-                complete: out.complete_at,
-            });
-        }
-        out
+        self.access(proc, arr, idx, now, false)
     }
 
     /// Simulates a store to `arr[idx]` by `proc` issued at `now`.
     pub fn write(&mut self, proc: ProcId, arr: ArrayId, idx: u64, now: Cycles) -> AccessOutcome {
-        self.trace(proc, arr, idx, now, "write");
+        self.access(proc, arr, idx, now, true)
+    }
+
+    fn access(
+        &mut self,
+        proc: ProcId,
+        arr: ArrayId,
+        idx: u64,
+        now: Cycles,
+        is_write: bool,
+    ) -> AccessOutcome {
+        self.trace(proc, arr, idx, now, if is_write { "write" } else { "read" });
         self.drain_messages(now);
-        let hit = self.probe_hit(proc, arr, idx);
-        let out = match self.plan.kind_of(arr) {
-            ProtocolKind::Plain => self.plain_access(proc, arr, idx, now, true),
-            ProtocolKind::NonPriv => self.nonpriv_write(proc, arr, idx, now),
-            ProtocolKind::Priv { read_in, copy_out } if !read_in && !copy_out => {
-                self.priv3_write(proc, arr, idx, now)
-            }
-            ProtocolKind::Priv { .. } => self.priv_write(proc, arr, idx, now),
+        let enabled = self.tracer.enabled();
+        let (hit, pre) = if enabled {
+            self.last_queue = Cycles(0);
+            self.last_case = None;
+            let iter = self
+                .plan
+                .kind_of(arr)
+                .is_privatized()
+                .then(|| self.cur_eff_iter[proc.0 as usize]);
+            self.cur_ctx = Some((Some(proc.0), arr.0, idx, iter));
+            (
+                self.probe_hit(proc, arr, idx),
+                self.spec_state_label(arr, idx),
+            )
+        } else {
+            (HitKind::Miss, None)
         };
-        if self.event_trace.is_some() {
-            self.record(ProtoTraceEvent::Access {
-                t: now,
-                proc,
-                arr,
+        let out = match (self.plan.kind_of(arr), is_write) {
+            (ProtocolKind::Plain, w) => self.plain_access(proc, arr, idx, now, w),
+            (ProtocolKind::NonPriv, false) => self.nonpriv_read(proc, arr, idx, now),
+            (ProtocolKind::NonPriv, true) => self.nonpriv_write(proc, arr, idx, now),
+            (ProtocolKind::Priv { read_in, copy_out }, w) if !read_in && !copy_out => {
+                if w {
+                    self.priv3_write(proc, arr, idx, now)
+                } else {
+                    self.priv3_read(proc, arr, idx, now)
+                }
+            }
+            (ProtocolKind::Priv { .. }, false) => self.priv_read(proc, arr, idx, now),
+            (ProtocolKind::Priv { .. }, true) => self.priv_write(proc, arr, idx, now),
+        };
+        if enabled {
+            let home = self.trace_home(proc, arr, idx);
+            self.tracer.emit(TraceEvent::Transaction {
+                at: now,
+                proc: proc.0,
+                arr: arr.0,
                 idx,
-                write: true,
+                write: is_write,
                 hit,
+                home,
+                queue: self.last_queue,
                 complete: out.complete_at,
+                case: self.last_case,
             });
+            self.emit_spec_transition(now, Some(proc.0), arr, idx, pre);
+            self.cur_ctx = None;
         }
         out
     }
 
-    /// Whether `arr[idx]` is resident in `proc`'s caches (for tracing only;
+    /// What level `arr[idx]` would hit in `proc`'s caches (for tracing only;
     /// does not count as an access).
-    fn probe_hit(&self, proc: ProcId, arr: ArrayId, idx: u64) -> bool {
-        if self.event_trace.is_none() {
-            return false;
-        }
+    fn probe_hit(&self, proc: ProcId, arr: ArrayId, idx: u64) -> HitKind {
         let layout = if self.plan.kind_of(arr).is_privatized() {
             match self.private_layouts.get(&(arr, proc)) {
                 Some(l) => *l,
-                None => return false,
+                None => return HitKind::Miss,
             }
         } else {
             self.layout(arr)
         };
         let line = layout.addr_of(idx).line();
-        self.caches[proc.0 as usize].probe(line) != HitLevel::Miss
+        match self.caches[proc.0 as usize].probe(line) {
+            HitLevel::L1 => HitKind::L1,
+            HitLevel::L2 => HitKind::L2,
+            HitLevel::Miss => HitKind::Miss,
+        }
+    }
+
+    /// Home node of the address `proc` actually accesses for `arr[idx]`
+    /// (the local private copy for privatized arrays).
+    fn trace_home(&self, proc: ProcId, arr: ArrayId, idx: u64) -> u32 {
+        if self.plan.kind_of(arr).is_privatized() {
+            match self.private_layouts.get(&(arr, proc)) {
+                Some(l) => self.numa.home_of(l.addr_of(idx)).0,
+                None => proc.node().0,
+            }
+        } else {
+            self.shared_elem_home(arr, idx).0
+        }
+    }
+
+    /// Rendered speculative directory state of `arr[idx]` under the current
+    /// plan, if the array is under test.
+    fn spec_state_label(&self, arr: ArrayId, idx: u64) -> Option<(&'static str, String)> {
+        match self.plan.kind_of(arr) {
+            ProtocolKind::NonPriv if self.nonpriv.contains(arr) => {
+                Some(("nonpriv", self.nonpriv.elem(arr, idx).state_label()))
+            }
+            ProtocolKind::Priv { read_in, copy_out }
+                if !read_in && !copy_out && self.priv3_shared.contains(arr) =>
+            {
+                Some((
+                    "priv-noreadin",
+                    self.priv3_shared.elem(arr, idx).state_label(),
+                ))
+            }
+            ProtocolKind::Priv { .. } if self.priv_shared.contains(arr) => {
+                Some(("priv", self.priv_shared.elem(arr, idx).state_label()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Emits a [`TraceEvent::SpecTransition`] if the shared directory state
+    /// of `arr[idx]` differs from the `pre`-dispatch snapshot.
+    fn emit_spec_transition(
+        &mut self,
+        at: Cycles,
+        proc: Option<u32>,
+        arr: ArrayId,
+        idx: u64,
+        pre: Option<(&'static str, String)>,
+    ) {
+        let Some((protocol, from)) = pre else {
+            return;
+        };
+        let Some((_, to)) = self.spec_state_label(arr, idx) else {
+            return;
+        };
+        if from == to {
+            return;
+        }
+        let iter = self.cur_ctx.and_then(|(_, _, _, iter)| iter);
+        self.tracer.emit(TraceEvent::SpecTransition {
+            at,
+            proc: proc.unwrap_or(u32::MAX),
+            arr: arr.0,
+            idx,
+            protocol,
+            from,
+            to,
+            iter,
+        });
     }
 
     // ------------------------------------------------------------------
@@ -659,6 +697,7 @@ impl MemSystem {
             // owner's tag state into the directory), and only then run the
             // directory-side test and project the reply tags — exactly the
             // ordering of algorithm (b).
+            self.last_case = Some("b");
             self.drain_before_transaction(proc.node(), home, now);
             let done = self.coherence_fetch(proc, line, false, now);
             if let Err(reason) = self.nonpriv.elem_mut(arr, idx).on_read_req(proc) {
@@ -703,6 +742,7 @@ impl MemSystem {
                 Ok(NonPrivWriteAction::NeedWriteReq) => {
                     // Upgrade: the directory runs the authoritative test and
                     // the grant refreshes the whole line's tags.
+                    self.last_case = Some("d");
                     self.drain_before_transaction(proc.node(), home, now);
                     if let Err(reason) = self.nonpriv.elem_mut(arr, idx).on_write_req(proc) {
                         self.fail(reason, now);
@@ -721,6 +761,7 @@ impl MemSystem {
         } else {
             // Algorithm (d): writeback+invalidate the owner and merge its
             // tag state, *then* test and grant.
+            self.last_case = Some("d");
             self.drain_before_transaction(proc.node(), home, now);
             let done = self.coherence_fetch(proc, line, true, now);
             if let Err(reason) = self.nonpriv.elem_mut(arr, idx).on_write_req(proc) {
@@ -796,6 +837,7 @@ impl MemSystem {
         }
         // Miss: the private directory decides between read-in, read-first,
         // and a plain refill (algorithm (c)).
+        self.last_case = Some("c");
         let range = playout.elems_on_line(line).expect("line within array");
         let untouched = self.priv_private.line_untouched(arr, proc, range.clone());
         let outcome = self
@@ -871,6 +913,7 @@ impl MemSystem {
             };
         }
         // Miss (algorithm (h)).
+        self.last_case = Some("h");
         let range = playout.elems_on_line(line).expect("line within array");
         let untouched = self.priv_private.line_untouched(arr, proc, range.clone());
         let outcome = self
@@ -1127,6 +1170,7 @@ impl MemSystem {
         let queue = end
             .saturating_sub(arrive)
             .saturating_sub(Cycles(lat.mem_service));
+        self.last_queue = queue;
         lat.miss_base(proc.node(), home) + queue
     }
 
@@ -1209,6 +1253,7 @@ impl MemSystem {
         let queue = end
             .saturating_sub(arrive)
             .saturating_sub(Cycles(lat.mem_service));
+        self.last_queue = queue;
 
         let dir_state = self.dirs[home.0 as usize].state(line);
         let mut base = lat.miss_base(proc.node(), home);
@@ -1298,6 +1343,7 @@ impl MemSystem {
         let queue = end
             .saturating_sub(arrive)
             .saturating_sub(Cycles(lat.mem_service));
+        self.last_queue = queue;
         let mut base = lat.miss_base(proc.node(), home);
 
         let dir_state = self.dirs[home.0 as usize].state(line);
@@ -1406,20 +1452,37 @@ impl MemSystem {
     }
 
     fn handle_message(&mut self, at: Cycles, msg: Msg) {
-        if self.event_trace.is_some() {
-            let (kind, arr, idx) = match &msg {
-                Msg::FirstUpdate { arr, idx, .. } => ("First_update", *arr, *idx),
-                Msg::ROnlyUpdate { arr, idx, .. } => ("ROnly_update", *arr, *idx),
-                Msg::FirstUpdateFail { arr, idx, .. } => ("First_update_fail", *arr, *idx),
-                Msg::PrivReadFirst { arr, idx, .. } => ("read-first signal", *arr, *idx),
-                Msg::PrivFirstWrite { arr, idx, .. } => ("first-write signal", *arr, *idx),
+        // Preserve the abort context of any in-progress access: messages
+        // delivered mid-transaction carry their own context.
+        let saved_ctx = self.cur_ctx.take();
+        let enabled = self.tracer.enabled();
+        let mut pre = None;
+        if enabled {
+            let (kind, arr, idx, sender, iter) = match &msg {
+                Msg::FirstUpdate { arr, idx, sender } => {
+                    ("First_update", *arr, *idx, Some(sender.0), None)
+                }
+                Msg::ROnlyUpdate { arr, idx, sender } => {
+                    ("ROnly_update", *arr, *idx, Some(sender.0), None)
+                }
+                Msg::FirstUpdateFail { arr, idx, target } => {
+                    ("First_update_fail", *arr, *idx, Some(target.0), None)
+                }
+                Msg::PrivReadFirst { arr, idx, iter } => {
+                    ("read-first signal", *arr, *idx, None, Some(*iter))
+                }
+                Msg::PrivFirstWrite { arr, idx, iter } => {
+                    ("first-write signal", *arr, *idx, None, Some(*iter))
+                }
             };
-            self.record(ProtoTraceEvent::Message {
-                t: at,
+            self.tracer.emit(TraceEvent::Message {
+                at,
                 kind,
-                arr,
+                arr: arr.0,
                 idx,
             });
+            self.cur_ctx = Some((sender, arr.0, idx, iter));
+            pre = Some((sender, arr, idx, self.spec_state_label(arr, idx)));
         }
         match msg {
             Msg::FirstUpdate { arr, idx, sender } => {
@@ -1491,6 +1554,10 @@ impl MemSystem {
                 }
             }
         }
+        if let Some((sender, arr, idx, snap)) = pre {
+            self.emit_spec_transition(at, sender, arr, idx, snap);
+        }
+        self.cur_ctx = saved_ctx;
     }
 
     fn charge_update_service(&mut self, arr: ArrayId, idx: u64, at: Cycles) {
@@ -1549,10 +1616,19 @@ impl MemSystem {
 
     fn fail(&mut self, reason: FailReason, at: Cycles) {
         self.stats.incr("speculation_failures_detected");
-        if self.event_trace.is_some() {
-            self.record(ProtoTraceEvent::Failure {
-                t: at,
-                reason: reason.label(),
+        if self.tracer.enabled() {
+            let (proc, arr, idx, iter) = match self.cur_ctx {
+                Some((p, a, i, it)) => (p, Some(a), Some(i), it),
+                None => (None, None, None, None),
+            };
+            self.tracer.emit(TraceEvent::Abort {
+                at,
+                proc,
+                arr,
+                idx,
+                iter,
+                label: reason.label(),
+                reason: reason.to_string(),
             });
         }
         match self.failure {

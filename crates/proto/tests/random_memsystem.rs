@@ -1,11 +1,10 @@
-//! Property tests: the full memory system (caches + directory + protocol
+//! Randomized tests: the full memory system (caches + directory + protocol
 //! messages) against the speculation oracles, under randomized access
-//! schedules with realistic timing interleavings.
-
-use proptest::prelude::*;
+//! schedules with realistic timing interleavings — driven by the in-repo
+//! deterministic [`SplitMix64`] generator.
 
 use specrt_cache::CacheConfig;
-use specrt_engine::Cycles;
+use specrt_engine::{Cycles, SplitMix64};
 use specrt_ir::ArrayId;
 use specrt_mem::{ElemSize, PlacementPolicy, ProcId};
 use specrt_proto::{LatencyConfig, MemSystem, MemSystemConfig};
@@ -34,30 +33,26 @@ struct Access {
     gap: u16,
 }
 
-fn schedule_strategy(procs: u8, elems: u8) -> impl Strategy<Value = Vec<Access>> {
-    proptest::collection::vec(
-        (0..procs, 0..elems, any::<bool>(), 0u16..400).prop_map(|(proc, elem, write, gap)| {
-            Access {
-                proc,
-                elem,
-                write,
-                gap,
-            }
-        }),
-        0..60,
-    )
+fn random_schedule(rng: &mut SplitMix64, procs: u8, elems: u8) -> Vec<Access> {
+    (0..rng.below(60))
+        .map(|_| Access {
+            proc: rng.below(procs as u64) as u8,
+            elem: rng.below(elems as u64) as u8,
+            write: rng.chance(0.5),
+            gap: rng.below(400) as u16,
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Soundness of the non-privatization protocol under arbitrary timing:
-    /// whenever the machine does NOT flag a failure, the access pattern
-    /// really was inside the envelope (every element read-only or
-    /// single-processor). Races may cause *conservative* failures, but
-    /// never a missed conflict.
-    #[test]
-    fn nonpriv_never_misses_a_conflict(schedule in schedule_strategy(4, 16)) {
+/// Soundness of the non-privatization protocol under arbitrary timing:
+/// whenever the machine does NOT flag a failure, the access pattern really
+/// was inside the envelope (every element read-only or single-processor).
+/// Races may cause *conservative* failures, but never a missed conflict.
+#[test]
+fn nonpriv_never_misses_a_conflict() {
+    let mut rng = SplitMix64::new(0xa0c0_0001);
+    for _case in 0..64 {
+        let schedule = random_schedule(&mut rng, 4, 16);
         let mut ms = small_system(4);
         ms.alloc_array(A, 64, ElemSize::W8, PlacementPolicy::RoundRobin);
         let mut plan = TestPlan::new();
@@ -85,20 +80,22 @@ proptest! {
                     .map(|a| a.proc)
                     .collect();
                 let wrote = schedule.iter().any(|a| a.elem == e && a.write);
-                prop_assert!(
+                assert!(
                     procs.len() <= 1 || !wrote,
-                    "missed conflict on element {} (procs {:?})",
-                    e,
-                    procs
+                    "missed conflict on element {e} (procs {procs:?})"
                 );
             }
         }
     }
+}
 
-    /// With well-separated accesses (no in-flight races), the protocol is
-    /// also *complete*: it passes exactly the envelope.
-    #[test]
-    fn nonpriv_exact_without_races(schedule in schedule_strategy(3, 12)) {
+/// With well-separated accesses (no in-flight races), the protocol is also
+/// *complete*: it passes exactly the envelope.
+#[test]
+fn nonpriv_exact_without_races() {
+    let mut rng = SplitMix64::new(0xa0c0_0002);
+    for _case in 0..64 {
+        let schedule = random_schedule(&mut rng, 3, 12);
         let mut ms = small_system(3);
         ms.alloc_array(A, 64, ElemSize::W8, PlacementPolicy::RoundRobin);
         let mut plan = TestPlan::new();
@@ -128,25 +125,44 @@ proptest! {
             let wrote = schedule.iter().any(|a| a.elem == e && a.write);
             envelope_ok &= procs.len() <= 1 || !wrote;
         }
-        prop_assert_eq!(ms.failure().is_none(), envelope_ok,
-            "failure {:?}", ms.failure());
+        assert_eq!(
+            ms.failure().is_none(),
+            envelope_ok,
+            "failure {:?}",
+            ms.failure()
+        );
     }
+}
 
-    /// Privatization protocol under per-processor monotone iteration
-    /// sequences: fails exactly iff some element's max read-first stamp
-    /// exceeds its min write stamp (when accesses are race-free).
-    #[test]
-    fn priv_matches_stamp_oracle(
-        // Per access: (proc, elem, write?); iterations advance per proc.
-        accesses in proptest::collection::vec(
-            (0u32..3, 0u64..8, any::<bool>(), any::<bool>()),
-            0..40
-        )
-    ) {
+/// Privatization protocol under per-processor monotone iteration
+/// sequences: fails exactly iff some element's max read-first stamp
+/// exceeds its min write stamp (when accesses are race-free).
+#[test]
+fn priv_matches_stamp_oracle() {
+    let mut rng = SplitMix64::new(0xa0c0_0003);
+    for _case in 0..64 {
+        // Per access: (proc, elem, write?, advance?); iterations advance
+        // per proc.
+        let accesses: Vec<(u32, u64, bool, bool)> = (0..rng.below(40))
+            .map(|_| {
+                (
+                    rng.below(3) as u32,
+                    rng.below(8),
+                    rng.chance(0.5),
+                    rng.chance(0.5),
+                )
+            })
+            .collect();
         let mut ms = small_system(3);
         ms.alloc_array(A, 16, ElemSize::W8, PlacementPolicy::RoundRobin);
         let mut plan = TestPlan::new();
-        plan.set(A, ProtocolKind::Priv { read_in: true, copy_out: false });
+        plan.set(
+            A,
+            ProtocolKind::Priv {
+                read_in: true,
+                copy_out: false,
+            },
+        );
         ms.configure_loop(plan, IterationNumbering::iteration_wise());
 
         // Assign iterations round-robin: proc p executes iterations
@@ -187,30 +203,44 @@ proptest! {
         ms.drain_all_messages();
 
         let oracle_fail = (0..8).any(|e| max_rf[e] > min_w[e]);
-        prop_assert_eq!(ms.failure().is_some(), oracle_fail,
-            "failure {:?}, max_rf {:?}, min_w {:?}", ms.failure(), max_rf, min_w);
+        assert_eq!(
+            ms.failure().is_some(),
+            oracle_fail,
+            "failure {:?}, max_rf {:?}, min_w {:?}",
+            ms.failure(),
+            max_rf,
+            min_w
+        );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The reduced no-read-in privatization mode (Figure 5-b) under
-    /// race-free schedules: fails exactly iff some element is BOTH
-    /// read-first (by some iteration) and written (in a different
-    /// iteration or by a different processor) — the conservative
-    /// mixed-use rule.
-    #[test]
-    fn priv_no_read_in_matches_mixed_use_rule(
-        accesses in proptest::collection::vec(
-            (0u32..3, 0u64..8, any::<bool>(), any::<bool>()),
-            0..40
-        )
-    ) {
+/// The reduced no-read-in privatization mode (Figure 5-b) under race-free
+/// schedules: fails exactly iff some element is BOTH read-first (by some
+/// iteration) and written — the conservative mixed-use rule.
+#[test]
+fn priv_no_read_in_matches_mixed_use_rule() {
+    let mut rng = SplitMix64::new(0xa0c0_0004);
+    for _case in 0..48 {
+        let accesses: Vec<(u32, u64, bool, bool)> = (0..rng.below(40))
+            .map(|_| {
+                (
+                    rng.below(3) as u32,
+                    rng.below(8),
+                    rng.chance(0.5),
+                    rng.chance(0.5),
+                )
+            })
+            .collect();
         let mut ms = small_system(3);
         ms.alloc_array(A, 16, ElemSize::W8, PlacementPolicy::RoundRobin);
         let mut plan = TestPlan::new();
-        plan.set(A, ProtocolKind::Priv { read_in: false, copy_out: false });
+        plan.set(
+            A,
+            ProtocolKind::Priv {
+                read_in: false,
+                copy_out: false,
+            },
+        );
         ms.configure_loop(plan, IterationNumbering::iteration_wise());
 
         let mut iter_of = [0u64, 1, 2];
@@ -245,30 +275,22 @@ proptest! {
                 read_this_iter.insert((proc, iter, elem));
                 ms.read(ProcId(proc), A, elem, now)
             };
-            prop_assert!(out.read_in.is_none(), "no-read-in mode must never read in");
+            assert!(out.read_in.is_none(), "no-read-in mode must never read in");
             now = now.max(out.complete_at);
         }
         ms.drain_all_messages();
 
-        // Oracle: element fails iff it has a read-first and a write that are
-        // not confined to the same (proc, iteration)'s write-before-read...
-        // precisely: exists read-first (p, i) and write (q, j) with
-        // (p, i) != (q, j) covering both the cross-proc sticky rule and the
-        // same-proc WriteAny rule — except a write *later in the same
-        // iteration* than the read-first, which the reduced state cannot
-        // order... it clears nothing: the shared AnyW/AnyR1st are sticky, so
-        // any coexistence of a read-first and a write on an element fails
-        // UNLESS they are the same iteration's read-then-write (the
-        // read-first mark precedes the write and the private FAIL only
-        // triggers for *earlier*-iteration writes; the shared store gets
-        // both signals → fails). So: fails iff element has >= 1 read-first
-        // and >= 1 write, except when the ONLY such pair is a same-proc
-        // same-iteration read-then-write... which still sends both signals.
-        // Net: fails iff some element has both a read-first and a write.
-        let oracle_fail = (0..8).any(|e| {
-            !read_firsts[e].is_empty() && !writes[e].is_empty()
-        });
-        prop_assert_eq!(ms.failure().is_some(), oracle_fail,
-            "failure {:?}; rf {:?}; w {:?}", ms.failure(), read_firsts, writes);
+        // Oracle: the shared AnyW/AnyR1st bits are sticky, so any
+        // coexistence of a read-first and a write on an element fails —
+        // even a same-iteration read-then-write sends both signals.
+        let oracle_fail = (0..8).any(|e| !read_firsts[e].is_empty() && !writes[e].is_empty());
+        assert_eq!(
+            ms.failure().is_some(),
+            oracle_fail,
+            "failure {:?}; rf {:?}; w {:?}",
+            ms.failure(),
+            read_firsts,
+            writes
+        );
     }
 }

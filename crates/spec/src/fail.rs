@@ -88,8 +88,25 @@ impl FailReason {
             FailReason::Exception => "exception",
         }
     }
+
+    /// The paper figure whose `FAIL` statement this reason maps onto.
+    pub fn figure(&self) -> &'static str {
+        match self {
+            FailReason::ReadOfRemotelyWritten { .. } => "Fig. 6-b",
+            FailReason::WriteConflict { .. } => "Fig. 6-d",
+            FailReason::FirstUpdateRace { .. } => "Fig. 7-f",
+            FailReason::FirstUpdateFailAfterWrite { .. } => "Fig. 7-g",
+            FailReason::ROnlyUpdateRace { .. } => "Fig. 7-h",
+            FailReason::ReadFirstAfterWrite { .. } => "Fig. 8-e",
+            FailReason::WriteBeforeReadFirst { .. } => "Fig. 9-j",
+            FailReason::Exception => "§2.2",
+        }
+    }
 }
 
+/// The `Display` rendering is a **stable, single-line** sentence naming the
+/// processors/iterations involved and the paper figure the `FAIL` comes
+/// from; reports (the abort-forensics table) rely on it staying one line.
 impl fmt::Display for FailReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -97,45 +114,46 @@ impl fmt::Display for FailReason {
                 f,
                 "{reader} read an element already written by {}",
                 first.map_or("another processor".to_string(), |p| p.to_string())
-            ),
+            )?,
             FailReason::WriteConflict {
                 writer,
                 first,
                 r_only,
             } => {
                 if *r_only {
-                    write!(f, "{writer} wrote an element marked read-only shared")
+                    write!(f, "{writer} wrote an element marked read-only shared")?;
                 } else {
                     write!(
                         f,
                         "{writer} wrote an element first accessed by {}",
                         first.map_or("another processor".to_string(), |p| p.to_string())
-                    )
+                    )?;
                 }
             }
             FailReason::FirstUpdateRace { sender } => {
-                write!(f, "First_update from {sender} raced with a write")
+                write!(f, "First_update from {sender} raced with a write")?;
             }
             FailReason::FirstUpdateFailAfterWrite { proc } => {
-                write!(f, "{proc} wrote before learning it was not First")
+                write!(f, "{proc} wrote before learning it was not First")?;
             }
             FailReason::ROnlyUpdateRace { sender } => {
-                write!(f, "ROnly_update from {sender} raced with a write")
+                write!(f, "ROnly_update from {sender} raced with a write")?;
             }
             FailReason::ReadFirstAfterWrite { iter, min_w } => {
                 write!(
                     f,
                     "read-first iteration {iter} follows write iteration {min_w}"
-                )
+                )?;
             }
             FailReason::WriteBeforeReadFirst { iter, max_r1st } => {
                 write!(
                     f,
                     "write iteration {iter} precedes read-first iteration {max_r1st}"
-                )
+                )?;
             }
-            FailReason::Exception => write!(f, "exception during speculative execution"),
+            FailReason::Exception => write!(f, "exception during speculative execution")?,
         }
+        write!(f, " [{}]", self.figure())
     }
 }
 
@@ -185,5 +203,34 @@ mod tests {
             r_only: true,
         };
         assert!(w.to_string().contains("read-only"));
+    }
+
+    #[test]
+    fn display_is_single_line_with_figure_reference() {
+        let reasons = [
+            FailReason::ReadOfRemotelyWritten {
+                reader: ProcId(0),
+                first: None,
+            },
+            FailReason::WriteConflict {
+                writer: ProcId(1),
+                first: Some(ProcId(0)),
+                r_only: false,
+            },
+            FailReason::FirstUpdateRace { sender: ProcId(2) },
+            FailReason::FirstUpdateFailAfterWrite { proc: ProcId(3) },
+            FailReason::ROnlyUpdateRace { sender: ProcId(0) },
+            FailReason::ReadFirstAfterWrite { iter: 4, min_w: 2 },
+            FailReason::WriteBeforeReadFirst {
+                iter: 1,
+                max_r1st: 3,
+            },
+            FailReason::Exception,
+        ];
+        for r in reasons {
+            let s = r.to_string();
+            assert!(!s.contains('\n'), "multi-line Display: {s:?}");
+            assert!(s.contains(r.figure()), "no figure ref in {s:?}");
+        }
     }
 }

@@ -76,6 +76,27 @@ pub enum FirstUpdateOutcome {
 }
 
 impl NonPrivDirElem {
+    /// Compact state label for tracing: `Clear`, or the set bits joined
+    /// with `,` — e.g. `First(cpu1)`, `NoShr,First(cpu0)`,
+    /// `ROnly,First(cpu2)`.
+    pub fn state_label(&self) -> String {
+        let mut parts = Vec::new();
+        if self.no_shr {
+            parts.push("NoShr".to_string());
+        }
+        if self.r_only {
+            parts.push("ROnly".to_string());
+        }
+        if let Some(p) = self.first {
+            parts.push(format!("First({p})"));
+        }
+        if parts.is_empty() {
+            "Clear".to_string()
+        } else {
+            parts.join(",")
+        }
+    }
+
     /// Directory part of a read request (algorithm (b)). Call *after*
     /// merging any dirty owner's tag state via [`merge_writeback`].
     ///
@@ -333,6 +354,19 @@ mod tests {
     const P1: ProcId = ProcId(1);
 
     // ---- directory-level sequences (as if uncached) ----
+
+    #[test]
+    fn state_labels_follow_transitions() {
+        let mut d = NonPrivDirElem::default();
+        assert_eq!(d.state_label(), "Clear");
+        d.on_read_req(P0).unwrap();
+        assert_eq!(d.state_label(), "First(cpu0)");
+        d.on_read_req(P1).unwrap();
+        assert_eq!(d.state_label(), "ROnly,First(cpu0)");
+        let mut w = NonPrivDirElem::default();
+        w.on_write_req(P1).unwrap();
+        assert_eq!(w.state_label(), "NoShr,First(cpu1)");
+    }
 
     #[test]
     fn single_processor_read_write_passes() {

@@ -49,6 +49,17 @@ impl Default for PrivSharedElem {
 }
 
 impl PrivSharedElem {
+    /// Compact stamp label for tracing, e.g. `MaxR1st=0,MinW=inf` (the
+    /// clear state) or `MaxR1st=3,MinW=2`.
+    pub fn state_label(&self) -> String {
+        let min_w = if self.min_w == NO_WRITE {
+            "inf".to_string()
+        } else {
+            self.min_w.to_string()
+        };
+        format!("MaxR1st={},MinW={min_w}", self.max_r1st)
+    }
+
     /// Handles a read-first signal or a read-in request (algorithms (d) and
     /// (e)): both run the same test and stamp update; whether a data line is
     /// also returned is the protocol layer's business.
@@ -297,6 +308,15 @@ mod tests {
         assert_eq!(s.max_r1st, 2);
         assert_eq!(s.min_w, 2);
         assert!(s.written());
+    }
+
+    #[test]
+    fn stamp_labels_render_compactly() {
+        let mut s = PrivSharedElem::default();
+        assert_eq!(s.state_label(), "MaxR1st=0,MinW=inf");
+        s.on_read_first(3).unwrap();
+        s.on_first_write(4).unwrap();
+        assert_eq!(s.state_label(), "MaxR1st=3,MinW=4");
     }
 
     #[test]

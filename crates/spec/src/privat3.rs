@@ -30,6 +30,17 @@ pub struct PrivNoReadInShared {
 }
 
 impl PrivNoReadInShared {
+    /// Compact state label for tracing: `Clear`, `AnyR1st`, `AnyW` or
+    /// `AnyR1st,AnyW`.
+    pub fn state_label(&self) -> String {
+        match (self.any_r1st, self.any_w) {
+            (false, false) => "Clear".to_string(),
+            (true, false) => "AnyR1st".to_string(),
+            (false, true) => "AnyW".to_string(),
+            (true, true) => "AnyR1st,AnyW".to_string(),
+        }
+    }
+
     /// A read-first signal arrived.
     ///
     /// # Errors
@@ -144,6 +155,17 @@ impl PrivNoReadInPrivate {
 mod tests {
     use super::*;
     use crate::privat::PrivSharedElem;
+
+    #[test]
+    fn no_read_in_state_labels() {
+        let mut s = PrivNoReadInShared::default();
+        assert_eq!(s.state_label(), "Clear");
+        s.on_read_first().unwrap();
+        assert_eq!(s.state_label(), "AnyR1st");
+        let mut w = PrivNoReadInShared::default();
+        w.on_first_write().unwrap();
+        assert_eq!(w.state_label(), "AnyW");
+    }
 
     #[test]
     fn write_before_read_pattern_passes() {

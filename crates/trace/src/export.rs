@@ -1,0 +1,365 @@
+//! Exporters: JSONL event dumps, Chrome `trace_events` JSON (loadable in
+//! Perfetto or `chrome://tracing`), and a JSON rendering of the metrics
+//! registry. All JSON is emitted by hand — the crate stays
+//! zero-dependency, and the schema is small and flat.
+
+use std::fmt::Write as _;
+
+use crate::event::TraceEvent;
+use crate::metrics::MetricsRegistry;
+
+/// Escapes `s` for inclusion in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One flat JSON object per event (no trailing newline on the last line).
+///
+/// Every object carries `"kind"` and `"t"`; the remaining fields follow
+/// the [`TraceEvent`] variant's fields.
+pub fn jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&event_json(e));
+    }
+    out
+}
+
+fn event_json(e: &TraceEvent) -> String {
+    let mut s = format!("{{\"kind\":\"{}\",\"t\":{}", e.kind(), e.at().raw());
+    match e {
+        TraceEvent::Transaction {
+            proc,
+            arr,
+            idx,
+            write,
+            hit,
+            home,
+            queue,
+            complete,
+            case,
+            ..
+        } => {
+            let _ = write!(
+                s,
+                ",\"proc\":{proc},\"arr\":{arr},\"idx\":{idx},\"write\":{write},\
+                 \"hit\":\"{}\",\"home\":{home},\"queue\":{},\"complete\":{}",
+                hit.label(),
+                queue.raw(),
+                complete.raw()
+            );
+            if let Some(c) = case {
+                let _ = write!(s, ",\"case\":\"{c}\"");
+            }
+        }
+        TraceEvent::SpecTransition {
+            proc,
+            arr,
+            idx,
+            protocol,
+            from,
+            to,
+            iter,
+            ..
+        } => {
+            let _ = write!(
+                s,
+                ",\"proc\":{proc},\"arr\":{arr},\"idx\":{idx},\"protocol\":\"{protocol}\",\
+                 \"from\":\"{}\",\"to\":\"{}\"",
+                esc(from),
+                esc(to)
+            );
+            if let Some(i) = iter {
+                let _ = write!(s, ",\"iter\":{i}");
+            }
+        }
+        TraceEvent::Message { kind, arr, idx, .. } => {
+            let _ = write!(s, ",\"msg\":\"{kind}\",\"arr\":{arr},\"idx\":{idx}");
+        }
+        TraceEvent::Sched {
+            proc,
+            iter,
+            policy,
+            overhead,
+            wait,
+            ..
+        } => {
+            let _ = write!(
+                s,
+                ",\"proc\":{proc},\"iter\":{iter},\"policy\":\"{policy}\",\
+                 \"overhead\":{},\"wait\":{}",
+                overhead.raw(),
+                wait.raw()
+            );
+        }
+        TraceEvent::Abort {
+            proc,
+            arr,
+            idx,
+            iter,
+            label,
+            reason,
+            ..
+        } => {
+            let _ = write!(s, ",\"label\":\"{label}\",\"reason\":\"{}\"", esc(reason));
+            if let Some(p) = proc {
+                let _ = write!(s, ",\"proc\":{p}");
+            }
+            if let Some(a) = arr {
+                let _ = write!(s, ",\"arr\":{a}");
+            }
+            if let Some(i) = idx {
+                let _ = write!(s, ",\"idx\":{i}");
+            }
+            if let Some(i) = iter {
+                let _ = write!(s, ",\"iter\":{i}");
+            }
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// A Chrome `trace_events` JSON document.
+///
+/// Transactions and scheduler dispatches become complete (`"ph":"X"`)
+/// events on the issuing processor's track; state transitions and
+/// messages become thread-scoped instants; aborts become process-scoped
+/// instants so they stand out at any zoom. Simulated cycles are reported
+/// as microseconds (Perfetto's native unit) one-to-one.
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&chrome_event(e));
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+fn chrome_event(e: &TraceEvent) -> String {
+    let args = event_json(e);
+    match e {
+        TraceEvent::Transaction {
+            at,
+            proc,
+            arr,
+            idx,
+            write,
+            hit,
+            complete,
+            ..
+        } => format!(
+            "{{\"name\":\"{} arr{arr}[{idx}] {}\",\"cat\":\"txn\",\"ph\":\"X\",\
+             \"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{proc},\"args\":{args}}}",
+            if *write { "store" } else { "load" },
+            hit.label(),
+            at.raw(),
+            complete.raw().saturating_sub(at.raw()).max(1),
+        ),
+        TraceEvent::SpecTransition {
+            at,
+            proc,
+            arr,
+            idx,
+            protocol,
+            to,
+            ..
+        } => format!(
+            "{{\"name\":\"{protocol} arr{arr}[{idx}] -> {}\",\"cat\":\"spec\",\"ph\":\"i\",\
+             \"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{proc},\"args\":{args}}}",
+            esc(to),
+            at.raw(),
+        ),
+        TraceEvent::Message { at, kind, arr, idx } => format!(
+            "{{\"name\":\"{kind} arr{arr}[{idx}]\",\"cat\":\"msg\",\"ph\":\"i\",\"s\":\"p\",\
+             \"ts\":{},\"pid\":0,\"tid\":0,\"args\":{args}}}",
+            at.raw(),
+        ),
+        TraceEvent::Sched {
+            at,
+            proc,
+            iter,
+            policy,
+            overhead,
+            wait,
+            ..
+        } => format!(
+            "{{\"name\":\"{policy} iter {iter}\",\"cat\":\"sched\",\"ph\":\"X\",\
+             \"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{proc},\"args\":{args}}}",
+            at.raw(),
+            (overhead.raw() + wait.raw()).max(1),
+        ),
+        TraceEvent::Abort { at, label, .. } => format!(
+            "{{\"name\":\"FAIL {label}\",\"cat\":\"abort\",\"ph\":\"i\",\"s\":\"g\",\
+             \"ts\":{},\"pid\":0,\"tid\":0,\"args\":{args}}}",
+            at.raw(),
+        ),
+    }
+}
+
+/// A single JSON object with `counters`, `histograms` (count/mean/max and
+/// the non-empty log-2 buckets) and `breakdowns` (busy/sync/mem cycles).
+pub fn metrics_json(m: &MetricsRegistry) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (k, v)) in m.counters().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{v}", esc(k));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (k, h)) in m.histograms().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{}\":{{\"count\":{},\"sum\":{},\"mean\":{:.3},\"max\":{},\"buckets\":{{",
+            esc(k),
+            h.count(),
+            h.sum(),
+            h.mean(),
+            h.max()
+        );
+        let mut first = true;
+        for b in 0..64 {
+            if h.bucket(b) > 0 {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "\"{}\":{}", 1u64 << b, h.bucket(b));
+            }
+        }
+        out.push_str("}}");
+    }
+    out.push_str("},\"breakdowns\":{");
+    for (i, (k, b)) in m.breakdowns().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{}\":{{\"busy\":{},\"sync\":{},\"mem\":{}}}",
+            esc(k),
+            b.busy.raw(),
+            b.sync.raw(),
+            b.mem.raw()
+        );
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::HitKind;
+    use specrt_engine::Cycles;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Transaction {
+                at: Cycles(10),
+                proc: 1,
+                arr: 0,
+                idx: 7,
+                write: true,
+                hit: HitKind::Miss,
+                home: 2,
+                queue: Cycles(4),
+                complete: Cycles(218),
+                case: Some("d"),
+            },
+            TraceEvent::SpecTransition {
+                at: Cycles(12),
+                proc: 1,
+                arr: 0,
+                idx: 7,
+                protocol: "nonpriv",
+                from: "Clear".into(),
+                to: "NoShr,First(cpu1)".into(),
+                iter: Some(3),
+            },
+            TraceEvent::Abort {
+                at: Cycles(300),
+                proc: Some(2),
+                arr: Some(0),
+                idx: Some(7),
+                iter: Some(4),
+                label: "write_conflict",
+                reason: "cpu2 wrote an element first accessed by cpu1".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let out = jsonl(&sample_events());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "line: {l}");
+        }
+        assert!(lines[0].contains("\"case\":\"d\""));
+        assert!(lines[1].contains("\"protocol\":\"nonpriv\""));
+        assert!(lines[2].contains("\"label\":\"write_conflict\""));
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let out = chrome_trace(&sample_events());
+        assert!(out.starts_with("{\"traceEvents\":["));
+        assert!(out.ends_with('}'));
+        assert!(out.contains("\"ph\":\"X\""));
+        assert!(out.contains("\"ph\":\"i\""));
+        assert!(out.contains("\"dur\":208"));
+        assert!(out.contains("FAIL write_conflict"));
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_controls() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn metrics_json_shape() {
+        let mut m = MetricsRegistry::new();
+        m.incr("proto.msgs", 2);
+        m.observe("lat", 100);
+        m.record_breakdown(
+            "proc0",
+            specrt_engine::TimeBreakdown {
+                busy: Cycles(5),
+                sync: Cycles(1),
+                mem: Cycles(2),
+            },
+        );
+        let out = metrics_json(&m);
+        assert!(out.contains("\"proto.msgs\":2"));
+        assert!(out.contains("\"count\":1"));
+        assert!(out.contains("\"64\":1")); // 100 lands in the [64,128) bucket
+        assert!(out.contains("\"busy\":5"));
+    }
+}

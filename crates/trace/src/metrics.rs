@@ -1,0 +1,186 @@
+//! The unified per-run metrics registry.
+//!
+//! Every layer already counts things — the protocol's `StatSet`, the
+//! caches' hit counters, the per-processor `TimeBreakdown`s. The
+//! [`MetricsRegistry`] absorbs all of them under stable dotted names so a
+//! run produces *one* aggregate that experiments can merge, print and
+//! export without knowing which layer a number came from.
+
+use std::collections::BTreeMap;
+
+use specrt_engine::{Histogram, StatSet, TimeBreakdown};
+
+/// Named counters, log-scale histograms and time breakdowns for one run.
+///
+/// All aggregation is commutative (addition, bucket-wise addition,
+/// component-wise addition), so merging per-processor or per-invocation
+/// registries is order-independent.
+///
+/// # Examples
+///
+/// ```
+/// use specrt_trace::MetricsRegistry;
+///
+/// let mut m = MetricsRegistry::new();
+/// m.incr("proto.messages", 3);
+/// m.observe("mem.read_latency", 208);
+/// assert_eq!(m.counter("proto.messages"), 3);
+/// assert_eq!(m.histogram("mem.read_latency").unwrap().count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    breakdowns: BTreeMap<String, TimeBreakdown>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `n` to counter `name`, creating it at zero if absent.
+    pub fn incr(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Current value of counter `name` (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records one sample into histogram `name`.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Histogram `name`, if any sample was ever recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Merges a time breakdown into `name` (component-wise addition).
+    pub fn record_breakdown(&mut self, name: &str, tb: TimeBreakdown) {
+        let e = self.breakdowns.entry(name.to_string()).or_default();
+        *e = e.merged(&tb);
+    }
+
+    /// Breakdown `name`, if ever recorded.
+    pub fn breakdown(&self, name: &str) -> Option<&TimeBreakdown> {
+        self.breakdowns.get(name)
+    }
+
+    /// Absorbs a [`StatSet`] under `prefix` (`prefix.key` per counter).
+    pub fn absorb_stats(&mut self, prefix: &str, stats: &StatSet) {
+        for (k, v) in stats.iter() {
+            self.incr(&format!("{prefix}.{k}"), v);
+        }
+    }
+
+    /// Merges another registry into this one. Commutative and
+    /// associative: merging per-processor registries in any order yields
+    /// the same aggregate.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            self.incr(k, *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+        for (k, tb) in &other.breakdowns {
+            self.record_breakdown(k, *tb);
+        }
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
+    }
+
+    /// Iterates breakdowns in name order.
+    pub fn breakdowns(&self) -> impl Iterator<Item = (&str, &TimeBreakdown)> {
+        self.breakdowns.iter().map(|(k, b)| (k.as_str(), b))
+    }
+
+    /// Whether nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty() && self.breakdowns.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specrt_engine::Cycles;
+
+    #[test]
+    fn absorb_prefixes_statset_keys() {
+        let mut s = StatSet::new();
+        s.add("invalidations", 4);
+        let mut m = MetricsRegistry::new();
+        m.absorb_stats("proto", &s);
+        assert_eq!(m.counter("proto.invalidations"), 4);
+        assert_eq!(m.counter("proto.absent"), 0);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = MetricsRegistry::new();
+        a.incr("c", 1);
+        a.observe("h", 5);
+        a.record_breakdown(
+            "t",
+            TimeBreakdown {
+                busy: Cycles(10),
+                sync: Cycles(0),
+                mem: Cycles(5),
+            },
+        );
+        let mut b = MetricsRegistry::new();
+        b.incr("c", 2);
+        b.observe("h", 100);
+        b.record_breakdown(
+            "t",
+            TimeBreakdown {
+                busy: Cycles(1),
+                sync: Cycles(2),
+                mem: Cycles(3),
+            },
+        );
+
+        let mut ab = MetricsRegistry::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = MetricsRegistry::new();
+        ba.merge(&b);
+        ba.merge(&a);
+
+        assert_eq!(ab.counter("c"), 3);
+        assert_eq!(ba.counter("c"), 3);
+        assert_eq!(ab.histogram("h").unwrap().count(), 2);
+        assert_eq!(ab.histogram("h").unwrap().max(), 100);
+        assert_eq!(
+            ba.histogram("h").unwrap().sum(),
+            ab.histogram("h").unwrap().sum()
+        );
+        assert_eq!(ab.breakdown("t"), ba.breakdown("t"));
+        assert_eq!(ab.breakdown("t").unwrap().total(), Cycles(21));
+    }
+
+    #[test]
+    fn empty_registry_reports_empty() {
+        let m = MetricsRegistry::new();
+        assert!(m.is_empty());
+        assert!(m.histogram("x").is_none());
+        assert!(m.breakdown("x").is_none());
+    }
+}

@@ -1,0 +1,211 @@
+//! Sinks and the [`Tracer`] handle that the simulated layers hold.
+
+use crate::event::TraceEvent;
+
+/// Where emitted events go.
+///
+/// Implementations must be cheap per event — sinks run inside the
+/// simulator's innermost loops whenever tracing is on.
+pub trait TraceSink: std::fmt::Debug {
+    /// Records one event.
+    fn record(&mut self, ev: TraceEvent);
+
+    /// Takes every recorded event out of the sink, oldest first. Sinks
+    /// that forward events elsewhere (or drop them) return an empty vec.
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+
+    /// Number of events dropped because the sink was full.
+    fn dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// A sink that discards everything. Useful for measuring the overhead of
+/// event *construction* alone (the [`Tracer`] fast path skips even that
+/// when no sink is installed).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _ev: TraceEvent) {}
+}
+
+/// A bounded recorder: keeps the most recent `capacity` events, counting
+/// (rather than storing) any overflow, so a long run's trace memory stays
+/// bounded while the tail — where aborts live — is always retained.
+#[derive(Debug, Clone)]
+pub struct RingBufferSink {
+    buf: std::collections::VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingBufferSink {
+    /// Creates a recorder bounded at `capacity` events (at least one).
+    pub fn new(capacity: usize) -> Self {
+        RingBufferSink {
+            buf: std::collections::VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the recorder holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn record(&mut self, ev: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// The handle a simulated layer owns. `Tracer::off()` is the default:
+/// no sink, and every emission site guards construction with
+/// [`Tracer::enabled`], so the hot path costs one branch on a field that
+/// never changes mid-run.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    sink: Option<Box<dyn TraceSink>>,
+}
+
+impl Tracer {
+    /// A disabled tracer (the default).
+    pub const fn off() -> Self {
+        Tracer { sink: None }
+    }
+
+    /// A tracer recording into the given sink.
+    pub fn new(sink: Box<dyn TraceSink>) -> Self {
+        Tracer { sink: Some(sink) }
+    }
+
+    /// A tracer recording into a [`RingBufferSink`] of `capacity` events.
+    pub fn ring(capacity: usize) -> Self {
+        Tracer::new(Box::new(RingBufferSink::new(capacity)))
+    }
+
+    /// Whether any sink is installed. Emission sites check this before
+    /// constructing an event so disabled tracing costs a single branch.
+    #[inline(always)]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Records `ev` if a sink is installed.
+    #[inline]
+    pub fn emit(&mut self, ev: TraceEvent) {
+        if let Some(s) = &mut self.sink {
+            s.record(ev);
+        }
+    }
+
+    /// Records the event built by `f` if a sink is installed; `f` is not
+    /// called otherwise.
+    #[inline]
+    pub fn emit_with<F: FnOnce() -> TraceEvent>(&mut self, f: F) {
+        if let Some(s) = &mut self.sink {
+            s.record(f());
+        }
+    }
+
+    /// Takes every recorded event, leaving tracing enabled.
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        match &mut self.sink {
+            Some(s) => s.drain(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of events the sink dropped (ring overflow).
+    pub fn dropped(&self) -> u64 {
+        self.sink.as_ref().map_or(0, |s| s.dropped())
+    }
+
+    /// Removes the sink, disabling tracing.
+    pub fn disable(&mut self) {
+        self.sink = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specrt_engine::Cycles;
+
+    fn msg(at: u64) -> TraceEvent {
+        TraceEvent::Message {
+            at: Cycles(at),
+            kind: "First_update",
+            arr: 0,
+            idx: at,
+        }
+    }
+
+    #[test]
+    fn off_tracer_ignores_and_never_builds() {
+        let mut t = Tracer::off();
+        assert!(!t.enabled());
+        t.emit_with(|| unreachable!("must not construct when off"));
+        assert!(t.drain().is_empty());
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let mut t = Tracer::ring(3);
+        assert!(t.enabled());
+        for i in 0..5 {
+            t.emit(msg(i));
+        }
+        assert_eq!(t.dropped(), 2);
+        let evs = t.drain();
+        assert_eq!(
+            evs.iter().map(|e| e.at().raw()).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        // Drain leaves tracing on.
+        t.emit(msg(9));
+        assert_eq!(t.drain().len(), 1);
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let mut t = Tracer::new(Box::new(NullSink));
+        t.emit(msg(1));
+        assert!(t.drain().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn disable_turns_off() {
+        let mut t = Tracer::ring(4);
+        t.disable();
+        assert!(!t.enabled());
+    }
+}

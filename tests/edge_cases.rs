@@ -2,7 +2,7 @@
 //! handle gracefully.
 
 use specrt::ir::{ArrayId, Operand, ProgramBuilder, Scalar};
-use specrt::machine::{run_scenario, ArrayDecl, LoopSpec, ScheduleKind, Scenario, SwVariant};
+use specrt::machine::{run_scenario, ArrayDecl, LoopSpec, Scenario, ScheduleKind, SwVariant};
 use specrt::mem::ElemSize;
 use specrt::spec::{IterationNumbering, ProtocolKind, TestPlan};
 
@@ -42,7 +42,11 @@ fn single_iteration_loop() {
         Scenario::Sw(SwVariant::ProcessorWise),
     ] {
         let r = run_scenario(&spec, scenario, 8);
-        assert_ne!(r.passed, Some(false), "{scenario}: one iteration cannot conflict");
+        assert_ne!(
+            r.passed,
+            Some(false),
+            "{scenario}: one iteration cannot conflict"
+        );
         assert_eq!(r.final_image.read(A, 0), Scalar::Float(42.0), "{scenario}");
     }
 }

@@ -1,10 +1,10 @@
 //! Cross-crate integration property: for randomly generated loops —
 //! parallel or not — every execution strategy ends in the exact state a
 //! serial execution produces, and the hardware verdict is sound with
-//! respect to the ground-truth dependence oracle.
+//! respect to the ground-truth dependence oracle. Randomness comes from
+//! the in-repo deterministic [`SplitMix64`] generator.
 
-use proptest::prelude::*;
-
+use specrt::engine::SplitMix64;
 use specrt::ir::{ArrayId, BinOp, Operand, ProgramBuilder, Scalar};
 use specrt::machine::{run_scenario, ArrayDecl, LoopSpec, Scenario, ScheduleKind, SwVariant};
 use specrt::mem::ElemSize;
@@ -69,49 +69,56 @@ fn build_spec(
     }
 }
 
-fn schedule_strategy() -> impl Strategy<Value = ScheduleKind> {
-    prop_oneof![
-        Just(ScheduleKind::Static),
-        (1u64..4).prop_map(|b| ScheduleKind::BlockCyclic { block: b }),
-        (1u64..4).prop_map(|b| ScheduleKind::Dynamic { block: b }),
-    ]
+fn random_schedule(rng: &mut SplitMix64) -> ScheduleKind {
+    match rng.below(3) {
+        0 => ScheduleKind::Static,
+        1 => ScheduleKind::BlockCyclic {
+            block: rng.range(1, 4),
+        },
+        _ => ScheduleKind::Dynamic {
+            block: rng.range(1, 4),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn random_indices(
+    rng: &mut SplitMix64,
+    bound: u64,
+    lo: u64,
+    hi: u64,
+) -> (Vec<i64>, Vec<i64>, Vec<bool>) {
+    let kr: Vec<i64> = (0..rng.range(lo, hi))
+        .map(|_| rng.below(bound) as i64)
+        .collect();
+    let kw_seed: Vec<i64> = (0..rng.range(lo, hi))
+        .map(|_| rng.below(bound) as i64)
+        .collect();
+    let iters = kr.len().min(kw_seed.len());
+    let wf: Vec<bool> = (0..iters).map(|_| rng.chance(0.5)).collect();
+    (kr[..iters].to_vec(), kw_seed[..iters].to_vec(), wf)
+}
 
-    /// Every strategy's final live state equals the serial state,
-    /// regardless of whether the loop is parallel.
-    #[test]
-    fn all_strategies_end_in_serial_state(
-        kr in proptest::collection::vec(0i64..12, 4..24),
-        kw_seed in proptest::collection::vec(0i64..12, 4..24),
-        wf in proptest::collection::vec(any::<bool>(), 24),
-        schedule in schedule_strategy(),
-    ) {
-        let iters = kr.len().min(kw_seed.len());
-        let kr = kr[..iters].to_vec();
-        let kw = kw_seed[..iters].to_vec();
-        let wf = wf[..iters].to_vec();
+/// Every strategy's final live state equals the serial state, regardless
+/// of whether the loop is parallel.
+#[test]
+fn all_strategies_end_in_serial_state() {
+    let mut rng = SplitMix64::new(0x5ce0_0001);
+    for _case in 0..24 {
+        let (kr, kw, wf) = random_indices(&mut rng, 12, 4, 24);
+        let schedule = random_schedule(&mut rng);
         let spec = build_spec(kr, kw, wf, 12, schedule);
 
         let serial = run_scenario(&spec, Scenario::Serial, 4);
         let live = [A, OUT];
         for scenario in [
-            Scenario::Ideal, // may be "wrong" to run untested, but the
-                             // functional model is still serializable for
-                             // the routing we use — skip if it diverges.
             Scenario::Hw,
             Scenario::Sw(SwVariant::IterationWise),
             Scenario::Sw(SwVariant::ProcessorWise),
         ] {
             // Ideal on a non-parallel loop is undefined behaviour in the
-            // paper; only run it when the hardware test passes.
-            if scenario == Scenario::Ideal {
-                continue;
-            }
+            // paper, so it is not exercised here.
             let r = run_scenario(&spec, scenario, 4);
-            prop_assert!(
+            assert!(
                 r.final_image.same_contents(&serial.final_image, &live),
                 "{scenario} diverged from serial (passed {:?}, {:?})",
                 r.passed,
@@ -119,20 +126,17 @@ proptest! {
             );
         }
     }
+}
 
-    /// Soundness: when the hardware scheme keeps the speculation, the loop
-    /// truly had no cross-processor conflict (per the schedule-independent
-    /// sufficient condition: read-only or single-writer-single-toucher).
-    #[test]
-    fn hw_pass_implies_no_conflict(
-        kr in proptest::collection::vec(0i64..10, 4..20),
-        kw_seed in proptest::collection::vec(0i64..10, 4..20),
-        wf in proptest::collection::vec(any::<bool>(), 20),
-    ) {
-        let iters = kr.len().min(kw_seed.len());
-        let kr = kr[..iters].to_vec();
-        let kw = kw_seed[..iters].to_vec();
-        let wf = wf[..iters].to_vec();
+/// Soundness: when the hardware scheme keeps the speculation, the loop
+/// truly had no cross-processor conflict (per the schedule-independent
+/// sufficient condition: read-only or single-writer-single-toucher).
+#[test]
+fn hw_pass_implies_no_conflict() {
+    let mut rng = SplitMix64::new(0x5ce0_0002);
+    for _case in 0..24 {
+        let (kr, kw, wf) = random_indices(&mut rng, 10, 4, 20);
+        let iters = kr.len();
         let spec = build_spec(kr.clone(), kw.clone(), wf.clone(), 10, ScheduleKind::Static);
         let hw = run_scenario(&spec, Scenario::Hw, 4);
         if hw.passed == Some(true) {
@@ -151,7 +155,7 @@ proptest! {
                         wrote = true;
                     }
                 }
-                prop_assert!(
+                assert!(
                     touch.len() <= 1 || !wrote,
                     "HW passed but element {e} written and touched by {touch:?}"
                 );
