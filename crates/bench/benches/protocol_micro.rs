@@ -7,16 +7,24 @@ use specrt_bench::harness::bench_default;
 use specrt_engine::Cycles;
 use specrt_ir::ArrayId;
 use specrt_mem::{ElemSize, PlacementPolicy, ProcId};
-use specrt_proto::{MemSystem, MemSystemConfig, NullSink, Tracer};
+use specrt_proto::{MemSystem, MemSystemConfig, NetConfig, NullSink, Tracer};
 use specrt_spec::{IterationNumbering, ProtocolKind, TestPlan};
 
 const A: ArrayId = ArrayId(0);
 
-fn fresh(plan: TestPlan) -> MemSystem {
-    let mut ms = MemSystem::new(MemSystemConfig::default());
+fn fresh_with_net(plan: TestPlan, net: NetConfig) -> MemSystem {
+    let cfg = MemSystemConfig {
+        net,
+        ..Default::default()
+    };
+    let mut ms = MemSystem::new(cfg);
     ms.alloc_array(A, 4096, ElemSize::W8, PlacementPolicy::RoundRobin);
     ms.configure_loop(plan, IterationNumbering::iteration_wise());
     ms
+}
+
+fn fresh(plan: TestPlan) -> MemSystem {
+    fresh_with_net(plan, NetConfig::flat())
 }
 
 fn main() {
@@ -30,15 +38,28 @@ fn main() {
         });
     }
 
-    {
+    // Interconnect overhead: the same coherence ping-pong routed through
+    // the constant-latency flat crossbar vs. the contended 2D mesh. The
+    // ratio is the host-side price of per-link occupancy simulation.
+    let net_flat = {
         let mut ms = fresh(TestPlan::new());
         let mut t = 0u64;
         bench_default("protocol/plain_pingpong", || {
             t += 1000;
             ms.write(ProcId(0), A, 0, Cycles(t));
             ms.write(ProcId(1), A, 0, Cycles(t + 500))
-        });
-    }
+        })
+    };
+    let net_mesh = {
+        let mut ms = fresh_with_net(TestPlan::new(), NetConfig::mesh(16));
+        let mut t = 0u64;
+        bench_default("protocol/plain_pingpong_mesh", || {
+            t += 1000;
+            ms.write(ProcId(0), A, 0, Cycles(t));
+            ms.write(ProcId(1), A, 0, Cycles(t + 500))
+        })
+    };
+    write_bench_net(&net_flat, &net_mesh);
 
     let baseline = {
         let mut plan = TestPlan::new();
@@ -112,4 +133,29 @@ fn main() {
         traced_null.ns_per_iter(),
         (traced_null.ns_per_iter() / traced_off.ns_per_iter() - 1.0) * 100.0
     );
+}
+
+/// Records the flat-vs-mesh ping-pong datapoint so the perf trajectory
+/// tracks interconnect simulation cost across commits.
+fn write_bench_net(
+    flat: &specrt_bench::harness::Measurement,
+    mesh: &specrt_bench::harness::Measurement,
+) {
+    let ratio = mesh.ns_per_iter() / flat.ns_per_iter();
+    let json = format!(
+        "{{\n  \"bench\": \"protocol/plain_pingpong\",\n  \
+         \"flat_ns_per_iter\": {:.1},\n  \
+         \"mesh_ns_per_iter\": {:.1},\n  \
+         \"mesh_over_flat\": {:.3}\n}}\n",
+        flat.ns_per_iter(),
+        mesh.ns_per_iter(),
+        ratio
+    );
+    match std::fs::write("BENCH_net.json", &json) {
+        Ok(()) => println!(
+            "mesh interconnect overhead: {:.2}x flat on the ping-pong path (BENCH_net.json)",
+            ratio
+        ),
+        Err(e) => eprintln!("cannot write BENCH_net.json: {e}"),
+    }
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! experiments [all|claims|fig11|fig12|fig13|fig14|state|ablation] [smoke|bench|full]
 //! experiments --trace <path> [--metrics] [--workload <name>] [smoke|bench|full]
+//!             [--net <flat|mesh>] [--link-bw <cycles>] [--net-report]
 //! ```
 //!
 //! Defaults to `all bench`. Output is the plain-text analogue of the
@@ -16,7 +17,13 @@
 //! JSON document (loadable in Perfetto / `chrome://tracing`) otherwise —
 //! and prints an abort-forensics table. `--metrics` prints the unified
 //! metrics registry (protocol counters, latency histograms, Busy/Sync/Mem
-//! breakdowns) of the same runs as one JSON object on stdout.
+//! breakdowns, network counters) of the same runs as one JSON object on
+//! stdout.
+//!
+//! `--net mesh` swaps the constant-latency crossbar for a 2D mesh with
+//! finite link bandwidth (`--link-bw` cycles of link occupancy per
+//! message), and `--net-report` prints per-link utilization plus the
+//! worst hotspot alongside the abort forensics.
 
 use specrt_core::experiments::{
     ablation_chunking, ablation_machine, ablation_policy, ablation_track_block, evaluate_all,
@@ -25,6 +32,7 @@ use specrt_core::experiments::{
 use specrt_core::report::{bar_chart, bsm, f2, stacked_bar, Table};
 use specrt_engine::Cycles;
 use specrt_machine::{run_scenario_configured, MachineConfig, RunResult, Scenario};
+use specrt_proto::NetConfig;
 use specrt_trace::export::{chrome_trace, jsonl, metrics_json};
 use specrt_trace::{MetricsRegistry, TraceEvent};
 use specrt_workloads::{all_workloads, Scale};
@@ -33,6 +41,9 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut trace_path: Option<String> = None;
     let mut metrics = false;
+    let mut net_arg: Option<String> = None;
+    let mut link_bw: Option<u64> = None;
+    let mut net_report = false;
     let mut workload = String::from("adm");
     let mut pos: Vec<String> = Vec::new();
     let mut it = raw.into_iter();
@@ -46,6 +57,25 @@ fn main() {
                 }
             },
             "--metrics" => metrics = true,
+            "--net" => match it.next() {
+                Some(n) if n == "flat" || n == "mesh" => net_arg = Some(n),
+                Some(other) => {
+                    eprintln!("unknown topology {other:?}; use flat|mesh");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("--net requires a topology (flat|mesh)");
+                    std::process::exit(2);
+                }
+            },
+            "--link-bw" => match it.next().as_deref().map(str::parse) {
+                Some(Ok(v)) => link_bw = Some(v),
+                _ => {
+                    eprintln!("--link-bw requires a cycle count");
+                    std::process::exit(2);
+                }
+            },
+            "--net-report" => net_report = true,
             "--workload" => match it.next() {
                 Some(w) => workload = w,
                 None => {
@@ -56,12 +86,9 @@ fn main() {
             _ => pos.push(a),
         }
     }
+    let report_mode = trace_path.is_some() || metrics || net_report;
     let what = pos.first().map(String::as_str).unwrap_or("all");
-    let scale_arg = if trace_path.is_some() || metrics {
-        pos.first()
-    } else {
-        pos.get(1)
-    };
+    let scale_arg = if report_mode { pos.first() } else { pos.get(1) };
     let scale = match scale_arg.map(String::as_str) {
         Some("smoke") => Scale::Smoke,
         Some("full") => Scale::Full,
@@ -72,9 +99,20 @@ fn main() {
         }
     };
 
-    if trace_path.is_some() || metrics {
-        trace_report(&workload, scale, trace_path.as_deref(), metrics);
+    if report_mode {
+        let opts = ReportOptions {
+            trace_path: trace_path.as_deref(),
+            metrics,
+            net: net_arg.as_deref(),
+            link_bw,
+            net_report,
+        };
+        trace_report(&workload, scale, &opts);
         return;
+    }
+    if net_arg.is_some() || link_bw.is_some() {
+        eprintln!("--net/--link-bw only apply to --trace/--metrics/--net-report runs");
+        std::process::exit(2);
     }
 
     let needs_eval = matches!(what, "all" | "claims" | "fig11" | "fig12");
@@ -348,28 +386,49 @@ fn shift_events(events: &mut [TraceEvent], by: Cycles) {
             }
             TraceEvent::SpecTransition { at, .. }
             | TraceEvent::Message { at, .. }
+            | TraceEvent::Net { at, .. }
             | TraceEvent::Sched { at, .. }
             | TraceEvent::Abort { at, .. } => *at += by,
         }
     }
 }
 
+/// Flags governing a `--trace`/`--metrics`/`--net-report` run.
+struct ReportOptions<'a> {
+    trace_path: Option<&'a str>,
+    metrics: bool,
+    /// `--net flat|mesh`; `None` keeps the default (flat) interconnect.
+    net: Option<&'a str>,
+    /// `--link-bw`: cycles each message occupies a link (0 = infinite bw).
+    link_bw: Option<u64>,
+    net_report: bool,
+}
+
 /// Runs HW executions of `name` with tracing on (one passing invocation,
 /// then the §6.2 forced-failure instance), exports the combined event
-/// stream and prints forensics / metrics.
-fn trace_report(name: &str, scale: Scale, trace_path: Option<&str>, metrics: bool) {
+/// stream and prints forensics / metrics / the network report.
+fn trace_report(name: &str, scale: Scale, opts: &ReportOptions) {
     let workloads = all_workloads(scale);
     let Some(w) = workloads.iter().find(|w| w.name == name) else {
         let names: Vec<&str> = workloads.iter().map(|w| w.name).collect();
         eprintln!("unknown workload {name:?}; available: {}", names.join(", "));
         std::process::exit(2);
     };
-    let mut cfg = MachineConfig::with_procs(w.procs);
+    let mut net = match opts.net {
+        Some("mesh") => NetConfig::mesh(w.procs),
+        _ => NetConfig::flat(),
+    };
+    if let Some(bw) = opts.link_bw {
+        net = net.with_link_service(bw);
+    }
+    let mut cfg = MachineConfig::with_procs(w.procs).with_net(net);
     cfg.trace_capacity = TRACE_CAPACITY;
+    cfg.trace_net = opts.net_report;
 
     eprintln!(
-        "tracing HW run of {name} ({} procs, {scale:?} scale)...",
-        w.procs
+        "tracing HW run of {name} ({} procs, {} interconnect, {scale:?} scale)...",
+        w.procs,
+        cfg.mem.net.topology.label(),
     );
     let mut pass = run_scenario_configured(&w.invocations[0], Scenario::Hw, cfg);
     eprintln!("tracing HW run of the forced-failure instance...");
@@ -382,8 +441,11 @@ fn trace_report(name: &str, scale: Scale, trace_path: Option<&str>, metrics: boo
 
     print_trace_summary(&events, &pass, &fail);
     print_abort_forensics(&events);
+    if opts.net_report {
+        print_net_report(&[("pass", &pass), ("fail", &fail)]);
+    }
 
-    if let Some(path) = trace_path {
+    if let Some(path) = opts.trace_path {
         let doc = if path.ends_with(".jsonl") {
             jsonl(&events)
         } else {
@@ -404,7 +466,7 @@ fn trace_report(name: &str, scale: Scale, trace_path: Option<&str>, metrics: boo
         );
     }
 
-    if metrics {
+    if opts.metrics {
         let mut m = MetricsRegistry::new();
         for (tag, run) in [("pass", &pass), ("fail", &fail)] {
             m.absorb_stats(&format!("proto.{tag}"), &run.stats);
@@ -414,6 +476,15 @@ fn trace_report(name: &str, scale: Scale, trace_path: Option<&str>, metrics: boo
                 run.total_cycles.raw(),
             );
             m.incr(&format!("machine.{tag}.iterations"), run.iterations);
+            let n = &run.net;
+            m.incr(&format!("net.{tag}.messages"), n.messages);
+            m.incr(&format!("net.{tag}.local_messages"), n.local_messages);
+            m.incr(&format!("net.{tag}.total_hops"), n.total_hops);
+            m.incr(&format!("net.{tag}.queue_cycles"), n.total_queue);
+            m.incr(&format!("net.{tag}.contended_links"), n.links.len() as u64);
+            for l in &n.links {
+                m.observe(&format!("net.{tag}.link_queued"), l.queued);
+            }
         }
         for e in &events {
             m.incr(&format!("trace.events.{}", e.kind()), 1);
@@ -504,4 +575,69 @@ fn print_abort_forensics(events: &[TraceEvent]) {
         }
     }
     println!("{}", t.render());
+}
+
+/// How many of the busiest links the `--net-report` table shows per run.
+const NET_REPORT_LINKS: usize = 8;
+
+/// The `--net-report` tables: per-run traffic totals, then per-link
+/// utilization for the most congested links, with the worst hotspot called
+/// out (the link aborts and retries pile onto first).
+fn print_net_report(runs: &[(&str, &RunResult)]) {
+    println!("== Network report ==\n");
+    let mut t = Table::new(vec![
+        "run",
+        "topology",
+        "messages",
+        "local",
+        "mean hops",
+        "queue cycles",
+        "contended links",
+    ]);
+    for (tag, r) in runs {
+        let n = &r.net;
+        t.row(vec![
+            tag.to_string(),
+            n.topology.clone(),
+            n.messages.to_string(),
+            n.local_messages.to_string(),
+            f2(n.mean_hops()),
+            n.total_queue.to_string(),
+            n.links.len().to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    for (tag, r) in runs {
+        let n = &r.net;
+        if n.links.is_empty() {
+            println!("{tag}: no link saw traffic (flat interconnect with infinite bandwidth)\n");
+            continue;
+        }
+        let mut links = n.links.clone();
+        links.sort_by_key(|l| std::cmp::Reverse((l.queued, l.busy, l.msgs)));
+        println!(
+            "-- {tag}: busiest {} of {} links --",
+            links.len().min(NET_REPORT_LINKS),
+            links.len()
+        );
+        let cycles = r.total_cycles.raw().max(1) as f64;
+        let mut t = Table::new(vec!["link", "messages", "busy", "queued", "util %"]);
+        for l in links.iter().take(NET_REPORT_LINKS) {
+            t.row(vec![
+                l.link.to_string(),
+                l.msgs.to_string(),
+                l.busy.to_string(),
+                l.queued.to_string(),
+                f2(100.0 * l.busy as f64 / cycles),
+            ]);
+        }
+        println!("{}", t.render());
+        if let Some(h) = n.hotspot() {
+            println!(
+                "{tag}: worst hotspot {} ({} messages, {} queued cycles)\n",
+                h.link, h.msgs, h.queued
+            );
+        }
+    }
 }

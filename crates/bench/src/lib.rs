@@ -84,7 +84,7 @@ pub mod harness {
         }
     }
 
-    /// [`bench`] with the default 200 ms budget.
+    /// [`bench()`] with the default 200 ms budget.
     pub fn bench_default<T, F: FnMut() -> T>(name: &str, f: F) -> Measurement {
         bench(name, Duration::from_millis(200), f)
     }

@@ -1,6 +1,6 @@
 //! Machine-level configuration.
 
-use specrt_proto::MemSystemConfig;
+use specrt_proto::{MemSystemConfig, NetConfig};
 
 /// Constants governing processor and synchronization behaviour.
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +31,10 @@ pub struct MachineConfig {
     /// Ring-buffer capacity for structured trace events; `0` disables
     /// tracing entirely (the default — no overhead on the access path).
     pub trace_capacity: usize,
+    /// Also emit per-message network events into the trace (requires
+    /// `trace_capacity > 0`). Off by default: the network stream is dense
+    /// and would evict the transaction-level events golden tests rely on.
+    pub trace_net: bool,
 }
 
 impl Default for MachineConfig {
@@ -45,6 +49,7 @@ impl Default for MachineConfig {
             iter_reset_cost: 1,
             detailed_barrier: false,
             trace_capacity: 0,
+            trace_net: false,
         }
     }
 }
@@ -60,6 +65,12 @@ impl MachineConfig {
     /// Number of processors.
     pub fn procs(&self) -> u32 {
         self.mem.procs
+    }
+
+    /// Same machine with a different interconnect.
+    pub fn with_net(mut self, net: NetConfig) -> Self {
+        self.mem.net = net;
+        self
     }
 }
 
@@ -77,5 +88,12 @@ mod tests {
     #[test]
     fn default_is_sixteen_processors() {
         assert_eq!(MachineConfig::default().procs(), 16);
+    }
+
+    #[test]
+    fn with_net_swaps_the_interconnect() {
+        let c = MachineConfig::with_procs(16).with_net(NetConfig::mesh(16));
+        assert!(c.mem.net.is_contended());
+        assert!(!MachineConfig::default().mem.net.is_contended());
     }
 }

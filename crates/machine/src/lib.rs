@@ -10,7 +10,7 @@
 //!   scheduling overheads, abort latency);
 //! * [`sched`] — iteration schedulers: static chunking, block-cyclic, and
 //!   lock-based dynamic self-scheduling (§5.2's workloads need all three);
-//! * [`loopspec`] — [`LoopSpec`](loopspec::LoopSpec), the full description
+//! * [`loopspec`] — [`loopspec::LoopSpec`], the full description
 //!   of one speculatively-parallelized loop: body, arrays, test plan,
 //!   scheduling, liveness;
 //! * [`exec`] — the event-driven executor: runs one parallel (or serial)

@@ -33,7 +33,7 @@ use specrt_lrpd::phases::{
 use specrt_lrpd::shadow::{CNT_ATM, CNT_ATW, CNT_BAD_NP, CNT_BAD_WR, CNT_LEN};
 use specrt_lrpd::{instrument_for_proc, sw_private_copy_id, InstrumentConfig, ShadowIds};
 use specrt_mem::{ArrayBackup, ElemSize, MemoryImage, NodeId, PlacementPolicy, ProcId};
-use specrt_proto::{private_copy_id, MemSystem, TraceEvent};
+use specrt_proto::{private_copy_id, MemSystem, NetSummary, TraceEvent};
 use specrt_spec::{IterationNumbering, ProtocolKind, TestPlan};
 
 use crate::config::MachineConfig;
@@ -117,6 +117,9 @@ pub struct RunResult {
     pub final_image: MemoryImage,
     /// Protocol statistics (HW/Ideal runs).
     pub stats: StatSet,
+    /// Interconnect traffic summary (messages, hops, queueing, per-link
+    /// occupancy) of the run's speculative machine.
+    pub net: NetSummary,
     /// Structured trace events collected during the run (empty unless
     /// [`MachineConfig::trace_capacity`] is non-zero).
     pub trace: Vec<TraceEvent>,
@@ -245,6 +248,7 @@ fn run_serial(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
     let mut ms = MemSystem::new(cfg.mem);
     if cfg.trace_capacity > 0 {
         ms.enable_event_trace(cfg.trace_capacity);
+        ms.set_net_trace(cfg.trace_net);
     }
     let mut image = MemoryImage::new();
     setup_arrays(spec, &mut ms, &mut image, true);
@@ -273,6 +277,7 @@ fn run_serial(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
         iterations: summary.iterations,
         final_image: image,
         stats: ms.stats().clone(),
+        net: ms.net_summary(),
         trace: ms.take_event_trace(),
     }
 }
@@ -322,6 +327,7 @@ fn run_ideal(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
     let mut ms = MemSystem::new(cfg.mem);
     if cfg.trace_capacity > 0 {
         ms.enable_event_trace(cfg.trace_capacity);
+        ms.set_net_trace(cfg.trace_net);
     }
     let mut image = MemoryImage::new();
     setup_arrays(spec, &mut ms, &mut image, false);
@@ -400,6 +406,7 @@ fn run_ideal(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
         iterations: summary.iterations,
         final_image: image,
         stats: ms.stats().clone(),
+        net: ms.net_summary(),
         trace: ms.take_event_trace(),
     }
 }
@@ -594,6 +601,7 @@ fn run_hw(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
     let mut ms = MemSystem::new(cfg.mem);
     if cfg.trace_capacity > 0 {
         ms.enable_event_trace(cfg.trace_capacity);
+        ms.set_net_trace(cfg.trace_net);
     }
     let mut image = MemoryImage::new();
     setup_arrays(spec, &mut ms, &mut image, false);
@@ -726,6 +734,7 @@ fn run_hw(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
             iterations,
             final_image: image,
             stats,
+            net: ms.net_summary(),
             trace: ms.take_event_trace(),
         };
     }
@@ -745,6 +754,7 @@ fn run_hw(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
         iterations,
         final_image: image,
         stats,
+        net: ms.net_summary(),
         trace: ms.take_event_trace(),
     }
 }
@@ -758,6 +768,7 @@ fn run_sw(spec: &LoopSpec, cfg: MachineConfig, variant: SwVariant) -> RunResult 
     let mut ms = MemSystem::new(cfg.mem);
     if cfg.trace_capacity > 0 {
         ms.enable_event_trace(cfg.trace_capacity);
+        ms.set_net_trace(cfg.trace_net);
     }
     let mut image = MemoryImage::new();
     setup_arrays(spec, &mut ms, &mut image, false);
@@ -986,6 +997,7 @@ fn run_sw(spec: &LoopSpec, cfg: MachineConfig, variant: SwVariant) -> RunResult 
             iterations: summary.iterations,
             final_image: image,
             stats,
+            net: ms.net_summary(),
             trace: ms.take_event_trace(),
         };
     }
@@ -1012,6 +1024,7 @@ fn run_sw(spec: &LoopSpec, cfg: MachineConfig, variant: SwVariant) -> RunResult 
         iterations: summary.iterations,
         final_image: image,
         stats,
+        net: ms.net_summary(),
         trace: ms.take_event_trace(),
     }
 }

@@ -1,0 +1,30 @@
+//! specrt-net: the machine's interconnect model.
+//!
+//! The paper calibrates its memory system against an *unloaded* machine
+//! (§5.1: latencies "correspond to an unloaded machine; they increase with
+//! resource contention") and abstracts the global network away as a
+//! constant latency. This crate replaces that abstraction with a real —
+//! still deterministic, still discrete-event — interconnect:
+//!
+//! * pluggable [`Topology`]: the original flat crossbar as the degenerate
+//!   case, plus a 2D mesh with dimension-order routing;
+//! * finite link bandwidth: each message occupies every link it crosses
+//!   for [`NetConfig::link_service`] cycles, so traffic queues
+//!   ([`specrt_engine::Resource`]-style FIFO occupancy);
+//! * per-message hop and queue accounting surfaced through
+//!   [`NetSummary`] / [`LinkStat`];
+//! * a hard in-order delivery guarantee per (src, dst) pair — the
+//!   invariant the paper's protocol algorithms assume (§3.2).
+//!
+//! [`NetConfig::flat()`] at zero load reproduces the seed's
+//! `LatencyConfig::travel` timings exactly, so every calibrated latency
+//! test keeps passing byte-identically; a mesh with constrained bandwidth
+//! turns the same experiments into contention studies.
+
+#![warn(missing_docs)]
+
+mod network;
+mod topology;
+
+pub use network::{Delivery, LinkStat, NetConfig, NetSummary, Network, DEFAULT_MESH_LINK_SERVICE};
+pub use topology::{LinkId, Topology};

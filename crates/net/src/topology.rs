@@ -1,0 +1,229 @@
+//! Interconnect topologies and deterministic routing.
+//!
+//! Two topologies are modelled:
+//!
+//! * [`Topology::Flat`] — the seed's constant-latency crossbar: every pair
+//!   of distinct nodes is one "hop" apart and messages never share a wire.
+//!   This is the degenerate case the paper uses ("the global network ...
+//!   is abstracted away as a constant latency", §5.1).
+//! * [`Topology::Mesh2D`] — a `cols × rows` 2D mesh with dimension-order
+//!   (X-then-Y) routing, the usual layout of the CC-NUMA machines the
+//!   paper targets. Messages cross one directed link per hop; links are
+//!   finite-bandwidth resources, so traffic *contends*.
+//!
+//! Routing is a pure function of `(topology, src, dst)`, which together
+//! with FIFO links is what makes per-(src, dst) delivery order a
+//! structural invariant rather than a lucky accident (§3.2: "All
+//! algorithms assume in-order delivery of messages").
+
+use specrt_mem::NodeId;
+
+/// A directed link of the interconnect, identified by its endpoints.
+///
+/// For [`Topology::Mesh2D`] the endpoints are grid-adjacent nodes; for
+/// [`Topology::Flat`] the only "link" a message crosses is its source
+/// node's injection port, written `from == to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId {
+    /// Upstream node.
+    pub from: NodeId,
+    /// Downstream node (equal to `from` for a flat injection port).
+    pub to: NodeId,
+}
+
+impl std::fmt::Display for LinkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.from == self.to {
+            write!(f, "n{}(inject)", self.from.0)
+        } else {
+            write!(f, "n{}->n{}", self.from.0, self.to.0)
+        }
+    }
+}
+
+/// The shape of the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Constant-latency crossbar: no shared wires, every remote pair one
+    /// hop apart. The seed's network abstraction.
+    Flat,
+    /// `cols × rows` 2D mesh, dimension-order (X then Y) routed. Node `i`
+    /// sits at `(i % cols, i / cols)`.
+    Mesh2D {
+        /// Grid width.
+        cols: u32,
+        /// Grid height.
+        rows: u32,
+    },
+}
+
+impl Topology {
+    /// The squarest 2D mesh holding `nodes` nodes (`cols >= rows`, last row
+    /// possibly partial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn mesh_for(nodes: u32) -> Topology {
+        assert!(nodes > 0, "a mesh needs at least one node");
+        let mut cols = 1u32;
+        while cols * cols < nodes {
+            cols += 1;
+        }
+        let rows = nodes.div_ceil(cols);
+        Topology::Mesh2D { cols, rows }
+    }
+
+    /// Grid coordinates of `node` (flat topologies place everyone at the
+    /// origin).
+    pub fn coords(&self, node: NodeId) -> (u32, u32) {
+        match *self {
+            Topology::Flat => (0, 0),
+            Topology::Mesh2D { cols, .. } => (node.0 % cols, node.0 / cols),
+        }
+    }
+
+    /// Number of hops a message from `src` to `dst` crosses: Manhattan
+    /// distance on the mesh, `1` for distinct flat nodes, `0` within a
+    /// node.
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> u32 {
+        if src == dst {
+            return 0;
+        }
+        match *self {
+            Topology::Flat => 1,
+            Topology::Mesh2D { .. } => {
+                let (sx, sy) = self.coords(src);
+                let (dx, dy) = self.coords(dst);
+                sx.abs_diff(dx) + sy.abs_diff(dy)
+            }
+        }
+    }
+
+    /// Average hop count over all ordered pairs of distinct nodes — the
+    /// quantity that maps the unloaded calibration (one constant one-way
+    /// latency) onto per-hop link parameters.
+    pub fn mean_hops(&self, nodes: u32) -> f64 {
+        let mut total = 0u64;
+        let mut pairs = 0u64;
+        for s in 0..nodes {
+            for d in 0..nodes {
+                if s != d {
+                    total += u64::from(self.hops(NodeId(s), NodeId(d)));
+                    pairs += 1;
+                }
+            }
+        }
+        if pairs == 0 {
+            return 0.0;
+        }
+        total as f64 / pairs as f64
+    }
+
+    /// The directed links a message from `src` to `dst` crosses, in order.
+    /// Dimension-order: walk X to the destination column, then Y to the
+    /// destination row. Flat messages cross only the source's injection
+    /// port; intra-node messages cross nothing.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+        if src == dst {
+            return Vec::new();
+        }
+        match *self {
+            Topology::Flat => vec![LinkId { from: src, to: src }],
+            Topology::Mesh2D { cols, .. } => {
+                let (mut x, mut y) = self.coords(src);
+                let (dx, dy) = self.coords(dst);
+                let mut path = Vec::with_capacity((x.abs_diff(dx) + y.abs_diff(dy)) as usize);
+                let mut cur = src;
+                while x != dx {
+                    x = if x < dx { x + 1 } else { x - 1 };
+                    let next = NodeId(y * cols + x);
+                    path.push(LinkId {
+                        from: cur,
+                        to: next,
+                    });
+                    cur = next;
+                }
+                while y != dy {
+                    y = if y < dy { y + 1 } else { y - 1 };
+                    let next = NodeId(y * cols + x);
+                    path.push(LinkId {
+                        from: cur,
+                        to: next,
+                    });
+                    cur = next;
+                }
+                path
+            }
+        }
+    }
+
+    /// Human-readable label (`flat`, `mesh 4x4`).
+    pub fn label(&self) -> String {
+        match *self {
+            Topology::Flat => "flat".to_string(),
+            Topology::Mesh2D { cols, rows } => format!("mesh {cols}x{rows}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_for_is_squarest() {
+        assert_eq!(
+            Topology::mesh_for(16),
+            Topology::Mesh2D { cols: 4, rows: 4 }
+        );
+        assert_eq!(Topology::mesh_for(8), Topology::Mesh2D { cols: 3, rows: 3 });
+        assert_eq!(Topology::mesh_for(1), Topology::Mesh2D { cols: 1, rows: 1 });
+    }
+
+    #[test]
+    fn hops_are_manhattan_distance() {
+        let t = Topology::mesh_for(16);
+        assert_eq!(t.hops(NodeId(0), NodeId(0)), 0);
+        assert_eq!(t.hops(NodeId(0), NodeId(1)), 1);
+        assert_eq!(t.hops(NodeId(0), NodeId(5)), 2); // (0,0) -> (1,1)
+        assert_eq!(t.hops(NodeId(0), NodeId(15)), 6); // (0,0) -> (3,3)
+        assert_eq!(Topology::Flat.hops(NodeId(0), NodeId(9)), 1);
+        assert_eq!(Topology::Flat.hops(NodeId(3), NodeId(3)), 0);
+    }
+
+    #[test]
+    fn route_is_dimension_ordered_and_adjacent() {
+        let t = Topology::mesh_for(16);
+        let path = t.route(NodeId(0), NodeId(15));
+        assert_eq!(path.len(), 6);
+        // X first: 0 -> 1 -> 2 -> 3, then Y: 3 -> 7 -> 11 -> 15.
+        let nodes: Vec<u32> = path.iter().map(|l| l.to.0).collect();
+        assert_eq!(nodes, vec![1, 2, 3, 7, 11, 15]);
+        for l in &path {
+            assert_eq!(t.hops(l.from, l.to), 1, "link {l} must join neighbours");
+        }
+    }
+
+    #[test]
+    fn route_endpoints_match() {
+        let t = Topology::mesh_for(12);
+        for s in 0..12u32 {
+            for d in 0..12u32 {
+                let path = t.route(NodeId(s), NodeId(d));
+                assert_eq!(path.len() as u32, t.hops(NodeId(s), NodeId(d)));
+                if s != d {
+                    assert_eq!(path.first().unwrap().from, NodeId(s));
+                    assert_eq!(path.last().unwrap().to, NodeId(d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mean_hops_flat_is_one() {
+        assert!((Topology::Flat.mean_hops(16) - 1.0).abs() < 1e-9);
+        let m = Topology::mesh_for(16).mean_hops(16);
+        assert!(m > 2.0 && m < 3.0, "4x4 mesh mean distance ~2.67, got {m}");
+    }
+}

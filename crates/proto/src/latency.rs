@@ -45,16 +45,44 @@ impl Default for LatencyConfig {
             local_mem: 60,
             remote_2hop: 208,
             remote_3hop: 291,
-            owner_fetch_extra: 291 - 208,
+            owner_fetch_extra: 0,
             invalidate_extra: 40,
-            net_oneway: 74, // ≈ (208 - 60) / 2
+            net_oneway: 0,
             mem_service: 40,
             update_service: 10,
         }
+        .derive()
     }
 }
 
 impl LatencyConfig {
+    /// Recomputes the internal parameters from the paper's observable
+    /// round-trip latencies, so that the structural invariants
+    ///
+    /// * `remote_2hop = local_mem + 2 · net_oneway` (a remote 2-hop miss
+    ///   is a local miss plus a network round trip), and
+    /// * `remote_3hop = remote_2hop + owner_fetch_extra`
+    ///
+    /// hold by construction. Call this after overriding any of the
+    /// round-trip fields instead of hand-computing `net_oneway` /
+    /// `owner_fetch_extra`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the round trips are not monotone
+    /// (`local_mem <= remote_2hop <= remote_3hop`).
+    pub fn derive(mut self) -> Self {
+        assert!(
+            self.local_mem <= self.remote_2hop && self.remote_2hop <= self.remote_3hop,
+            "round-trip latencies must be monotone: local {} <= 2-hop {} <= 3-hop {}",
+            self.local_mem,
+            self.remote_2hop,
+            self.remote_3hop
+        );
+        self.net_oneway = (self.remote_2hop - self.local_mem) / 2;
+        self.owner_fetch_extra = self.remote_3hop - self.remote_2hop;
+        self
+    }
     /// One-way travel time between two nodes (0 within a node; the global
     /// network is a constant-latency abstraction).
     pub fn travel(&self, from: NodeId, to: NodeId) -> Cycles {
@@ -105,6 +133,39 @@ mod tests {
         assert_eq!(c.local_mem, 60);
         assert_eq!(c.remote_2hop, 208);
         assert_eq!(c.remote_3hop, 291);
+    }
+
+    #[test]
+    fn derive_enforces_structural_invariants() {
+        let c = LatencyConfig::default();
+        // The defaults derive 74 and 83 — the values that used to be
+        // hand-computed magic numbers.
+        assert_eq!(c.net_oneway, 74);
+        assert_eq!(c.owner_fetch_extra, 83);
+        assert_eq!(c.remote_2hop, c.local_mem + 2 * c.net_oneway);
+        assert_eq!(c.remote_3hop, c.remote_2hop + c.owner_fetch_extra);
+        // Overriding a round trip and re-deriving keeps the invariants.
+        let fast = LatencyConfig {
+            local_mem: 40,
+            remote_2hop: 140,
+            remote_3hop: 200,
+            ..c
+        }
+        .derive();
+        assert_eq!(fast.net_oneway, 50);
+        assert_eq!(fast.owner_fetch_extra, 60);
+        assert_eq!(fast.remote_2hop, fast.local_mem + 2 * fast.net_oneway);
+        assert_eq!(fast.remote_3hop, fast.remote_2hop + fast.owner_fetch_extra);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn derive_rejects_non_monotone_round_trips() {
+        let _ = LatencyConfig {
+            remote_2hop: 40,
+            ..LatencyConfig::default()
+        }
+        .derive();
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //!   [`PrivSharedElem`](specrt_spec::PrivSharedElem) /
 //!   [`PrivPrivateElem`](specrt_spec::PrivPrivateElem) state per element of
 //!   each array under test;
-//! * [`system`] — [`MemSystem`](system::MemSystem), the façade the machine
+//! * [`system`] — [`system::MemSystem`], the façade the machine
 //!   layer talks to: every simulated load/store enters here and comes back
 //!   with a completion time, possible read-in instructions, and possibly a
 //!   speculation failure.
@@ -37,5 +37,6 @@ pub mod system;
 
 pub use directory::{DirLineState, DirectoryNode};
 pub use latency::LatencyConfig;
+pub use specrt_net::{Delivery, LinkStat, NetConfig, NetSummary, Network, Topology};
 pub use specrt_trace::{HitKind, NullSink, RingBufferSink, TraceEvent, TraceSink, Tracer};
 pub use system::{private_copy_id, AccessOutcome, MemSystem, MemSystemConfig};

@@ -16,6 +16,7 @@ use specrt_cache::{CacheConfig, CacheHierarchy, HitLevel, LineState, LineTags, V
 use specrt_engine::{BankedResource, Cycles, EventQueue, StatSet};
 use specrt_ir::ArrayId;
 use specrt_mem::{ArrayLayout, ElemSize, LineAddr, NodeId, NumaAllocator, PlacementPolicy, ProcId};
+use specrt_net::{Delivery, NetConfig, NetSummary, Network};
 use specrt_spec::{
     nonpriv_cache_read, nonpriv_cache_write, nonpriv_complete_write, nonpriv_on_first_update_fail,
     priv_cache_read, priv_cache_write, FailReason, FirstUpdateOutcome, IterationNumbering,
@@ -66,6 +67,11 @@ pub struct MemSystemConfig {
     /// Directory banks per node (per-line serialization with cross-line
     /// parallelism).
     pub dir_banks: usize,
+    /// Interconnect model. [`NetConfig::flat()`] (the default) reproduces
+    /// the seed's constant-latency abstraction exactly; a mesh with finite
+    /// link bandwidth makes the §5.1 latencies "increase with resource
+    /// contention" as the paper says they do on a real machine.
+    pub net: NetConfig,
     /// Sharing write-back: on a read request for a dirty line, the owner
     /// writes back and *keeps a clean shared copy* (classic DASH) instead of
     /// dropping it (invalidate-on-fetch, the default — simpler and usually
@@ -81,6 +87,7 @@ impl Default for MemSystemConfig {
             cache: CacheConfig::default(),
             latency: LatencyConfig::default(),
             dir_banks: 8,
+            net: NetConfig::flat(),
             dirty_read_downgrades: false,
         }
     }
@@ -126,6 +133,11 @@ pub struct MemSystem {
     caches: Vec<CacheHierarchy>,
     dirs: Vec<DirectoryNode>,
     dir_banks: Vec<BankedResource>,
+    net: Network,
+    /// Emit [`TraceEvent::Net`] per routed message. Opt-in (and off by
+    /// default) so the dense network stream never perturbs existing
+    /// transaction-level golden traces.
+    net_trace: bool,
     nonpriv: NonPrivStore,
     priv_shared: PrivSharedStore,
     priv_private: PrivPrivateStore,
@@ -164,6 +176,8 @@ impl MemSystem {
             dir_banks: (0..procs)
                 .map(|_| BankedResource::new(cfg.dir_banks))
                 .collect(),
+            net: Network::new(cfg.net, cfg.procs, cfg.latency.net_oneway),
+            net_trace: false,
             nonpriv: NonPrivStore::new(),
             priv_shared: PrivSharedStore::new(),
             priv_private: PrivPrivateStore::new(),
@@ -417,6 +431,23 @@ impl MemSystem {
     /// Aggregate protocol statistics.
     pub fn stats(&self) -> &StatSet {
         &self.stats
+    }
+
+    /// The interconnect in use.
+    pub fn net(&self) -> &Network {
+        &self.net
+    }
+
+    /// Snapshot of the interconnect's traffic (messages, hops, queueing,
+    /// per-link occupancy).
+    pub fn net_summary(&self) -> NetSummary {
+        self.net.summary()
+    }
+
+    /// Enables/disables per-message [`TraceEvent::Net`] emission (off by
+    /// default; requires a tracer to be installed to have any effect).
+    pub fn set_net_trace(&mut self, on: bool) {
+        self.net_trace = on;
     }
 
     /// `(l1_hits, l2_hits, misses)` summed over all processors.
@@ -1163,15 +1194,19 @@ impl MemSystem {
         let layout = self.layout(arr);
         let addr = layout.addr_of(idx);
         let home = self.numa.home_of(addr);
-        let lat = &self.cfg.latency;
-        let arrive = now + lat.travel(proc.node(), home);
-        let end =
-            self.dir_banks[home.0 as usize].acquire(addr.line().0, arrive, Cycles(lat.mem_service));
+        let lat = self.cfg.latency;
+        let req = self.route(proc.node(), home, now);
+        let end = self.dir_banks[home.0 as usize].acquire(
+            addr.line().0,
+            req.arrive,
+            Cycles(lat.mem_service),
+        );
         let queue = end
-            .saturating_sub(arrive)
+            .saturating_sub(req.arrive)
             .saturating_sub(Cycles(lat.mem_service));
         self.last_queue = queue;
-        lat.miss_base(proc.node(), home) + queue
+        let base = lat.miss_base(proc.node(), home);
+        self.finish_round_trip(proc.node(), home, now, req, end, base + queue) - now
     }
 
     /// Fills a private-copy line (always homed locally).
@@ -1191,6 +1226,50 @@ impl MemSystem {
         } else {
             self.fetch_line_with_state(proc, line, LineState::Clean, tags, now)
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Interconnect routing
+    // ------------------------------------------------------------------
+
+    /// Routes one message through the interconnect, reserving the links it
+    /// crosses, and (when network tracing is on) emits the corresponding
+    /// [`TraceEvent::Net`].
+    fn route(&mut self, src: NodeId, dst: NodeId, now: Cycles) -> Delivery {
+        let d = self.net.send(src, dst, now);
+        if self.net_trace && src != dst && self.tracer.enabled() {
+            self.tracer.emit(TraceEvent::Net {
+                at: now,
+                src: src.0,
+                dst: dst.0,
+                hops: d.hops,
+                queue: d.queue,
+                transit: d.arrive.saturating_sub(now),
+            });
+        }
+        d
+    }
+
+    /// Completes a calibrated round trip whose request (`req`, sent at
+    /// `now`) was served by the home directory until `bank_end`: sends the
+    /// reply leg and folds whatever latency the interconnect added *beyond
+    /// its calibrated share* into `cost` (the unloaded base plus bank
+    /// queueing). On an unloaded flat network both legs cost exactly the
+    /// calibrated `travel()`, the correction is zero, and the result is
+    /// bit-identical to the seed's `now + cost`.
+    fn finish_round_trip(
+        &mut self,
+        src: NodeId,
+        home: NodeId,
+        now: Cycles,
+        req: Delivery,
+        bank_end: Cycles,
+        cost: Cycles,
+    ) -> Cycles {
+        let rep = self.route(home, src, bank_end);
+        let legs_actual = (req.arrive - now) + (rep.arrive - bank_end);
+        let legs_calib = self.cfg.latency.travel(src, home) + self.cfg.latency.travel(home, src);
+        now + (cost + legs_actual).saturating_sub(legs_calib)
     }
 
     // ------------------------------------------------------------------
@@ -1248,10 +1327,11 @@ impl MemSystem {
         self.stats.incr("transactions");
         let home = self.numa.home_of(line.base());
         let lat = self.cfg.latency;
-        let arrive = now + lat.travel(proc.node(), home);
-        let end = self.dir_banks[home.0 as usize].acquire(line.0, arrive, Cycles(lat.mem_service));
+        let req = self.route(proc.node(), home, now);
+        let end =
+            self.dir_banks[home.0 as usize].acquire(line.0, req.arrive, Cycles(lat.mem_service));
         let queue = end
-            .saturating_sub(arrive)
+            .saturating_sub(req.arrive)
             .saturating_sub(Cycles(lat.mem_service));
         self.last_queue = queue;
 
@@ -1307,7 +1387,7 @@ impl MemSystem {
             true => self.dirs[home.0 as usize].set_dirty(line, proc),
             false => self.dirs[home.0 as usize].add_sharer(line, proc),
         }
-        now + base + queue
+        self.finish_round_trip(proc.node(), home, now, req, end, base + queue)
     }
 
     /// The cache-side half of a fetch: fills the line (with the reply's
@@ -1338,10 +1418,11 @@ impl MemSystem {
         self.stats.incr("upgrades");
         let home = self.numa.home_of(line.base());
         let lat = self.cfg.latency;
-        let arrive = now + lat.travel(proc.node(), home);
-        let end = self.dir_banks[home.0 as usize].acquire(line.0, arrive, Cycles(lat.mem_service));
+        let req = self.route(proc.node(), home, now);
+        let end =
+            self.dir_banks[home.0 as usize].acquire(line.0, req.arrive, Cycles(lat.mem_service));
         let queue = end
-            .saturating_sub(arrive)
+            .saturating_sub(req.arrive)
             .saturating_sub(Cycles(lat.mem_service));
         self.last_queue = queue;
         let mut base = lat.miss_base(proc.node(), home);
@@ -1366,7 +1447,7 @@ impl MemSystem {
         if let Some(t) = cache.tags_mut(line) {
             *t = new_tags;
         }
-        now + base + queue
+        self.finish_round_trip(proc.node(), home, now, req, end, base + queue)
     }
 
     /// Invalidation at a sharer's cache. Clean lines drop their tags: any
@@ -1386,7 +1467,7 @@ impl MemSystem {
             self.stats.incr("writebacks");
             // Charge directory occupancy for the write-back (asynchronous;
             // the processor does not wait).
-            let arrive = now + self.cfg.latency.travel(proc.node(), home);
+            let arrive = self.route(proc.node(), home, now).arrive;
             self.dir_banks[home.0 as usize].acquire(
                 v.line.0,
                 arrive,
@@ -1437,7 +1518,7 @@ impl MemSystem {
 
     fn send(&mut self, now: Cycles, from: NodeId, to: NodeId, msg: Msg) {
         self.stats.incr("update_messages");
-        let arrive = now + self.cfg.latency.travel(from, to) + Cycles(1);
+        let arrive = self.route(from, to, now).arrive + Cycles(1);
         self.msgs.push_lenient(arrive, msg);
     }
 
@@ -1576,7 +1657,10 @@ impl MemSystem {
     /// home node (in-order delivery: messages sent earlier on the same
     /// path must be processed before the transaction).
     fn drain_before_transaction(&mut self, from: NodeId, home: NodeId, now: Cycles) {
-        let arrive = now + self.cfg.latency.travel(from, home);
+        // Probe, don't send: the transaction's own links are reserved when
+        // the coherence path routes it; this only estimates its arrival so
+        // earlier in-flight messages are processed first.
+        let arrive = self.net.probe(from, home, now);
         self.drain_messages(arrive);
     }
 
@@ -1650,13 +1734,17 @@ impl MemSystem {
         let addr = layout.addr_of(idx);
         let home = self.numa.home_of(addr);
         let lat = self.cfg.latency;
-        let arrive = now + lat.travel(proc.node(), home);
-        let end =
-            self.dir_banks[home.0 as usize].acquire(addr.line().0, arrive, Cycles(lat.mem_service));
+        let req = self.route(proc.node(), home, now);
+        let end = self.dir_banks[home.0 as usize].acquire(
+            addr.line().0,
+            req.arrive,
+            Cycles(lat.mem_service),
+        );
         let queue = end
-            .saturating_sub(arrive)
+            .saturating_sub(req.arrive)
             .saturating_sub(Cycles(lat.mem_service));
-        now + lat.miss_base(proc.node(), home) + queue
+        let base = lat.miss_base(proc.node(), home);
+        self.finish_round_trip(proc.node(), home, now, req, end, base + queue)
     }
 
     /// Whether lines of `arr` carry speculation access bits under the
@@ -1708,6 +1796,7 @@ mod tests {
             },
             latency: LatencyConfig::default(),
             dir_banks: 4,
+            net: NetConfig::flat(),
             dirty_read_downgrades: false,
         })
     }
@@ -2039,6 +2128,7 @@ mod tests {
             },
             latency: LatencyConfig::default(),
             dir_banks: 4,
+            net: NetConfig::flat(),
             dirty_read_downgrades: true,
         };
         let mut ms = MemSystem::new(cfg);
@@ -2075,6 +2165,7 @@ mod tests {
             },
             latency: LatencyConfig::default(),
             dir_banks: 4,
+            net: NetConfig::flat(),
             dirty_read_downgrades: true,
         });
         ms.alloc_array(A, 32, ElemSize::W8, PlacementPolicy::RoundRobin);
@@ -2147,5 +2238,93 @@ mod tests {
         let _ = ms.read(P0, A, 3, t2);
         ms.drain_all_messages();
         assert!(ms.failure().is_none());
+    }
+
+    #[test]
+    fn flat_network_reproduces_unloaded_latencies_exactly() {
+        // Golden check for the network integration: with the flat
+        // zero-contention network (the default), the §5.1 unloaded round
+        // trips come out exactly — 60 local, 208 remote 2-hop, 291 remote
+        // 3-hop — i.e. the interconnect layer adds zero cycles and zero
+        // state compared to the seed's constant-latency abstraction.
+        let mut ms = small_system(3);
+        let b = ArrayId(1);
+        ms.alloc_array(A, 8, ElemSize::W8, PlacementPolicy::RoundRobin); // node 0
+        ms.alloc_array(b, 8, ElemSize::W8, PlacementPolicy::RoundRobin); // node 1
+        ms.configure_loop(TestPlan::new(), IterationNumbering::iteration_wise());
+        let local = ms.read(P0, A, 0, Cycles(0)).complete_at;
+        assert_eq!(local, Cycles(60), "local miss");
+        let two = ms.read(P0, b, 0, Cycles(10_000));
+        assert_eq!(two.complete_at - Cycles(10_000), Cycles(208), "2-hop miss");
+        // P2 dirties the line; P0 (remote to home n1 and owner n2) rereads.
+        let t = ms.write(ProcId(2), b, 1, Cycles(20_000)).complete_at;
+        let three = ms.read(P0, b, 1, t + Cycles(10_000));
+        assert_eq!(
+            three.complete_at - (t + Cycles(10_000)),
+            Cycles(291),
+            "3-hop miss"
+        );
+        let s = ms.net_summary();
+        assert_eq!(s.total_queue, 0, "flat network never queues");
+        assert!(s.links.is_empty(), "flat network reserves no links");
+        assert!(s.messages > 0, "traffic was still accounted");
+    }
+
+    #[test]
+    fn mesh_with_constrained_links_queues_and_slows_misses() {
+        let mesh = MemSystem::new(MemSystemConfig {
+            procs: 16,
+            net: NetConfig::mesh(16).with_link_service(64),
+            ..MemSystemConfig::default()
+        });
+        let flat = MemSystem::new(MemSystemConfig {
+            procs: 16,
+            ..MemSystemConfig::default()
+        });
+        let run = |mut ms: MemSystem| {
+            ms.alloc_array(A, 256, ElemSize::W8, PlacementPolicy::RoundRobin);
+            ms.configure_loop(TestPlan::new(), IterationNumbering::iteration_wise());
+            // Every processor hammers node 0's memory at the same instant:
+            // the links into node 0 saturate on the mesh.
+            let mut last = Cycles(0);
+            for p in 1..16 {
+                let o = ms.read(ProcId(p), A, 0, Cycles(0));
+                last = last.max(o.complete_at);
+            }
+            (last, ms.net_summary())
+        };
+        let (flat_done, flat_sum) = run(flat);
+        let (mesh_done, mesh_sum) = run(mesh);
+        assert_eq!(flat_sum.total_queue, 0);
+        assert!(
+            mesh_sum.total_queue > 0,
+            "constrained mesh links must queue: {mesh_sum:?}"
+        );
+        assert!(
+            mesh_done > flat_done,
+            "contention must slow the hot-spot: mesh {mesh_done} vs flat {flat_done}"
+        );
+        let hot = mesh_sum.hotspot().expect("links were used");
+        assert!(hot.queued > 0, "hotspot link shows queueing: {hot:?}");
+    }
+
+    #[test]
+    fn mesh_keeps_protocol_outcomes_identical() {
+        // Topology changes timing, never protocol semantics: the same
+        // conflicting access pattern fails under both networks, and the
+        // same clean pattern passes under both.
+        for net in [NetConfig::flat(), NetConfig::mesh(4).with_link_service(32)] {
+            let mut ms = MemSystem::new(MemSystemConfig {
+                procs: 4,
+                net,
+                ..MemSystemConfig::default()
+            });
+            ms.alloc_array(A, 32, ElemSize::W8, PlacementPolicy::RoundRobin);
+            ms.configure_loop(nonpriv_plan(), IterationNumbering::iteration_wise());
+            let t = ms.write(P0, A, 3, Cycles(0)).complete_at;
+            let _ = ms.read(P1, A, 3, t + Cycles(1000));
+            ms.drain_all_messages();
+            assert!(ms.failure().is_some(), "conflict caught under {net:?}");
+        }
     }
 }

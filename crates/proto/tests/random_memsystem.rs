@@ -21,6 +21,7 @@ fn small_system(procs: u32) -> MemSystem {
         },
         latency: LatencyConfig::default(),
         dir_banks: 4,
+        net: specrt_proto::NetConfig::flat(),
         dirty_read_downgrades: false,
     })
 }

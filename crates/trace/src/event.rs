@@ -96,6 +96,23 @@ pub enum TraceEvent {
         /// Element index.
         idx: u64,
     },
+    /// The interconnect routed a message (opt-in: emitted only when the
+    /// memory system's network tracing is enabled, since protocol-heavy
+    /// runs route thousands of messages).
+    Net {
+        /// Send time.
+        at: Cycles,
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+        /// Links crossed.
+        hops: u32,
+        /// Cycles spent queued on links (beyond the unloaded transit).
+        queue: Cycles,
+        /// Total transit time (delivery − send).
+        transit: Cycles,
+    },
     /// The scheduler dispatched work to a processor.
     Sched {
         /// Dispatch time.
@@ -137,18 +154,20 @@ impl TraceEvent {
             TraceEvent::Transaction { at, .. }
             | TraceEvent::SpecTransition { at, .. }
             | TraceEvent::Message { at, .. }
+            | TraceEvent::Net { at, .. }
             | TraceEvent::Sched { at, .. }
             | TraceEvent::Abort { at, .. } => *at,
         }
     }
 
     /// Stable kind label used by the exporters (`txn`, `spec`, `msg`,
-    /// `sched`, `abort`).
+    /// `net`, `sched`, `abort`).
     pub fn kind(&self) -> &'static str {
         match self {
             TraceEvent::Transaction { .. } => "txn",
             TraceEvent::SpecTransition { .. } => "spec",
             TraceEvent::Message { .. } => "msg",
+            TraceEvent::Net { .. } => "net",
             TraceEvent::Sched { .. } => "sched",
             TraceEvent::Abort { .. } => "abort",
         }
@@ -197,6 +216,20 @@ impl fmt::Display for TraceEvent {
             TraceEvent::Message { at, kind, arr, idx } => {
                 write!(f, "t={:<8} dir   {kind} for arr{arr}[{idx}]", at.raw())
             }
+            TraceEvent::Net {
+                at,
+                src,
+                dst,
+                hops,
+                queue,
+                transit,
+            } => write!(
+                f,
+                "t={:<8} net   n{src}->n{dst} hops={hops} queue={} transit={}",
+                at.raw(),
+                queue.raw(),
+                transit.raw(),
+            ),
             TraceEvent::Sched {
                 at,
                 proc,

@@ -93,6 +93,21 @@ fn event_json(e: &TraceEvent) -> String {
         TraceEvent::Message { kind, arr, idx, .. } => {
             let _ = write!(s, ",\"msg\":\"{kind}\",\"arr\":{arr},\"idx\":{idx}");
         }
+        TraceEvent::Net {
+            src,
+            dst,
+            hops,
+            queue,
+            transit,
+            ..
+        } => {
+            let _ = write!(
+                s,
+                ",\"src\":{src},\"dst\":{dst},\"hops\":{hops},\"queue\":{},\"transit\":{}",
+                queue.raw(),
+                transit.raw()
+            );
+        }
         TraceEvent::Sched {
             proc,
             iter,
@@ -194,6 +209,19 @@ fn chrome_event(e: &TraceEvent) -> String {
             "{{\"name\":\"{kind} arr{arr}[{idx}]\",\"cat\":\"msg\",\"ph\":\"i\",\"s\":\"p\",\
              \"ts\":{},\"pid\":0,\"tid\":0,\"args\":{args}}}",
             at.raw(),
+        ),
+        TraceEvent::Net {
+            at,
+            src,
+            dst,
+            hops,
+            transit,
+            ..
+        } => format!(
+            "{{\"name\":\"net n{src}->n{dst} ({hops} hops)\",\"cat\":\"net\",\"ph\":\"X\",\
+             \"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{src},\"args\":{args}}}",
+            at.raw(),
+            transit.raw().max(1),
         ),
         TraceEvent::Sched {
             at,
@@ -335,6 +363,26 @@ mod tests {
         assert!(out.contains("\"ph\":\"i\""));
         assert!(out.contains("\"dur\":208"));
         assert!(out.contains("FAIL write_conflict"));
+    }
+
+    #[test]
+    fn net_events_export() {
+        let e = TraceEvent::Net {
+            at: Cycles(5),
+            src: 0,
+            dst: 3,
+            hops: 2,
+            queue: Cycles(7),
+            transit: Cycles(63),
+        };
+        let line = jsonl(std::slice::from_ref(&e));
+        assert!(line.contains("\"kind\":\"net\""));
+        assert!(line.contains("\"src\":0") && line.contains("\"dst\":3"));
+        assert!(line.contains("\"hops\":2"));
+        assert!(line.contains("\"queue\":7") && line.contains("\"transit\":63"));
+        let chrome = chrome_trace(&[e]);
+        assert!(chrome.contains("\"cat\":\"net\""));
+        assert!(chrome.contains("\"dur\":63"));
     }
 
     #[test]

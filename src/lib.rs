@@ -31,6 +31,7 @@ pub use specrt_ir as ir;
 pub use specrt_lrpd as lrpd;
 pub use specrt_machine as machine;
 pub use specrt_mem as mem;
+pub use specrt_net as net;
 pub use specrt_proto as proto;
 pub use specrt_spec as spec;
 pub use specrt_workloads as workloads;
