@@ -1,0 +1,236 @@
+//! `specrt-check` — the conformance-harness CLI.
+//!
+//! ```text
+//! specrt-check fuzz --cases 500 --seed 0x5eed [--inject drop-ronly]
+//! specrt-check replay <seed>
+//! specrt-check interleave
+//! specrt-check coverage [--cases N] [--seed S]
+//! ```
+//!
+//! * `fuzz` runs the differential fuzzer; exits non-zero on any oracle
+//!   disagreement. With `--inject <bug>` a known protocol bug is switched
+//!   on and the exit code inverts: the fuzzer must *find* (and shrink) a
+//!   counterexample, proving the harness catches real regressions.
+//! * `replay` re-runs one case seed and, if it disagrees, shrinks it.
+//! * `interleave` runs the small-scope message-ordering enumeration.
+//! * `coverage` runs both and fails unless every race case (a)–(h) of the
+//!   paper's Figs. 6–7 was reached.
+
+use std::process::ExitCode;
+
+use specrt_check::{enumerate_small_scope, fuzz, replay, CaseSpec, Coverage, FuzzFailure};
+use specrt_spec::fault;
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+struct Args {
+    cases: u64,
+    seed: u64,
+    inject: Option<fault::FaultKind>,
+    positional: Vec<String>,
+}
+
+fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
+    let _bin = argv.next();
+    let cmd = argv.next().ok_or_else(usage)?;
+    let mut args = Args {
+        cases: 500,
+        seed: 0x5eed,
+        inject: None,
+        positional: Vec::new(),
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--cases" => {
+                let v = argv.next().ok_or("--cases needs a value")?;
+                args.cases = parse_u64(&v).ok_or(format!("bad --cases value: {v}"))?;
+            }
+            "--seed" => {
+                let v = argv.next().ok_or("--seed needs a value")?;
+                args.seed = parse_u64(&v).ok_or(format!("bad --seed value: {v}"))?;
+            }
+            "--inject" => {
+                let v = argv.next().ok_or("--inject needs a value")?;
+                args.inject =
+                    Some(fault::FaultKind::parse(&v).ok_or(format!("unknown fault: {v}"))?);
+            }
+            other if !other.starts_with('-') => args.positional.push(other.to_string()),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok((cmd, args))
+}
+
+fn usage() -> String {
+    "usage: specrt-check <fuzz|replay|interleave|coverage> \
+     [--cases N] [--seed S] [--inject drop-ronly] [seed]"
+        .to_string()
+}
+
+fn print_case(case: &CaseSpec) {
+    println!(
+        "  procs={} elems={} schedule={:?} iters={} accesses={}",
+        case.procs,
+        case.elems,
+        case.schedule,
+        case.iters(),
+        case.accesses()
+    );
+    for (i, ops) in case.ops.iter().enumerate() {
+        println!("    iter {i}: {ops:?}");
+    }
+}
+
+fn print_failure(f: &FuzzFailure) {
+    println!("seed {:#x} disagrees with the oracle:", f.seed);
+    for m in &f.mismatches {
+        println!("  {m}");
+    }
+    println!("shrunk to {} accesses:", f.shrunk.accesses());
+    print_case(&f.shrunk);
+}
+
+fn cmd_fuzz(args: &Args) -> ExitCode {
+    let _guard = args.inject.map(fault::Injected::new);
+    let report = fuzz(args.cases, args.seed);
+    println!(
+        "fuzz: {} cases, seed {:#x}, {} failure(s), race cases visited: {:?}",
+        report.cases,
+        args.seed,
+        report.failures.len(),
+        report.visited_race_cases()
+    );
+    for f in &report.failures {
+        print_failure(f);
+    }
+    match args.inject {
+        None => {
+            if report.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Some(k) => {
+            // An injected bug must be caught, with a small witness.
+            match report.failures.first() {
+                Some(f) if f.shrunk.accesses() <= 8 => {
+                    println!(
+                        "injected bug '{}' caught; shrunk witness has {} accesses",
+                        k.name(),
+                        f.shrunk.accesses()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Some(f) => {
+                    println!(
+                        "injected bug '{}' caught but witness kept {} accesses (> 8)",
+                        k.name(),
+                        f.shrunk.accesses()
+                    );
+                    ExitCode::FAILURE
+                }
+                None => {
+                    println!("injected bug '{}' was NOT caught", k.name());
+                    ExitCode::FAILURE
+                }
+            }
+        }
+    }
+}
+
+fn cmd_replay(args: &Args) -> ExitCode {
+    let Some(seed) = args.positional.first().and_then(|s| parse_u64(s)) else {
+        eprintln!("usage: specrt-check replay <seed>");
+        return ExitCode::FAILURE;
+    };
+    let _guard = args.inject.map(fault::Injected::new);
+    println!("replaying seed {seed:#x}:");
+    print_case(&CaseSpec::generate(seed));
+    match replay(seed) {
+        None => {
+            println!("agrees with the oracle");
+            ExitCode::SUCCESS
+        }
+        Some(f) => {
+            print_failure(&f);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_interleave() -> ExitCode {
+    let mut cov = Coverage::new();
+    let summary = enumerate_small_scope(&mut cov);
+    println!(
+        "interleave: {} scripts, {} states, {} violation(s), {} conservative script(s)",
+        summary.scripts, summary.states, summary.violations, summary.conservative
+    );
+    print_coverage(&cov);
+    if summary.violations == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn print_coverage(cov: &Coverage) {
+    print!("race-case coverage:");
+    for (i, n) in cov.counts.iter().enumerate() {
+        print!(" {}={}", (b'a' + i as u8) as char, n);
+    }
+    println!();
+}
+
+fn cmd_coverage(args: &Args) -> ExitCode {
+    // The enumerator guarantees every letter is reachable; the fuzzer's
+    // protocol statistics show the full machine reaches them too.
+    let mut cov = Coverage::new();
+    let summary = enumerate_small_scope(&mut cov);
+    let report = fuzz(args.cases, args.seed);
+    for c in report.visited_race_cases() {
+        cov.counts[(c as u8 - b'a') as usize] += 1;
+    }
+    print_coverage(&cov);
+    println!(
+        "fuzz race cases: {:?}; enumeration violations: {}",
+        report.visited_race_cases(),
+        summary.violations
+    );
+    if summary.violations > 0 || !report.ok() {
+        return ExitCode::FAILURE;
+    }
+    let missing = cov.unvisited();
+    if missing.is_empty() {
+        println!("all race cases (a)-(h) visited");
+        ExitCode::SUCCESS
+    } else {
+        println!("race cases NOT visited: {missing:?}");
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    match parse_args(std::env::args()) {
+        Ok((cmd, args)) => match cmd.as_str() {
+            "fuzz" => cmd_fuzz(&args),
+            "replay" => cmd_replay(&args),
+            "interleave" => cmd_interleave(),
+            "coverage" => cmd_coverage(&args),
+            other => {
+                eprintln!("unknown command: {other}\n{}", usage());
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

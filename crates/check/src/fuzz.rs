@@ -1,0 +1,143 @@
+//! The fuzzing loop: generate → differentially check → shrink failures.
+
+use specrt_engine::{SplitMix64, StatSet};
+
+use crate::diff::{run_case, Mismatch};
+use crate::generate::{CaseSpec, TEMPLATE_SEEDS};
+use crate::shrink::shrink;
+
+/// One oracle disagreement found by the fuzzer, with its shrunk witness.
+#[derive(Debug)]
+pub struct FuzzFailure {
+    /// Seed that generated the failing case (replay with
+    /// `specrt-check replay <seed>`).
+    pub seed: u64,
+    /// The disagreements of the *original* case.
+    pub mismatches: Vec<Mismatch>,
+    /// 1-minimal shrunk counterexample (still disagreeing).
+    pub shrunk: CaseSpec,
+}
+
+/// Outcome of a fuzzing run.
+#[derive(Debug)]
+pub struct FuzzReport {
+    /// Cases executed.
+    pub cases: u64,
+    /// Merged hardware-protocol statistics (race-case coverage).
+    pub stats: StatSet,
+    /// Failures found (empty = machine agrees with the oracle everywhere).
+    pub failures: Vec<FuzzFailure>,
+}
+
+impl FuzzReport {
+    /// Whether no disagreement was found.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Race-case letters of (a)–(h) visited by the hardware runs.
+    pub fn visited_race_cases(&self) -> Vec<char> {
+        (b'a'..=b'h')
+            .filter(|c| {
+                let key = format!("race_case_{}", *c as char);
+                self.stats.iter().any(|(k, v)| k == key && v > 0)
+            })
+            .map(char::from)
+            .collect()
+    }
+}
+
+/// Whether `case` disagrees with the oracle (the shrinking predicate).
+pub fn case_fails(case: &CaseSpec) -> bool {
+    !run_case(case).ok()
+}
+
+/// Runs `cases` differential checks. The first [`TEMPLATE_SEEDS`] cases are
+/// the deterministic templates (degenerate shapes); the rest draw their
+/// case seeds from a [`SplitMix64`] stream seeded with `seed`, so the whole
+/// run is reproducible from `(cases, seed)` and any single failure from its
+/// case seed alone.
+pub fn fuzz(cases: u64, seed: u64) -> FuzzReport {
+    let mut rng = SplitMix64::new(seed);
+    let mut stats = StatSet::new();
+    let mut failures = Vec::new();
+    for i in 0..cases {
+        let case_seed = if i < TEMPLATE_SEEDS {
+            i
+        } else {
+            rng.next_u64()
+        };
+        let case = CaseSpec::generate(case_seed);
+        let r = run_case(&case);
+        stats.merge(&r.stats);
+        if !r.ok() {
+            let shrunk = shrink(&case, case_fails);
+            failures.push(FuzzFailure {
+                seed: case_seed,
+                mismatches: r.mismatches,
+                shrunk,
+            });
+            if failures.len() >= 3 {
+                break; // enough witnesses; don't shrink forever
+            }
+        }
+    }
+    FuzzReport {
+        cases,
+        stats,
+        failures,
+    }
+}
+
+/// Replays one case seed; returns the shrunk failure if it disagrees.
+pub fn replay(seed: u64) -> Option<FuzzFailure> {
+    let case = CaseSpec::generate(seed);
+    let r = run_case(&case);
+    if r.ok() {
+        return None;
+    }
+    let shrunk = shrink(&case, case_fails);
+    Some(FuzzFailure {
+        seed,
+        mismatches: r.mismatches,
+        shrunk,
+    })
+}
+
+/// Parses one `corpus/*.seed` file: `#` comment lines, then one seed in
+/// decimal or `0x` hex.
+pub fn parse_seed(text: &str) -> Option<u64> {
+    let line = text
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))?;
+    if let Some(hex) = line.strip_prefix("0x").or_else(|| line.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        line.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_parsing() {
+        assert_eq!(parse_seed("42\n"), Some(42));
+        assert_eq!(parse_seed("# comment\n0x5eed\n"), Some(0x5eed));
+        assert_eq!(parse_seed("# only comments\n"), None);
+    }
+
+    #[test]
+    fn small_fuzz_run_is_clean_and_reproducible() {
+        let a = fuzz(12, 0x5eed);
+        assert!(a.ok(), "fuzz found disagreements: {:?}", a.failures);
+        let b = fuzz(12, 0x5eed);
+        assert_eq!(
+            a.stats.iter().collect::<Vec<_>>(),
+            b.stats.iter().collect::<Vec<_>>(),
+            "same (cases, seed) must reproduce identical statistics"
+        );
+    }
+}

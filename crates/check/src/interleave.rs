@@ -1,0 +1,569 @@
+//! Small-scope interleaving enumeration of the non-privatization protocol.
+//!
+//! Models the protocol state of **one cache line holding two elements** of
+//! an array under the non-privatization test: the per-element directory
+//! state ([`NonPrivDirElem`]), each processor's cached copy of the line
+//! (per-element [`ElemTag`]s plus a dirty bit), and the set of in-flight
+//! `First_update` / `ROnly_update` / `First_update_fail` messages. A
+//! *script* gives each processor an ordered access sequence; the enumerator
+//! DFS-explores every interleaving of processor steps, message deliveries
+//! and cache evictions, memoizing states.
+//!
+//! Two elements per line are essential: update messages are only generated
+//! by *hits* on clean lines whose element tag is still `First = NONE`, and
+//! such tags only arise from the line-fetch projection of elements the
+//! fetching access did not touch. A one-element line would never exercise
+//! races (f)–(h).
+//!
+//! The model mirrors the simulator's ordering rules:
+//!
+//! * before any directory transaction (miss or upgrade) a processor's *own*
+//!   in-flight updates are delivered in FIFO order (the simulator's
+//!   `drain_before_transaction` + per-(src,dst) in-order network);
+//! * a read miss on a dirty line invalidates the owner and merges its tags
+//!   into the directory (the default invalidate-on-fetch configuration);
+//! * other processors' messages and `First_update_fail` bounces are
+//!   delivered at arbitrary points — that is the explored nondeterminism.
+//!
+//! The property checked at every quiescent state (all scripts finished, no
+//! messages in flight): the run has FAILed, **or** the script's access
+//! pattern satisfies the paper's envelope (every element is read-only or
+//! touched by a single processor). In other words: no interleaving lets a
+//! non-envelope pattern pass. Coverage counters prove each race case
+//! (a)–(h) is actually reached.
+
+use std::collections::HashSet;
+
+use specrt_cache::ElemTag;
+use specrt_mem::ProcId;
+use specrt_spec::{
+    nonpriv_cache_read, nonpriv_cache_write, nonpriv_complete_write, nonpriv_on_first_update_fail,
+    FirstUpdateOutcome, NonPrivDirElem, NonPrivReadAction, NonPrivWriteAction,
+};
+
+use crate::generate::Op;
+
+/// Number of elements on the modelled line.
+pub const ELEMS: usize = 2;
+
+/// Race-case coverage accounting over one or more explorations.
+#[derive(Debug, Clone, Default)]
+pub struct Coverage {
+    /// `counts[i]` = times race case `('a' + i)` was reached.
+    pub counts: [u64; 8],
+}
+
+impl Coverage {
+    /// Creates empty coverage.
+    pub fn new() -> Coverage {
+        Coverage::default()
+    }
+
+    fn visit(&mut self, case: char) {
+        self.counts[(case as u8 - b'a') as usize] += 1;
+    }
+
+    /// Race-case letters never reached.
+    pub fn unvisited(&self) -> Vec<char> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == 0)
+            .map(|(i, _)| (b'a' + i as u8) as char)
+            .collect()
+    }
+
+    /// Whether all of (a)–(h) were reached.
+    pub fn complete(&self) -> bool {
+        self.counts.iter().all(|&c| c > 0)
+    }
+}
+
+/// A processor's cached copy of the line.
+#[derive(Clone)]
+struct CacheCopy {
+    tags: [ElemTag; ELEMS],
+    dirty: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FlightKind {
+    First,
+    ROnly,
+    Fail,
+}
+
+/// One in-flight message. `proc` is the sender for updates and the bounce
+/// target for `Fail`.
+#[derive(Clone, Copy)]
+struct Flight {
+    kind: FlightKind,
+    elem: usize,
+    proc: u32,
+}
+
+#[derive(Clone)]
+struct State {
+    dir: [NonPrivDirElem; ELEMS],
+    caches: Vec<Option<CacheCopy>>,
+    inflight: Vec<Flight>,
+    pcs: Vec<usize>,
+    failed: bool,
+}
+
+impl State {
+    fn initial(procs: usize) -> State {
+        State {
+            dir: [NonPrivDirElem::default(); ELEMS],
+            caches: vec![None; procs],
+            inflight: Vec::new(),
+            pcs: vec![0; procs],
+            failed: false,
+        }
+    }
+
+    /// Canonical serialization for the memo set.
+    fn key(&self) -> Vec<u8> {
+        let mut k = Vec::with_capacity(64);
+        for d in &self.dir {
+            k.push(d.first.map_or(0xff, |p| p.0 as u8));
+            k.push(u8::from(d.no_shr) | (u8::from(d.r_only) << 1));
+        }
+        for c in &self.caches {
+            match c {
+                None => k.push(0xfe),
+                Some(c) => {
+                    k.push(u8::from(c.dirty));
+                    for t in &c.tags {
+                        let first = match t.first() {
+                            specrt_cache::FirstTag::None => 0u8,
+                            specrt_cache::FirstTag::Own => 1,
+                            specrt_cache::FirstTag::Other => 2,
+                        };
+                        k.push(first | (u8::from(t.no_shr()) << 2) | (u8::from(t.r_only()) << 3));
+                    }
+                }
+            }
+        }
+        k.push(0xfd);
+        for f in &self.inflight {
+            k.push(match f.kind {
+                FlightKind::First => 0,
+                FlightKind::ROnly => 1,
+                FlightKind::Fail => 2,
+            });
+            k.push(f.elem as u8);
+            k.push(f.proc as u8);
+        }
+        k.push(0xfc);
+        for pc in &self.pcs {
+            k.push(*pc as u8);
+        }
+        k.push(u8::from(self.failed));
+        k
+    }
+
+    fn dirty_owner(&self) -> Option<u32> {
+        self.caches
+            .iter()
+            .position(|c| c.as_ref().is_some_and(|c| c.dirty))
+            .map(|p| p as u32)
+    }
+
+    fn project(&self, viewer: u32) -> [ElemTag; ELEMS] {
+        [
+            self.dir[0].to_tag(ProcId(viewer)),
+            self.dir[1].to_tag(ProcId(viewer)),
+        ]
+    }
+
+    /// Delivers in-flight message `i`.
+    fn deliver(&mut self, i: usize, cov: &mut Coverage) {
+        let f = self.inflight.remove(i);
+        match f.kind {
+            FlightKind::First => {
+                cov.visit('f');
+                match self.dir[f.elem].on_first_update(ProcId(f.proc)) {
+                    Ok(FirstUpdateOutcome::Accepted) | Ok(FirstUpdateOutcome::Redundant) => {}
+                    Ok(FirstUpdateOutcome::Bounced) => self.inflight.push(Flight {
+                        kind: FlightKind::Fail,
+                        elem: f.elem,
+                        proc: f.proc,
+                    }),
+                    Err(_) => self.failed = true,
+                }
+            }
+            FlightKind::ROnly => {
+                cov.visit('h');
+                if self.dir[f.elem].on_r_only_update(ProcId(f.proc)).is_err() {
+                    self.failed = true;
+                }
+            }
+            FlightKind::Fail => {
+                cov.visit('g');
+                if let Some(copy) = &mut self.caches[f.proc as usize] {
+                    if nonpriv_on_first_update_fail(&mut copy.tags[f.elem], ProcId(f.proc)).is_err()
+                    {
+                        self.failed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Delivers processor `p`'s own in-flight updates in FIFO order (the
+    /// simulator drains its own path to the home before any transaction).
+    fn drain_own(&mut self, p: u32, cov: &mut Coverage) {
+        while !self.failed {
+            let Some(i) = self.inflight.iter().position(|f| {
+                f.proc == p && matches!(f.kind, FlightKind::First | FlightKind::ROnly)
+            }) else {
+                return;
+            };
+            self.deliver(i, cov);
+        }
+    }
+
+    /// Merges a dirty copy's tags into the directory (write-back).
+    fn merge(&mut self, copy: &CacheCopy, owner: u32, cov: &mut Coverage) {
+        for e in 0..ELEMS {
+            cov.visit('e');
+            if self.dir[e]
+                .merge_writeback(copy.tags[e], ProcId(owner))
+                .is_err()
+            {
+                self.failed = true;
+            }
+        }
+    }
+
+    /// Evicts processor `p`'s copy (dirty → write-back merge; clean →
+    /// silent drop).
+    fn evict(&mut self, p: u32, cov: &mut Coverage) {
+        let Some(copy) = self.caches[p as usize].take() else {
+            return;
+        };
+        if copy.dirty {
+            self.merge(&copy, p, cov);
+        }
+    }
+
+    /// Runs processor `p`'s next script access.
+    fn step(&mut self, p: u32, op: Op, cov: &mut Coverage) {
+        self.pcs[p as usize] += 1;
+        let (Op::Read(e) | Op::Write(e)) = op;
+        let e = e as usize;
+        let is_write = matches!(op, Op::Write(_));
+        let resident = self.caches[p as usize].is_some();
+        match (resident, is_write) {
+            (true, false) => {
+                // Hit read — algorithm (a).
+                cov.visit('a');
+                let copy = self.caches[p as usize].as_mut().expect("resident");
+                match nonpriv_cache_read(&mut copy.tags[e], copy.dirty, ProcId(p)) {
+                    Ok(NonPrivReadAction::NoMessage) => {}
+                    Ok(NonPrivReadAction::SendFirstUpdate) => self.inflight.push(Flight {
+                        kind: FlightKind::First,
+                        elem: e,
+                        proc: p,
+                    }),
+                    Ok(NonPrivReadAction::SendROnlyUpdate) => self.inflight.push(Flight {
+                        kind: FlightKind::ROnly,
+                        elem: e,
+                        proc: p,
+                    }),
+                    Err(_) => self.failed = true,
+                }
+            }
+            (false, false) => {
+                // Read miss — algorithm (b).
+                cov.visit('b');
+                self.drain_own(p, cov);
+                if self.failed {
+                    return;
+                }
+                if let Some(q) = self.dirty_owner() {
+                    let copy = self.caches[q as usize].take().expect("owner resident");
+                    self.merge(&copy, q, cov);
+                }
+                if self.dir[e].on_read_req(ProcId(p)).is_err() {
+                    self.failed = true;
+                }
+                self.caches[p as usize] = Some(CacheCopy {
+                    tags: self.project(p),
+                    dirty: false,
+                });
+            }
+            (true, true) => {
+                // Hit write — algorithm (c), upgrading via (d) if clean.
+                cov.visit('c');
+                let copy = self.caches[p as usize].as_mut().expect("resident");
+                match nonpriv_cache_write(&mut copy.tags[e], copy.dirty, ProcId(p)) {
+                    Ok(NonPrivWriteAction::WriteNow) => {}
+                    Ok(NonPrivWriteAction::NeedWriteReq) => {
+                        cov.visit('d');
+                        self.drain_own(p, cov);
+                        if self.failed {
+                            return;
+                        }
+                        for (q, c) in self.caches.iter_mut().enumerate() {
+                            if q as u32 != p {
+                                *c = None; // invalidate (clean) sharers
+                            }
+                        }
+                        if self.dir[e].on_write_req(ProcId(p)).is_err() {
+                            self.failed = true;
+                        }
+                        let mut tags = self.project(p);
+                        nonpriv_complete_write(&mut tags[e]);
+                        self.caches[p as usize] = Some(CacheCopy { tags, dirty: true });
+                    }
+                    Err(_) => self.failed = true,
+                }
+            }
+            (false, true) => {
+                // Write miss — algorithm (d).
+                cov.visit('d');
+                self.drain_own(p, cov);
+                if self.failed {
+                    return;
+                }
+                if let Some(q) = self.dirty_owner() {
+                    let copy = self.caches[q as usize].take().expect("owner resident");
+                    self.merge(&copy, q, cov);
+                }
+                for (q, c) in self.caches.iter_mut().enumerate() {
+                    if q as u32 != p {
+                        *c = None;
+                    }
+                }
+                if self.dir[e].on_write_req(ProcId(p)).is_err() {
+                    self.failed = true;
+                }
+                let mut tags = self.project(p);
+                nonpriv_complete_write(&mut tags[e]);
+                self.caches[p as usize] = Some(CacheCopy { tags, dirty: true });
+            }
+        }
+    }
+}
+
+/// Whether a script's access pattern satisfies the paper's envelope: every
+/// element is read-only or accessed by exactly one processor.
+pub fn script_envelope_holds(script: &[Vec<Op>]) -> bool {
+    (0..ELEMS as u64).all(|e| {
+        let touchers: Vec<usize> = script
+            .iter()
+            .enumerate()
+            .filter(|(_, ops)| ops.iter().any(|&(Op::Read(x) | Op::Write(x))| x == e))
+            .map(|(p, _)| p)
+            .collect();
+        let written = script
+            .iter()
+            .flatten()
+            .any(|&o| matches!(o, Op::Write(x) if x == e));
+        !written || touchers.len() <= 1
+    })
+}
+
+/// Result of exploring every interleaving of one script.
+#[derive(Debug)]
+pub struct ExploreResult {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Whether some interleaving reached a quiescent PASS.
+    pub any_pass: bool,
+    /// Whether some interleaving FAILed.
+    pub any_fail: bool,
+    /// Quiescent PASS states of a non-envelope script (soundness
+    /// violations; must stay empty).
+    pub violations: usize,
+}
+
+/// DFS-explores every interleaving of `script` (`script[p]` = processor
+/// `p`'s ordered accesses; elements must be `< ELEMS`).
+///
+/// # Panics
+///
+/// Panics if an element index is out of range for the modelled line.
+pub fn explore_script(script: &[Vec<Op>], cov: &mut Coverage) -> ExploreResult {
+    for op in script.iter().flatten() {
+        let (Op::Read(e) | Op::Write(e)) = op;
+        assert!(
+            (*e as usize) < ELEMS,
+            "element {e} not on the modelled line"
+        );
+    }
+    let envelope = script_envelope_holds(script);
+    let mut seen: HashSet<Vec<u8>> = HashSet::new();
+    let mut result = ExploreResult {
+        states: 0,
+        any_pass: false,
+        any_fail: false,
+        violations: 0,
+    };
+    let mut stack = vec![State::initial(script.len())];
+    while let Some(state) = stack.pop() {
+        if !seen.insert(state.key()) {
+            continue;
+        }
+        result.states += 1;
+        if state.failed {
+            // Absorbing: the test aborts the loop; property satisfied.
+            result.any_fail = true;
+            continue;
+        }
+        let quiescent = state.inflight.is_empty()
+            && state
+                .pcs
+                .iter()
+                .enumerate()
+                .all(|(p, &pc)| pc >= script[p].len());
+        if quiescent {
+            result.any_pass = true;
+            if !envelope {
+                result.violations += 1;
+            }
+        }
+        // Processor steps.
+        for (p, ops) in script.iter().enumerate() {
+            if state.pcs[p] < ops.len() {
+                let mut next = state.clone();
+                next.step(p as u32, ops[state.pcs[p]], cov);
+                stack.push(next);
+            }
+        }
+        // Message deliveries.
+        for i in 0..state.inflight.len() {
+            let mut next = state.clone();
+            next.deliver(i, cov);
+            stack.push(next);
+        }
+        // Evictions.
+        for p in 0..state.caches.len() {
+            if state.caches[p].is_some() {
+                let mut next = state.clone();
+                next.evict(p as u32, cov);
+                stack.push(next);
+            }
+        }
+    }
+    result
+}
+
+/// Summary of a full small-scope enumeration.
+#[derive(Debug)]
+pub struct EnumerationSummary {
+    /// Scripts explored.
+    pub scripts: usize,
+    /// Total distinct states across all scripts.
+    pub states: usize,
+    /// Soundness violations (must be 0).
+    pub violations: usize,
+    /// Envelope-holding scripts with no passing interleaving (excessive
+    /// conservatism; tracked for information).
+    pub conservative: usize,
+}
+
+/// All per-processor access sequences of length `0..=2` over both elements.
+fn all_sequences() -> Vec<Vec<Op>> {
+    let atoms = [Op::Read(0), Op::Write(0), Op::Read(1), Op::Write(1)];
+    let mut seqs = vec![vec![]];
+    for a in atoms {
+        seqs.push(vec![a]);
+        for b in atoms {
+            seqs.push(vec![a, b]);
+        }
+    }
+    seqs
+}
+
+/// Exhaustively explores every 2-processor script with per-processor
+/// sequences of length ≤ 2, plus a hand-picked set of 3-processor scripts,
+/// accumulating race-case coverage into `cov`.
+pub fn enumerate_small_scope(cov: &mut Coverage) -> EnumerationSummary {
+    let seqs = all_sequences();
+    let mut summary = EnumerationSummary {
+        scripts: 0,
+        states: 0,
+        violations: 0,
+        conservative: 0,
+    };
+    for a in &seqs {
+        for b in &seqs {
+            let script = vec![a.clone(), b.clone()];
+            let r = explore_script(&script, cov);
+            summary.scripts += 1;
+            summary.states += r.states;
+            summary.violations += r.violations;
+            if script_envelope_holds(&script) && !r.any_pass {
+                summary.conservative += 1;
+            }
+        }
+    }
+    // Three processors: enough to race two foreign updates against a write
+    // and against each other.
+    use Op::{Read, Write};
+    let three: &[[&[Op]; 3]] = &[
+        [&[Read(1), Read(0)], &[Read(1), Read(0)], &[Read(0)]],
+        [&[Read(1), Read(0)], &[Read(1), Write(0)], &[Read(0)]],
+        [&[Read(1), Read(0)], &[Read(1), Read(0)], &[Write(0)]],
+        [&[Write(0)], &[Write(1)], &[Read(0), Read(1)]],
+    ];
+    for script in three {
+        let script: Vec<Vec<Op>> = script.iter().map(|s| s.to_vec()).collect();
+        let r = explore_script(&script, cov);
+        summary.scripts += 1;
+        summary.states += r.states;
+        summary.violations += r.violations;
+        if script_envelope_holds(&script) && !r.any_pass {
+            summary.conservative += 1;
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Op::{Read, Write};
+
+    #[test]
+    fn envelope_predicate() {
+        assert!(script_envelope_holds(&[vec![Read(0)], vec![Read(0)]]));
+        assert!(script_envelope_holds(&[
+            vec![Read(0), Write(0)],
+            vec![Read(1)]
+        ]));
+        assert!(!script_envelope_holds(&[vec![Write(0)], vec![Read(0)]]));
+    }
+
+    #[test]
+    fn single_proc_read_write_always_passes() {
+        let mut cov = Coverage::new();
+        let r = explore_script(&[vec![Read(0), Write(0)], vec![]], &mut cov);
+        assert!(r.any_pass);
+        assert_eq!(r.violations, 0);
+        assert!(!r.any_fail, "own-element use must never abort");
+    }
+
+    #[test]
+    fn cross_proc_write_read_always_fails() {
+        let mut cov = Coverage::new();
+        let r = explore_script(&[vec![Write(0)], vec![Read(0)]], &mut cov);
+        assert_eq!(r.violations, 0, "no interleaving may pass");
+        assert!(r.any_fail);
+    }
+
+    #[test]
+    fn late_foreign_first_update_race_reaches_f_and_g() {
+        // Both processors read element 0 via a hit (tag projected while the
+        // directory still says First=NONE), so two First_updates race.
+        let mut cov = Coverage::new();
+        let r = explore_script(&[vec![Read(1), Read(0)], vec![Read(1), Read(0)]], &mut cov);
+        assert_eq!(r.violations, 0);
+        assert!(r.any_pass, "read-sharing must be able to pass");
+        assert!(cov.counts[(b'f' - b'a') as usize] > 0, "case f unreached");
+        assert!(cov.counts[(b'g' - b'a') as usize] > 0, "case g unreached");
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # specrt-check
+//!
+//! Conformance checking for the speculation machinery: does the full
+//! simulated machine — protocols, caches, directories, messages, schedulers
+//! — agree with the ground-truth dependence oracle on *every* loop, and do
+//! the directory race resolutions of the paper's Figs. 6–9 stay sound under
+//! *every* message ordering?
+//!
+//! Three layers:
+//!
+//! * [`generate`] + [`diff`] + [`mod@shrink`] + [`mod@fuzz`] — an end-to-end
+//!   **differential fuzzer**: random subscripted-subscript loops run under
+//!   the non-privatization protocol, both privatization variants and the
+//!   software LRPD baseline; every verdict is compared against the trace
+//!   oracle of `specrt_lrpd::oracle` and every final memory image against a
+//!   serial run. Failures shrink to 1-minimal counterexamples and replay
+//!   from a single seed (`specrt-check replay <seed>`).
+//! * [`interleave`] — a small-scope **interleaving enumerator** that
+//!   DFS-explores every ordering of processor steps, update-message
+//!   deliveries and evictions for one cache line under the
+//!   non-privatization protocol, proving no ordering lets a non-envelope
+//!   access pattern pass, with coverage accounting for race cases (a)–(h).
+//! * invariant hooks — the `debug_assertions` checks this crate leans on
+//!   live in `specrt-proto` ([`specrt_proto::MemSystem::assert_invariants`],
+//!   per-path in-order delivery) and `specrt-spec` (stamp monotonicity);
+//!   [`specrt_spec::fault`] provides the deliberate-bug injection the
+//!   harness uses to prove it can catch real protocol regressions.
+
+pub mod diff;
+pub mod fuzz;
+pub mod generate;
+pub mod interleave;
+pub mod shrink;
+
+pub use diff::{run_case, CaseResult, Mismatch};
+pub use fuzz::{case_fails, fuzz, parse_seed, replay, FuzzFailure, FuzzReport};
+pub use generate::{CaseSpec, Op, ARR_A, ARR_OUT, TEMPLATE_SEEDS};
+pub use interleave::{
+    enumerate_small_scope, explore_script, script_envelope_holds, Coverage, EnumerationSummary,
+    ExploreResult,
+};
+pub use shrink::shrink;

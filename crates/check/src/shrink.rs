@@ -1,0 +1,127 @@
+//! Greedy counterexample shrinking.
+//!
+//! Given a failing [`CaseSpec`] and a predicate that re-checks a candidate,
+//! repeatedly tries structurally smaller variants — dropping whole
+//! iterations, dropping single accesses, lowering the processor count, and
+//! trimming the array — keeping each change only while the candidate still
+//! fails. Runs to a fixpoint, so the result is 1-minimal: removing any
+//! single access or iteration makes the failure disappear.
+
+use specrt_machine::ScheduleKind;
+
+use crate::generate::{CaseSpec, Op};
+
+/// Shrinks `case` while `fails` keeps returning `true` for the candidate.
+///
+/// `fails(case)` itself is assumed `true` on entry; the returned case always
+/// satisfies the predicate.
+pub fn shrink<F: FnMut(&CaseSpec) -> bool>(case: &CaseSpec, mut fails: F) -> CaseSpec {
+    let mut cur = case.clone();
+    loop {
+        let mut improved = false;
+
+        // Drop whole iterations.
+        let mut i = 0;
+        while i < cur.ops.len() {
+            let mut cand = cur.clone();
+            cand.ops.remove(i);
+            if fails(&cand) {
+                cur = cand;
+                improved = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Drop single accesses.
+        let mut i = 0;
+        while i < cur.ops.len() {
+            let mut k = 0;
+            while k < cur.ops[i].len() {
+                let mut cand = cur.clone();
+                cand.ops[i].remove(k);
+                if fails(&cand) {
+                    cur = cand;
+                    improved = true;
+                } else {
+                    k += 1;
+                }
+            }
+            i += 1;
+        }
+
+        // Lower the processor count toward 2.
+        while cur.procs > 2 {
+            let mut cand = cur.clone();
+            cand.procs -= 1;
+            if fails(&cand) {
+                cur = cand;
+                improved = true;
+            } else {
+                break;
+            }
+        }
+
+        // Simplify the schedule.
+        if cur.schedule != ScheduleKind::Static {
+            let mut cand = cur.clone();
+            cand.schedule = ScheduleKind::Static;
+            if fails(&cand) {
+                cur = cand;
+                improved = true;
+            }
+        }
+
+        // Trim the array to the elements actually touched.
+        let max_used = cur
+            .ops
+            .iter()
+            .flatten()
+            .map(|&(Op::Read(e) | Op::Write(e))| e)
+            .max();
+        let needed = max_used.map_or(1, |m| m + 1);
+        if needed < cur.elems {
+            let mut cand = cur.clone();
+            cand.elems = needed;
+            if fails(&cand) {
+                cur = cand;
+                improved = true;
+            }
+        }
+
+        if !improved {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Shrinking against a predicate that keys on one specific access must
+    /// strip everything else.
+    #[test]
+    fn shrinks_to_the_essential_access() {
+        let case = CaseSpec {
+            seed: 99,
+            procs: 4,
+            elems: 6,
+            schedule: ScheduleKind::BlockCyclic { block: 2 },
+            ops: vec![
+                vec![Op::Read(0), Op::Write(5)],
+                vec![Op::Read(3)],
+                vec![Op::Write(2), Op::Read(2), Op::Write(5)],
+                vec![],
+            ],
+        };
+        let shrunk = shrink(&case, |c| {
+            c.ops.iter().flatten().any(|o| *o == Op::Write(5))
+        });
+        assert_eq!(shrunk.accesses(), 1);
+        assert_eq!(shrunk.procs, 2);
+        assert_eq!(shrunk.schedule, ScheduleKind::Static);
+        assert_eq!(shrunk.elems, 6); // element 5 still touched
+        assert_eq!(shrunk.ops.iter().flatten().count(), 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Replay regression over the checked-in seed corpus.
+//!
+//! Every `corpus/*.seed` file is a case the harness once found interesting
+//! (a degenerate shape, or a minimized counterexample of a deliberately
+//! injected bug). Each must replay clean against the oracle today; any
+//! future oracle disagreement on these seeds is a regression, permanently
+//! pinned.
+
+use std::path::PathBuf;
+
+use specrt_check::{parse_seed, replay, run_case, CaseSpec};
+use specrt_spec::fault::{FaultKind, Injected};
+
+fn corpus_seeds() -> Vec<(String, u64)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut seeds: Vec<(String, u64)> = std::fs::read_dir(&dir)
+        .expect("corpus directory exists")
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "seed"))
+        .map(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(e.path()).expect("seed file readable");
+            let seed = parse_seed(&text)
+                .unwrap_or_else(|| panic!("corpus file {name} holds no parsable seed"));
+            (name, seed)
+        })
+        .collect();
+    seeds.sort();
+    seeds
+}
+
+#[test]
+fn corpus_is_nonempty_and_replays_clean() {
+    let seeds = corpus_seeds();
+    assert!(seeds.len() >= 8, "corpus unexpectedly small: {seeds:?}");
+    for (name, seed) in seeds {
+        let case = CaseSpec::generate(seed);
+        let r = run_case(&case);
+        assert!(
+            r.ok(),
+            "corpus seed {name} ({seed:#x}) disagrees with the oracle: {:?}",
+            r.mismatches
+        );
+    }
+}
+
+/// The minimized drop-ronly witness must still catch the injected bug —
+/// and shrink back to a small counterexample (≤ 8 accesses).
+#[test]
+fn drop_ronly_witness_still_catches_the_injected_bug() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let text = std::fs::read_to_string(dir.join("drop-ronly-witness.seed")).unwrap();
+    let seed = parse_seed(&text).unwrap();
+
+    let _guard = Injected::new(FaultKind::DropROnlyCheck);
+    let failure = replay(seed).expect("witness seed must disagree under drop-ronly injection");
+    assert!(
+        failure.shrunk.accesses() <= 8,
+        "witness no longer shrinks small: {} accesses",
+        failure.shrunk.accesses()
+    );
+    assert!(
+        !failure.mismatches.is_empty(),
+        "disagreement must name at least one scenario"
+    );
+}

@@ -44,7 +44,9 @@ pub mod instr;
 pub mod program;
 pub mod scalar;
 
-pub use exec::{execute_iteration, trace_iteration, AccessKind, ExecError, MemOracle, TraceEntry};
+pub use exec::{
+    execute_iteration, trace_iteration, AccessKind, ExecError, MapMemory, MemOracle, TraceEntry,
+};
 pub use instr::{ArrayId, BinOp, Instr, Operand, Reg};
 pub use program::{Program, ProgramBuilder, VerifyError};
 pub use scalar::Scalar;

@@ -681,6 +681,10 @@ fn run_hw(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
         start += len;
     }
     ms.drain_all_messages();
+    // Quiescent point: every protocol message has landed; the directory and
+    // cache views must agree before the verdict is read.
+    #[cfg(debug_assertions)]
+    ms.assert_invariants();
 
     let late_failure = match (&loop_end, ms.failure()) {
         (ExecEnd::Completed, Some((reason, at))) => Some((reason, at.max(accum.now))),

@@ -140,6 +140,12 @@ impl DirectoryNode {
     pub fn tracked_lines(&self) -> usize {
         self.lines.len()
     }
+
+    /// Iterates over every line this slice has ever tracked with its current
+    /// state (arbitrary order). Used by the coherence invariant checker.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &DirLineState)> + '_ {
+        self.lines.iter().map(|(l, s)| (*l, s))
+    }
 }
 
 #[cfg(test)]

@@ -161,6 +161,11 @@ pub struct MemSystem {
     /// Scratch: abort context `(proc, arr, idx, iter)` of the access or
     /// message currently being processed, consumed by [`Self::fail`].
     cur_ctx: Option<(Option<u32>, u32, u64, Option<u64>)>,
+    /// Debug-build bookkeeping: latest scheduled delivery time per
+    /// `(src, dst)` node pair, used to assert the interconnect's in-order
+    /// per-path delivery guarantee at every [`Self::send`].
+    #[cfg(debug_assertions)]
+    last_arrival: HashMap<(u32, u32), Cycles>,
 }
 
 impl MemSystem {
@@ -194,6 +199,8 @@ impl MemSystem {
             last_queue: Cycles(0),
             last_case: None,
             cur_ctx: None,
+            #[cfg(debug_assertions)]
+            last_arrival: HashMap::new(),
             trace_filter: std::env::var("SPECRT_TRACE").ok().and_then(|v| {
                 let parts: Vec<u64> = v.split(',').filter_map(|x| x.parse().ok()).collect();
                 (parts.len() == 2).then(|| (parts[0] as u32, parts[1]))
@@ -409,6 +416,66 @@ impl MemSystem {
     pub fn drain_all_messages(&mut self) {
         while let Some(t) = self.msgs.peek_time() {
             self.drain_messages(t);
+        }
+        #[cfg(debug_assertions)]
+        self.assert_invariants();
+    }
+
+    /// Checks the directory/cache coherence invariant at a quiescent point:
+    /// a line the directory calls `Dirty(owner)` must be held dirty by
+    /// exactly that cache and no other, a `Shared` line's sharers must each
+    /// hold a non-dirty copy, and conversely every dirty cached line must be
+    /// registered as `Dirty` at its home directory. Cheap enough to run
+    /// after every drain; the conformance harness and debug builds call it
+    /// whenever the message queue is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the above invariants is violated.
+    pub fn assert_invariants(&self) {
+        for (node, dir) in self.dirs.iter().enumerate() {
+            for (line, state) in dir.iter() {
+                match state {
+                    DirLineState::Uncached => {}
+                    DirLineState::Shared(sharers) => {
+                        for p in sharers {
+                            let st = self.caches[p.0 as usize].state_of(line);
+                            assert!(
+                                st.is_some() && st != Some(LineState::Dirty),
+                                "dir {node}: {line} shared by {p} but cache state is {st:?}"
+                            );
+                        }
+                    }
+                    DirLineState::Dirty(owner) => {
+                        assert_eq!(
+                            self.caches[owner.0 as usize].state_of(line),
+                            Some(LineState::Dirty),
+                            "dir {node}: {line} dirty at {owner} but cache disagrees"
+                        );
+                        for (p, cache) in self.caches.iter().enumerate() {
+                            if p as u32 != owner.0 {
+                                assert_eq!(
+                                    cache.state_of(line),
+                                    None,
+                                    "dir {node}: {line} dirty at {owner} but also cached by proc {p}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (p, cache) in self.caches.iter().enumerate() {
+            for line in cache.resident() {
+                if cache.state_of(line) == Some(LineState::Dirty) {
+                    let home = self.numa.home_of(line.base());
+                    assert_eq!(
+                        self.dirs[home.0 as usize].state(line),
+                        DirLineState::Dirty(ProcId(p as u32)),
+                        "proc {p}: {line} dirty in cache but home dir {home} disagrees"
+                    );
+                }
+            }
         }
     }
 
@@ -688,6 +755,7 @@ impl MemSystem {
             let done = now + Cycles(latency);
             let dirty = self.caches[proc.0 as usize].state_of(line) == Some(LineState::Dirty);
             let offset = self.elem_offset(&layout, line, idx);
+            self.stats.incr("race_case_a");
             let tags = self.caches[proc.0 as usize]
                 .tags_mut(line)
                 .expect("resident line has tags");
@@ -729,6 +797,7 @@ impl MemSystem {
             // directory-side test and project the reply tags — exactly the
             // ordering of algorithm (b).
             self.last_case = Some("b");
+            self.stats.incr("race_case_b");
             self.drain_before_transaction(proc.node(), home, now);
             let done = self.coherence_fetch(proc, line, false, now);
             if let Err(reason) = self.nonpriv.elem_mut(arr, idx).on_read_req(proc) {
@@ -764,6 +833,7 @@ impl MemSystem {
             } else {
                 self.cfg.latency.l2_hit
             };
+            self.stats.incr("race_case_c");
             let tags = self.caches[proc.0 as usize]
                 .tags_mut(line)
                 .expect("resident line has tags");
@@ -774,6 +844,7 @@ impl MemSystem {
                     // Upgrade: the directory runs the authoritative test and
                     // the grant refreshes the whole line's tags.
                     self.last_case = Some("d");
+                    self.stats.incr("race_case_d");
                     self.drain_before_transaction(proc.node(), home, now);
                     if let Err(reason) = self.nonpriv.elem_mut(arr, idx).on_write_req(proc) {
                         self.fail(reason, now);
@@ -793,6 +864,7 @@ impl MemSystem {
             // Algorithm (d): writeback+invalidate the owner and merge its
             // tag state, *then* test and grant.
             self.last_case = Some("d");
+            self.stats.incr("race_case_d");
             self.drain_before_transaction(proc.node(), home, now);
             let done = self.coherence_fetch(proc, line, true, now);
             if let Err(reason) = self.nonpriv.elem_mut(arr, idx).on_write_req(proc) {
@@ -1495,6 +1567,7 @@ impl MemSystem {
         if self.plan.kind_of(arr) != ProtocolKind::NonPriv {
             return;
         }
+        self.stats.incr("race_case_e");
         let layout = self.layout(arr);
         let range = layout.elems_on_line(line).expect("line within array");
         debug_assert_eq!(range.start, first_elem);
@@ -1519,6 +1592,17 @@ impl MemSystem {
     fn send(&mut self, now: Cycles, from: NodeId, to: NodeId, msg: Msg) {
         self.stats.incr("update_messages");
         let arrive = self.route(from, to, now).arrive + Cycles(1);
+        #[cfg(debug_assertions)]
+        {
+            let last = self.last_arrival.entry((from.0, to.0)).or_insert(Cycles(0));
+            assert!(
+                arrive >= *last,
+                "out-of-order delivery {from}->{to}: {arrive} scheduled before {last}",
+                arrive = arrive.raw(),
+                last = last.raw(),
+            );
+            *last = arrive;
+        }
         self.msgs.push_lenient(arrive, msg);
     }
 
@@ -1567,6 +1651,7 @@ impl MemSystem {
         }
         match msg {
             Msg::FirstUpdate { arr, idx, sender } => {
+                self.stats.incr("race_case_f");
                 self.charge_update_service(arr, idx, at);
                 match self.nonpriv.elem_mut(arr, idx).on_first_update(sender) {
                     Ok(FirstUpdateOutcome::Accepted) | Ok(FirstUpdateOutcome::Redundant) => {}
@@ -1588,12 +1673,14 @@ impl MemSystem {
                 }
             }
             Msg::ROnlyUpdate { arr, idx, sender } => {
+                self.stats.incr("race_case_h");
                 self.charge_update_service(arr, idx, at);
                 if let Err(reason) = self.nonpriv.elem_mut(arr, idx).on_r_only_update(sender) {
                     self.fail(reason, at);
                 }
             }
             Msg::FirstUpdateFail { arr, idx, target } => {
+                self.stats.incr("race_case_g");
                 let layout = self.layout(arr);
                 let line = layout.addr_of(idx).line();
                 let offset = self.elem_offset(&layout, line, idx);

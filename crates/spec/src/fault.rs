@@ -1,0 +1,103 @@
+//! Deliberate protocol-bug injection for the conformance harness.
+//!
+//! The differential fuzzer in `specrt-check` needs to prove it would catch a
+//! real protocol regression. This module lets a test (or `specrt-check fuzz
+//! --inject <bug>`) switch on one known-wrong behaviour in the protocol
+//! state machines; the fuzzer must then report an oracle disagreement and
+//! shrink it to a small counterexample.
+//!
+//! Injection is thread-local so concurrently running tests never see each
+//! other's faults, and callers are expected to reset it (`inject(None)`)
+//! when done — [`Injected`] does that on drop.
+
+use std::cell::Cell;
+
+/// A specific, deliberately wrong protocol behaviour that can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The non-privatization write test ignores the `ROnly` bit (paper §4.2,
+    /// Fig. 6 case (c)): a write by the `First` processor to an element other
+    /// processors already read is wrongly allowed, so a cross-iteration
+    /// anti-dependence goes undetected and the loop "passes" with a wrong
+    /// outcome.
+    DropROnlyCheck,
+}
+
+impl FaultKind {
+    /// Parses the CLI spelling used by `specrt-check fuzz --inject <bug>`.
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "drop-ronly" => Some(FaultKind::DropROnlyCheck),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling of this fault.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::DropROnlyCheck => "drop-ronly",
+        }
+    }
+}
+
+thread_local! {
+    static ACTIVE: Cell<Option<FaultKind>> = const { Cell::new(None) };
+}
+
+/// Activates `fault` (or clears any active fault with `None`) for the
+/// current thread.
+pub fn inject(fault: Option<FaultKind>) {
+    ACTIVE.with(|a| a.set(fault));
+}
+
+/// Whether `fault` is currently injected on this thread. Protocol code
+/// consults this at the exact decision point the fault subverts.
+pub fn active(fault: FaultKind) -> bool {
+    ACTIVE.with(|a| a.get()) == Some(fault)
+}
+
+/// RAII guard: injects a fault on construction, clears it on drop. Keeps
+/// test code exception-safe — a panicking assertion does not leave the
+/// fault active for the next test on the same thread.
+#[derive(Debug)]
+pub struct Injected(());
+
+impl Injected {
+    /// Activates `fault` until the guard is dropped.
+    pub fn new(fault: FaultKind) -> Injected {
+        inject(Some(fault));
+        Injected(())
+    }
+}
+
+impl Drop for Injected {
+    fn drop(&mut self) {
+        inject(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_by_default() {
+        assert!(!active(FaultKind::DropROnlyCheck));
+    }
+
+    #[test]
+    fn guard_scopes_injection() {
+        {
+            let _g = Injected::new(FaultKind::DropROnlyCheck);
+            assert!(active(FaultKind::DropROnlyCheck));
+        }
+        assert!(!active(FaultKind::DropROnlyCheck));
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        let k = FaultKind::DropROnlyCheck;
+        assert_eq!(FaultKind::parse(k.name()), Some(k));
+        assert_eq!(FaultKind::parse("nonsense"), None);
+    }
+}

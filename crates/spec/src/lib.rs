@@ -35,6 +35,7 @@
 
 pub mod chunking;
 pub mod fail;
+pub mod fault;
 pub mod nonpriv;
 pub mod plan;
 pub mod privat;
@@ -43,6 +44,7 @@ pub mod state_cost;
 
 pub use chunking::IterationNumbering;
 pub use fail::FailReason;
+pub use fault::FaultKind;
 pub use nonpriv::{
     nonpriv_cache_read, nonpriv_cache_write, nonpriv_complete_write, nonpriv_on_first_update_fail,
     FirstUpdateOutcome, NonPrivDirElem, NonPrivReadAction, NonPrivWriteAction,

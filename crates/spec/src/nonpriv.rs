@@ -130,7 +130,11 @@ impl NonPrivDirElem {
     /// element is marked read-shared.
     pub fn on_write_req(&mut self, req: ProcId) -> Result<(), FailReason> {
         let foreign_first = matches!(self.first, Some(f) if f != req);
-        if foreign_first || self.r_only {
+        // The `r_only` disjunct is the check the conformance harness can
+        // deliberately disable to prove the fuzzer catches protocol bugs.
+        let r_only_conflict =
+            self.r_only && !crate::fault::active(crate::fault::FaultKind::DropROnlyCheck);
+        if foreign_first || r_only_conflict {
             return Err(FailReason::WriteConflict {
                 writer: req,
                 first: self.first,

@@ -81,7 +81,19 @@ impl PrivSharedElem {
                 min_w: self.min_w,
             });
         }
+        #[cfg(debug_assertions)]
+        let old = self.max_r1st;
         self.max_r1st = self.max_r1st.max(iter);
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(self.max_r1st >= old, "MaxR1st must never decrease");
+            debug_assert!(
+                self.max_r1st <= self.min_w,
+                "stamp invariant broken: MaxR1st={} > MinW={}",
+                self.max_r1st,
+                self.min_w
+            );
+        }
         Ok(())
     }
 
@@ -105,7 +117,19 @@ impl PrivSharedElem {
                 max_r1st: self.max_r1st,
             });
         }
+        #[cfg(debug_assertions)]
+        let old = self.min_w;
         self.min_w = self.min_w.min(iter);
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(self.min_w <= old, "MinW must never increase");
+            debug_assert!(
+                self.max_r1st <= self.min_w,
+                "stamp invariant broken: MaxR1st={} > MinW={}",
+                self.max_r1st,
+                self.min_w
+            );
+        }
         Ok(())
     }
 

@@ -18,7 +18,8 @@
 //! * [`proto`] — directory-based cache coherence,
 //! * [`lrpd`] — the software LRPD baseline,
 //! * [`machine`] — processors, synchronization, schedulers, scenarios,
-//! * [`workloads`] — synthetic stand-ins for the paper's four loops.
+//! * [`workloads`] — synthetic stand-ins for the paper's four loops,
+//! * [`check`] — differential fuzzing and interleaving conformance harness.
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! system inventory.
@@ -26,6 +27,7 @@
 pub use specrt_core::*;
 
 pub use specrt_cache as cache;
+pub use specrt_check as check;
 pub use specrt_engine as engine;
 pub use specrt_ir as ir;
 pub use specrt_lrpd as lrpd;

@@ -136,6 +136,79 @@ fn block_cyclic_schedule_end_to_end() {
 }
 
 #[test]
+fn zero_iteration_loop() {
+    // Nothing runs: every scenario must pass trivially and leave the
+    // initial image untouched. The fuzzer generator covers this shape as
+    // template seed 0.
+    let spec = base_spec(0, |b| {
+        b.store(A, Operand::Iter, Operand::ImmF(1.0));
+    });
+    let serial = run_scenario(&spec, Scenario::Serial, 4);
+    for scenario in [
+        Scenario::Hw,
+        Scenario::Sw(SwVariant::IterationWise),
+        Scenario::Sw(SwVariant::ProcessorWise),
+    ] {
+        let r = run_scenario(&spec, scenario, 4);
+        assert_ne!(r.passed, Some(false), "{scenario}: nothing ran");
+        assert_eq!(r.iterations, 0, "{scenario}");
+        assert!(
+            r.final_image.same_contents(&serial.final_image, &[A]),
+            "{scenario}: image must stay at its initial contents"
+        );
+    }
+}
+
+#[test]
+fn all_processors_hammer_one_element() {
+    // Every iteration reads and writes the same element of a one-element
+    // array (fuzzer template seed 2): HW must fail, abort, and restore the
+    // serial result exactly.
+    let mut b = ProgramBuilder::new();
+    let v = b.load(A, Operand::ImmI(0));
+    let v2 = b.binop(specrt::ir::BinOp::Add, Operand::Reg(v), Operand::ImmI(1));
+    b.store(A, Operand::ImmI(0), Operand::Reg(v2));
+    let mut plan = TestPlan::new();
+    plan.set(A, ProtocolKind::NonPriv);
+    let spec = LoopSpec {
+        name: "hammer".into(),
+        body: b.build().unwrap(),
+        iters: 8,
+        arrays: vec![ArrayDecl::zeroed(A, 1, ElemSize::W8)],
+        plan,
+        numbering: IterationNumbering::iteration_wise(),
+        schedule: ScheduleKind::Static,
+        live_after: vec![A],
+        stamp_window: None,
+    };
+    let serial = run_scenario(&spec, Scenario::Serial, 4);
+    let hw = run_scenario(&spec, Scenario::Hw, 4);
+    assert_eq!(hw.passed, Some(false), "cross-processor element sharing");
+    assert!(hw.final_image.same_contents(&serial.final_image, &[A]));
+    assert_eq!(hw.final_image.read(A, 0), Scalar::Int(8));
+}
+
+#[test]
+fn write_only_loop() {
+    // Disjoint writes, no reads of the array under test (fuzzer template
+    // seed 3): no flow dependences, every protocol must pass.
+    let spec = base_spec(32, |b| {
+        b.store(A, Operand::Iter, Operand::Iter);
+        b.compute(5);
+    });
+    let serial = run_scenario(&spec, Scenario::Serial, 8);
+    for scenario in [
+        Scenario::Hw,
+        Scenario::Sw(SwVariant::IterationWise),
+        Scenario::Sw(SwVariant::ProcessorWise),
+    ] {
+        let r = run_scenario(&spec, scenario, 8);
+        assert_eq!(r.passed, Some(true), "{scenario}: {:?}", r.failure);
+        assert!(r.final_image.same_contents(&serial.final_image, &[A]));
+    }
+}
+
+#[test]
 fn arrays_with_one_element() {
     // A single-element array under test, written by exactly one iteration.
     let mut b = ProgramBuilder::new();
