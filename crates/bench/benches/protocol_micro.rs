@@ -133,6 +133,53 @@ fn main() {
         traced_null.ns_per_iter(),
         (traced_null.ns_per_iter() / traced_off.ns_per_iter() - 1.0) * 100.0
     );
+
+    bench_fuzz_throughput();
+}
+
+/// Differential-fuzz cases checked per benchmark run. Large enough that
+/// worker startup is amortized, small enough to keep the bench quick.
+const FUZZ_CASES: u64 = 300;
+
+/// End-to-end fuzz throughput of the `specrt-par` worker pool: the same
+/// `(cases, seed)` run single-threaded and with one worker per core. The
+/// reports must match byte-for-byte (determinism is part of the contract);
+/// the speedup is the payoff.
+fn bench_fuzz_throughput() {
+    let jobs = specrt_par::default_jobs();
+    let time = |j: usize| {
+        let start = std::time::Instant::now();
+        let report = specrt_check::fuzz_jobs(FUZZ_CASES, 0x5eed, j);
+        (report, start.elapsed().as_secs_f64())
+    };
+    // Warm-up run so lazy init and page faults don't bias the j=1 leg.
+    let _ = time(1);
+    let (serial_report, serial_s) = time(1);
+    let (par_report, par_s) = time(jobs);
+    assert_eq!(
+        serial_report.render(),
+        par_report.render(),
+        "fuzz output must not depend on the worker count"
+    );
+    assert!(serial_report.ok(), "fuzz smoke must be clean");
+    let serial_rate = FUZZ_CASES as f64 / serial_s;
+    let par_rate = FUZZ_CASES as f64 / par_s;
+    let speedup = par_rate / serial_rate;
+    println!(
+        "fuzz throughput: {serial_rate:.0} cases/s at j=1, {par_rate:.0} cases/s at j={jobs} \
+         ({speedup:.2}x)"
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"check/fuzz_throughput\",\n  \
+         \"cases\": {FUZZ_CASES},\n  \
+         \"jobs\": {jobs},\n  \
+         \"serial_cases_per_sec\": {serial_rate:.1},\n  \
+         \"parallel_cases_per_sec\": {par_rate:.1},\n  \
+         \"speedup\": {speedup:.3}\n}}\n"
+    );
+    if let Err(e) = std::fs::write("BENCH_par.json", &json) {
+        eprintln!("cannot write BENCH_par.json: {e}");
+    }
 }
 
 /// Records the flat-vs-mesh ping-pong datapoint so the perf trajectory

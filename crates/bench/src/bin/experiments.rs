@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! experiments [all|claims|fig11|fig12|fig13|fig14|state|ablation] [smoke|bench|full]
+//!             [--jobs N]
 //! experiments --trace <path> [--metrics] [--workload <name>] [smoke|bench|full]
 //!             [--net <flat|mesh>] [--link-bw <cycles>] [--net-report]
 //! ```
@@ -9,6 +10,11 @@
 //! Defaults to `all bench`. Output is the plain-text analogue of the
 //! paper's Figures 11–14 plus the §3.4 state-cost table and the §4.1
 //! ablations; `EXPERIMENTS.md` records the paper-vs-measured comparison.
+//!
+//! `--jobs N` fans the independent scenario simulations of each figure out
+//! over `N` worker threads (`0` = all available cores, the default). Every
+//! row is reassembled in its serial position, so the output is
+//! byte-identical for every job count.
 //!
 //! With `--trace <path>` the binary instead runs one traced HW execution
 //! of a paper workload (a passing invocation followed by its §6.2
@@ -26,8 +32,9 @@
 //! worst hotspot alongside the abort forensics.
 
 use specrt_core::experiments::{
-    ablation_chunking, ablation_machine, ablation_policy, ablation_track_block, evaluate_all,
-    extension_density, fig11_from, fig12_from, fig13, fig14, state_cost_table, LoopResults,
+    ablation_chunking_jobs, ablation_machine_jobs, ablation_policy_jobs, ablation_track_block_jobs,
+    evaluate_all_jobs, extension_density_jobs, fig11_from, fig12_from, fig13_jobs, fig14_jobs,
+    state_cost_table, LoopResults,
 };
 use specrt_core::report::{bar_chart, bsm, f2, stacked_bar, Table};
 use specrt_engine::Cycles;
@@ -45,10 +52,18 @@ fn main() {
     let mut link_bw: Option<u64> = None;
     let mut net_report = false;
     let mut workload = String::from("adm");
+    let mut jobs = specrt_par::default_jobs();
     let mut pos: Vec<String> = Vec::new();
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--jobs" | "-j" => match it.next().as_deref().and_then(specrt_par::parse_jobs) {
+                Some(j) => jobs = j,
+                None => {
+                    eprintln!("--jobs requires a worker count (0 = all cores)");
+                    std::process::exit(2);
+                }
+            },
             "--trace" => match it.next() {
                 Some(p) => trace_path = Some(p),
                 None => {
@@ -117,8 +132,8 @@ fn main() {
 
     let needs_eval = matches!(what, "all" | "claims" | "fig11" | "fig12");
     let results: Vec<LoopResults> = if needs_eval {
-        eprintln!("running all scenarios on all workloads ({scale:?} scale)...");
-        evaluate_all(scale)
+        eprintln!("running all scenarios on all workloads ({scale:?} scale, {jobs} worker(s))...");
+        evaluate_all_jobs(scale, jobs)
     } else {
         Vec::new()
     };
@@ -127,18 +142,18 @@ fn main() {
         "all" => {
             print_fig11(&results);
             print_fig12(&results);
-            print_fig13(scale);
-            print_fig14(scale);
+            print_fig13(scale, jobs);
+            print_fig14(scale, jobs);
             print_state();
-            print_ablation(scale);
+            print_ablation(scale, jobs);
         }
-        "claims" => print_claims(&results, scale),
+        "claims" => print_claims(&results, scale, jobs),
         "fig11" => print_fig11(&results),
         "fig12" => print_fig12(&results),
-        "fig13" => print_fig13(scale),
-        "fig14" => print_fig14(scale),
+        "fig13" => print_fig13(scale, jobs),
+        "fig14" => print_fig14(scale, jobs),
         "state" => print_state(),
-        "ablation" => print_ablation(scale),
+        "ablation" => print_ablation(scale, jobs),
         other => {
             eprintln!("unknown experiment {other:?}");
             std::process::exit(2);
@@ -148,7 +163,7 @@ fn main() {
 
 /// Checks the four quantitative claims of the paper's abstract against the
 /// measured results and prints a pass/fail report.
-fn print_claims(results: &[LoopResults], scale: Scale) {
+fn print_claims(results: &[LoopResults], scale: Scale, jobs: usize) {
     println!("== Reproduction report: the abstract's claims ==\n");
     let rows = fig11_from(results);
     let hw_mean: f64 = rows.iter().map(|r| r.hw).sum::<f64>() / rows.len() as f64;
@@ -158,7 +173,7 @@ fn print_claims(results: &[LoopResults], scale: Scale) {
         .product::<f64>()
         .powf(1.0 / rows.len() as f64);
     let all_hw_beat_sw = rows.iter().all(|r| r.hw > r.sw);
-    let f13 = fig13(scale);
+    let f13 = fig13_jobs(scale, jobs);
     let hw_fail: f64 = f13.iter().map(|r| r.hw.total()).sum::<f64>() / f13.len() as f64;
     let sw_fail: f64 = f13.iter().map(|r| r.sw.total()).sum::<f64>() / f13.len() as f64;
     let early = f13
@@ -251,7 +266,7 @@ fn print_fig12(results: &[LoopResults]) {
     println!();
 }
 
-fn print_fig13(scale: Scale) {
+fn print_fig13(scale: Scale, jobs: usize) {
     println!("== Figure 13: execution time when the test fails (normalized to Serial) ==");
     println!("(paper: HW averages 1.22x Serial, SW 1.58x; HW aborts almost immediately)\n");
     let mut t = Table::new(vec![
@@ -261,7 +276,7 @@ fn print_fig13(scale: Scale) {
         "HW (fail)",
         "HW iters before abort",
     ]);
-    for r in fig13(scale) {
+    for r in fig13_jobs(scale, jobs) {
         t.row(vec![
             r.workload.clone(),
             f2(r.serial.total()),
@@ -273,11 +288,11 @@ fn print_fig13(scale: Scale) {
     println!("{}", t.render());
 }
 
-fn print_fig14(scale: Scale) {
+fn print_fig14(scale: Scale, jobs: usize) {
     println!("== Figure 14: scalability (speedups at 8 and 16 processors) ==");
     println!("(paper: SW saturates earlier; P3m's SW is slower at 16 than at 8)\n");
     let mut t = Table::new(vec!["loop", "procs", "Ideal", "SW", "HW"]);
-    for r in fig14(scale) {
+    for r in fig14_jobs(scale, jobs) {
         t.row(vec![
             r.workload.clone(),
             r.procs.to_string(),
@@ -310,7 +325,7 @@ fn print_state() {
     println!("{}", t.render());
 }
 
-fn print_ablation(scale: Scale) {
+fn print_ablation(scale: Scale, jobs: usize) {
     println!(
         "== Ablation (section 4.1): superiteration chunking on the privatization protocol ==\n"
     );
@@ -320,7 +335,7 @@ fn print_ablation(scale: Scale) {
         "read-first signals",
         "stamp bits",
     ]);
-    for r in ablation_chunking(scale) {
+    for r in ablation_chunking_jobs(scale, jobs) {
         t.row(vec![
             r.chunk.to_string(),
             r.hw_cycles.to_string(),
@@ -332,14 +347,14 @@ fn print_ablation(scale: Scale) {
 
     println!("== Ablation: machine-model sensitivity (Ocean, HW vs SW) ==\n");
     let mut t = Table::new(vec!["machine", "HW speedup", "SW speedup"]);
-    for r in ablation_machine(scale) {
+    for r in ablation_machine_jobs(scale, jobs) {
         t.row(vec![r.config.clone(), f2(r.hw_speedup), f2(r.sw_speedup)]);
     }
     println!("{}", t.render());
 
     println!("== Extension (section 2.2.4): profitability vs conflict density ==\n");
     let mut t = Table::new(vec!["density", "pass rate", "HW/serial", "SW/serial"]);
-    for r in extension_density(scale) {
+    for r in extension_density_jobs(scale, jobs) {
         t.row(vec![
             format!("{:.2}", r.density),
             f2(r.pass_rate),
@@ -351,14 +366,14 @@ fn print_ablation(scale: Scale) {
 
     println!("== Ablation: abort latency and dirty-read coherence policy (Ocean) ==\n");
     let mut t = Table::new(vec!["configuration", "HW cycles"]);
-    for r in ablation_policy(scale) {
+    for r in ablation_policy_jobs(scale, jobs) {
         t.row(vec![r.config.clone(), r.hw_cycles.to_string()]);
     }
     println!("{}", t.render());
 
     println!("== Ablation (section 5.2): Track's dynamic block size under HW ==\n");
     let mut t = Table::new(vec!["block", "passed", "HW cycles"]);
-    for r in ablation_track_block(scale) {
+    for r in ablation_track_block_jobs(scale, jobs) {
         t.row(vec![
             r.block.to_string(),
             r.passed.to_string(),

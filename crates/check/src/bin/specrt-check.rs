@@ -1,10 +1,10 @@
 //! `specrt-check` — the conformance-harness CLI.
 //!
 //! ```text
-//! specrt-check fuzz --cases 500 --seed 0x5eed [--inject drop-ronly]
+//! specrt-check fuzz --cases 500 --seed 0x5eed [--jobs N] [--inject drop-ronly]
 //! specrt-check replay <seed>
-//! specrt-check interleave
-//! specrt-check coverage [--cases N] [--seed S]
+//! specrt-check interleave [--jobs N]
+//! specrt-check coverage [--cases N] [--seed S] [--jobs N]
 //! ```
 //!
 //! * `fuzz` runs the differential fuzzer; exits non-zero on any oracle
@@ -15,10 +15,18 @@
 //! * `interleave` runs the small-scope message-ordering enumeration.
 //! * `coverage` runs both and fails unless every race case (a)–(h) of the
 //!   paper's Figs. 6–7 was reached.
+//!
+//! `--jobs N` distributes independent cases (fuzz) or script-prefix
+//! partitions (interleave) over `N` worker threads; `--jobs 0` means "all
+//! available cores". Output is byte-identical for every job count — the
+//! default stays 1 so existing invocations and golden comparisons are
+//! unchanged unless parallelism is asked for.
 
 use std::process::ExitCode;
 
-use specrt_check::{enumerate_small_scope, fuzz, replay, CaseSpec, Coverage, FuzzFailure};
+use specrt_check::{
+    enumerate_small_scope_jobs, fuzz_jobs, render_case, replay, CaseSpec, Coverage, FuzzFailure,
+};
 use specrt_spec::fault;
 
 fn parse_u64(s: &str) -> Option<u64> {
@@ -32,6 +40,7 @@ fn parse_u64(s: &str) -> Option<u64> {
 struct Args {
     cases: u64,
     seed: u64,
+    jobs: usize,
     inject: Option<fault::FaultKind>,
     positional: Vec<String>,
 }
@@ -42,6 +51,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
     let mut args = Args {
         cases: 500,
         seed: 0x5eed,
+        jobs: 1,
         inject: None,
         positional: Vec::new(),
     };
@@ -54,6 +64,10 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
             "--seed" => {
                 let v = argv.next().ok_or("--seed needs a value")?;
                 args.seed = parse_u64(&v).ok_or(format!("bad --seed value: {v}"))?;
+            }
+            "--jobs" | "-j" => {
+                let v = argv.next().ok_or("--jobs needs a value")?;
+                args.jobs = specrt_par::parse_jobs(&v).ok_or(format!("bad --jobs value: {v}"))?;
             }
             "--inject" => {
                 let v = argv.next().ok_or("--inject needs a value")?;
@@ -69,22 +83,8 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
 
 fn usage() -> String {
     "usage: specrt-check <fuzz|replay|interleave|coverage> \
-     [--cases N] [--seed S] [--inject drop-ronly] [seed]"
+     [--cases N] [--seed S] [--jobs N] [--inject drop-ronly] [seed]"
         .to_string()
-}
-
-fn print_case(case: &CaseSpec) {
-    println!(
-        "  procs={} elems={} schedule={:?} iters={} accesses={}",
-        case.procs,
-        case.elems,
-        case.schedule,
-        case.iters(),
-        case.accesses()
-    );
-    for (i, ops) in case.ops.iter().enumerate() {
-        println!("    iter {i}: {ops:?}");
-    }
 }
 
 fn print_failure(f: &FuzzFailure) {
@@ -93,22 +93,13 @@ fn print_failure(f: &FuzzFailure) {
         println!("  {m}");
     }
     println!("shrunk to {} accesses:", f.shrunk.accesses());
-    print_case(&f.shrunk);
+    print!("{}", render_case(&f.shrunk));
 }
 
 fn cmd_fuzz(args: &Args) -> ExitCode {
     let _guard = args.inject.map(fault::Injected::new);
-    let report = fuzz(args.cases, args.seed);
-    println!(
-        "fuzz: {} cases, seed {:#x}, {} failure(s), race cases visited: {:?}",
-        report.cases,
-        args.seed,
-        report.failures.len(),
-        report.visited_race_cases()
-    );
-    for f in &report.failures {
-        print_failure(f);
-    }
+    let report = fuzz_jobs(args.cases, args.seed, args.jobs);
+    print!("{}", report.render());
     match args.inject {
         None => {
             if report.ok() {
@@ -152,7 +143,7 @@ fn cmd_replay(args: &Args) -> ExitCode {
     };
     let _guard = args.inject.map(fault::Injected::new);
     println!("replaying seed {seed:#x}:");
-    print_case(&CaseSpec::generate(seed));
+    print!("{}", render_case(&CaseSpec::generate(seed)));
     match replay(seed) {
         None => {
             println!("agrees with the oracle");
@@ -165,9 +156,9 @@ fn cmd_replay(args: &Args) -> ExitCode {
     }
 }
 
-fn cmd_interleave() -> ExitCode {
+fn cmd_interleave(args: &Args) -> ExitCode {
     let mut cov = Coverage::new();
-    let summary = enumerate_small_scope(&mut cov);
+    let summary = enumerate_small_scope_jobs(&mut cov, args.jobs);
     println!(
         "interleave: {} scripts, {} states, {} violation(s), {} conservative script(s)",
         summary.scripts, summary.states, summary.violations, summary.conservative
@@ -192,8 +183,8 @@ fn cmd_coverage(args: &Args) -> ExitCode {
     // The enumerator guarantees every letter is reachable; the fuzzer's
     // protocol statistics show the full machine reaches them too.
     let mut cov = Coverage::new();
-    let summary = enumerate_small_scope(&mut cov);
-    let report = fuzz(args.cases, args.seed);
+    let summary = enumerate_small_scope_jobs(&mut cov, args.jobs);
+    let report = fuzz_jobs(args.cases, args.seed, args.jobs);
     for c in report.visited_race_cases() {
         cov.counts[(c as u8 - b'a') as usize] += 1;
     }
@@ -221,7 +212,7 @@ fn main() -> ExitCode {
         Ok((cmd, args)) => match cmd.as_str() {
             "fuzz" => cmd_fuzz(&args),
             "replay" => cmd_replay(&args),
-            "interleave" => cmd_interleave(),
+            "interleave" => cmd_interleave(&args),
             "coverage" => cmd_coverage(&args),
             other => {
                 eprintln!("unknown command: {other}\n{}", usage());

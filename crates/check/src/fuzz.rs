@@ -1,10 +1,34 @@
 //! The fuzzing loop: generate → differentially check → shrink failures.
+//!
+//! Case execution fans out over a [`specrt_par`] worker pool: every case is
+//! an independent, deterministic simulation, so the only ordering that
+//! matters is the *merge* order of the results — which [`fuzz_jobs`] keeps
+//! fixed at seed order regardless of the worker count. `fuzz(c, s)` and
+//! `fuzz_jobs(c, s, j)` therefore produce byte-identical reports for every
+//! `j ≥ 1`; a regression test and a CI cross-check pin that.
 
 use specrt_engine::{SplitMix64, StatSet};
+use specrt_spec::fault;
 
 use crate::diff::{run_case, Mismatch};
 use crate::generate::{CaseSpec, TEMPLATE_SEEDS};
 use crate::shrink::shrink;
+
+/// The race-case counter keys bumped by `specrt-proto` at the eight
+/// protocol sites of the paper's Figs. 6–7, in letter order.
+pub const RACE_CASE_KEYS: [&str; 8] = [
+    "race_case_a",
+    "race_case_b",
+    "race_case_c",
+    "race_case_d",
+    "race_case_e",
+    "race_case_f",
+    "race_case_g",
+    "race_case_h",
+];
+
+/// Witnesses the fuzzer keeps (and shrinks) before it stops collecting.
+const MAX_FAILURES: usize = 3;
 
 /// One oracle disagreement found by the fuzzer, with its shrunk witness.
 #[derive(Debug)]
@@ -23,9 +47,13 @@ pub struct FuzzFailure {
 pub struct FuzzReport {
     /// Cases executed.
     pub cases: u64,
+    /// Stream seed the run was started with.
+    pub seed: u64,
     /// Merged hardware-protocol statistics (race-case coverage).
     pub stats: StatSet,
     /// Failures found (empty = machine agrees with the oracle everywhere).
+    /// At most the first `MAX_FAILURES` (3) in seed order are kept and
+    /// shrunk.
     pub failures: Vec<FuzzFailure>,
 }
 
@@ -35,16 +63,65 @@ impl FuzzReport {
         self.failures.is_empty()
     }
 
-    /// Race-case letters of (a)–(h) visited by the hardware runs.
+    /// Race-case letters of (a)–(h) visited by the hardware runs, via
+    /// direct lookups of the eight static keys — no per-letter rescan, and
+    /// no silent miss if a counter is ever renamed (debug builds assert
+    /// every `race_case_*` counter in the set is one of the known keys).
     pub fn visited_race_cases(&self) -> Vec<char> {
-        (b'a'..=b'h')
-            .filter(|c| {
-                let key = format!("race_case_{}", *c as char);
-                self.stats.iter().any(|(k, v)| k == key && v > 0)
-            })
-            .map(char::from)
+        #[cfg(debug_assertions)]
+        for (key, _) in self.stats.iter() {
+            assert!(
+                !key.starts_with("race_case_") || RACE_CASE_KEYS.contains(&key),
+                "unknown race-case counter {key:?}; update RACE_CASE_KEYS"
+            );
+        }
+        RACE_CASE_KEYS
+            .iter()
+            .enumerate()
+            .filter(|(_, key)| self.stats.get(key) > 0)
+            .map(|(i, _)| (b'a' + i as u8) as char)
             .collect()
     }
+
+    /// Deterministic plain-text rendering: the summary line followed by one
+    /// block per failure. This is exactly what `specrt-check fuzz` prints,
+    /// and what the `-j1` vs `-jN` byte-identity gate compares.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "fuzz: {} cases, seed {:#x}, {} failure(s), race cases visited: {:?}\n",
+            self.cases,
+            self.seed,
+            self.failures.len(),
+            self.visited_race_cases()
+        );
+        for f in &self.failures {
+            let _ = writeln!(out, "seed {:#x} disagrees with the oracle:", f.seed);
+            for m in &f.mismatches {
+                let _ = writeln!(out, "  {m}");
+            }
+            let _ = writeln!(out, "shrunk to {} accesses:", f.shrunk.accesses());
+            let _ = write!(out, "{}", render_case(&f.shrunk));
+        }
+        out
+    }
+}
+
+/// Deterministic rendering of one case (shared by `render` and the CLI).
+pub fn render_case(case: &CaseSpec) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "  procs={} elems={} schedule={:?} iters={} accesses={}\n",
+        case.procs,
+        case.elems,
+        case.schedule,
+        case.iters(),
+        case.accesses()
+    );
+    for (i, ops) in case.ops.iter().enumerate() {
+        let _ = writeln!(out, "    iter {i}: {ops:?}");
+    }
+    out
 }
 
 /// Whether `case` disagrees with the oracle (the shrinking predicate).
@@ -52,38 +129,64 @@ pub fn case_fails(case: &CaseSpec) -> bool {
     !run_case(case).ok()
 }
 
-/// Runs `cases` differential checks. The first [`TEMPLATE_SEEDS`] cases are
-/// the deterministic templates (degenerate shapes); the rest draw their
-/// case seeds from a [`SplitMix64`] stream seeded with `seed`, so the whole
-/// run is reproducible from `(cases, seed)` and any single failure from its
-/// case seed alone.
-pub fn fuzz(cases: u64, seed: u64) -> FuzzReport {
+/// The case seeds of a `(cases, seed)` run: the first [`TEMPLATE_SEEDS`]
+/// are the deterministic templates (degenerate shapes); the rest draw from
+/// a [`SplitMix64`] stream seeded with `seed`.
+fn case_seeds(cases: u64, seed: u64) -> Vec<u64> {
     let mut rng = SplitMix64::new(seed);
-    let mut stats = StatSet::new();
-    let mut failures = Vec::new();
-    for i in 0..cases {
-        let case_seed = if i < TEMPLATE_SEEDS {
-            i
-        } else {
-            rng.next_u64()
-        };
-        let case = CaseSpec::generate(case_seed);
-        let r = run_case(&case);
-        stats.merge(&r.stats);
-        if !r.ok() {
-            let shrunk = shrink(&case, case_fails);
-            failures.push(FuzzFailure {
-                seed: case_seed,
-                mismatches: r.mismatches,
-                shrunk,
-            });
-            if failures.len() >= 3 {
-                break; // enough witnesses; don't shrink forever
+    (0..cases)
+        .map(|i| {
+            if i < TEMPLATE_SEEDS {
+                i
+            } else {
+                rng.next_u64()
             }
+        })
+        .collect()
+}
+
+/// Runs `cases` differential checks single-threaded. The whole run is
+/// reproducible from `(cases, seed)` and any single failure from its case
+/// seed alone. Equivalent to [`fuzz_jobs`] with `jobs = 1`.
+pub fn fuzz(cases: u64, seed: u64) -> FuzzReport {
+    fuzz_jobs(cases, seed, 1)
+}
+
+/// [`fuzz`] with the cases distributed over `jobs` worker threads.
+///
+/// Per-worker [`StatSet`]s are merged in seed order (the merge is
+/// order-independent anyway — all counters are sums), failures are
+/// collected in seed order, and only then are the first `MAX_FAILURES`
+/// shrunk, on the calling thread. An active [`fault`] injection is
+/// replicated onto every worker. The report is byte-identical for every
+/// `jobs ≥ 1`.
+pub fn fuzz_jobs(cases: u64, seed: u64, jobs: usize) -> FuzzReport {
+    let seeds = case_seeds(cases, seed);
+    let injected = fault::current();
+    let results = specrt_par::par_map(jobs, &seeds, |_, &case_seed| {
+        let _guard = injected.map(fault::Injected::new);
+        run_case(&CaseSpec::generate(case_seed))
+    });
+
+    let mut stats = StatSet::new();
+    let mut failing: Vec<(u64, Vec<Mismatch>)> = Vec::new();
+    for (&case_seed, r) in seeds.iter().zip(results) {
+        stats.merge(&r.stats);
+        if !r.ok() && failing.len() < MAX_FAILURES {
+            failing.push((case_seed, r.mismatches));
         }
     }
+    let failures = failing
+        .into_iter()
+        .map(|(case_seed, mismatches)| FuzzFailure {
+            seed: case_seed,
+            mismatches,
+            shrunk: shrink(&CaseSpec::generate(case_seed), case_fails),
+        })
+        .collect();
     FuzzReport {
         cases,
+        seed,
         stats,
         failures,
     }
@@ -139,5 +242,33 @@ mod tests {
             b.stats.iter().collect::<Vec<_>>(),
             "same (cases, seed) must reproduce identical statistics"
         );
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn parallel_fuzz_matches_single_threaded() {
+        let serial = fuzz(16, 0xfeed);
+        for jobs in [2, 4] {
+            let par = fuzz_jobs(16, 0xfeed, jobs);
+            assert_eq!(par.render(), serial.render(), "jobs={jobs}");
+            assert_eq!(
+                par.stats.iter().collect::<Vec<_>>(),
+                serial.stats.iter().collect::<Vec<_>>(),
+                "jobs={jobs}: merged stats must be identical"
+            );
+        }
+    }
+
+    #[test]
+    fn race_case_keys_match_visited_letters() {
+        // A run big enough to visit every race case: the letters must come
+        // from the static keys, in order.
+        let r = fuzz(64, 0x5eed);
+        let visited = r.visited_race_cases();
+        assert!(visited.windows(2).all(|w| w[0] < w[1]), "sorted letters");
+        for c in &visited {
+            let key = RACE_CASE_KEYS[(*c as u8 - b'a') as usize];
+            assert!(r.stats.get(key) > 0, "letter {c} without counter {key}");
+        }
     }
 }

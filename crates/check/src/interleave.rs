@@ -63,6 +63,15 @@ impl Coverage {
         self.counts[(case as u8 - b'a') as usize] += 1;
     }
 
+    /// Adds another coverage's counts into this one (order-independent:
+    /// counts are sums, so merging per-worker coverages in any order gives
+    /// the same totals as one sequential exploration).
+    pub fn merge(&mut self, other: &Coverage) {
+        for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+    }
+
     /// Race-case letters never reached.
     pub fn unvisited(&self) -> Vec<char> {
         self.counts
@@ -478,28 +487,59 @@ fn all_sequences() -> Vec<Vec<Op>> {
     seqs
 }
 
+/// Explores one script, folding its result into `summary` and `cov`.
+fn explore_into(script: &[Vec<Op>], summary: &mut EnumerationSummary, cov: &mut Coverage) {
+    let r = explore_script(script, cov);
+    summary.scripts += 1;
+    summary.states += r.states;
+    summary.violations += r.violations;
+    if script_envelope_holds(script) && !r.any_pass {
+        summary.conservative += 1;
+    }
+}
+
 /// Exhaustively explores every 2-processor script with per-processor
 /// sequences of length ≤ 2, plus a hand-picked set of 3-processor scripts,
-/// accumulating race-case coverage into `cov`.
+/// accumulating race-case coverage into `cov`. Equivalent to
+/// [`enumerate_small_scope_jobs`] with `jobs = 1`.
 pub fn enumerate_small_scope(cov: &mut Coverage) -> EnumerationSummary {
+    enumerate_small_scope_jobs(cov, 1)
+}
+
+/// [`enumerate_small_scope`] with the DFS partitioned across `jobs` worker
+/// threads by the first processor's script prefix. Each prefix's scripts
+/// share no state with any other prefix's (every [`explore_script`] call
+/// owns its memo set), so workers explore disjoint script families and
+/// their per-worker summaries and coverages merge — in prefix order — into
+/// exactly the totals of the sequential enumeration.
+pub fn enumerate_small_scope_jobs(cov: &mut Coverage, jobs: usize) -> EnumerationSummary {
     let seqs = all_sequences();
+    let parts = specrt_par::par_map(jobs, &seqs, |_, a| {
+        let mut part_cov = Coverage::new();
+        let mut part = EnumerationSummary {
+            scripts: 0,
+            states: 0,
+            violations: 0,
+            conservative: 0,
+        };
+        for b in &seqs {
+            let script = vec![a.clone(), b.clone()];
+            explore_into(&script, &mut part, &mut part_cov);
+        }
+        (part, part_cov)
+    });
     let mut summary = EnumerationSummary {
         scripts: 0,
         states: 0,
         violations: 0,
         conservative: 0,
     };
-    for a in &seqs {
-        for b in &seqs {
-            let script = vec![a.clone(), b.clone()];
-            let r = explore_script(&script, cov);
-            summary.scripts += 1;
-            summary.states += r.states;
-            summary.violations += r.violations;
-            if script_envelope_holds(&script) && !r.any_pass {
-                summary.conservative += 1;
-            }
-        }
+    for (part, part_cov) in parts {
+        summary.scripts += part.scripts;
+        summary.states += part.states;
+        summary.violations += part.violations;
+        summary.conservative += part.conservative;
+        cov.merge(&part_cov);
     }
     // Three processors: enough to race two foreign updates against a write
     // and against each other.
@@ -512,13 +552,7 @@ pub fn enumerate_small_scope(cov: &mut Coverage) -> EnumerationSummary {
     ];
     for script in three {
         let script: Vec<Vec<Op>> = script.iter().map(|s| s.to_vec()).collect();
-        let r = explore_script(&script, cov);
-        summary.scripts += 1;
-        summary.states += r.states;
-        summary.violations += r.violations;
-        if script_envelope_holds(&script) && !r.any_pass {
-            summary.conservative += 1;
-        }
+        explore_into(&script, &mut summary, cov);
     }
     summary
 }
@@ -553,6 +587,21 @@ mod tests {
         let r = explore_script(&[vec![Write(0)], vec![Read(0)]], &mut cov);
         assert_eq!(r.violations, 0, "no interleaving may pass");
         assert!(r.any_fail);
+    }
+
+    #[test]
+    fn parallel_enumeration_matches_sequential() {
+        let mut cov1 = Coverage::new();
+        let s1 = enumerate_small_scope(&mut cov1);
+        let mut cov4 = Coverage::new();
+        let s4 = enumerate_small_scope_jobs(&mut cov4, 4);
+        assert_eq!(cov1.counts, cov4.counts, "coverage must be identical");
+        assert_eq!(s1.scripts, s4.scripts);
+        assert_eq!(s1.states, s4.states);
+        assert_eq!(s1.violations, s4.violations);
+        assert_eq!(s1.conservative, s4.conservative);
+        assert_eq!(s1.violations, 0);
+        assert!(cov1.complete(), "all of (a)-(h) must be reached");
     }
 
     #[test]

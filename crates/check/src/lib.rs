@@ -35,10 +35,13 @@ pub mod interleave;
 pub mod shrink;
 
 pub use diff::{run_case, CaseResult, Mismatch};
-pub use fuzz::{case_fails, fuzz, parse_seed, replay, FuzzFailure, FuzzReport};
+pub use fuzz::{
+    case_fails, fuzz, fuzz_jobs, parse_seed, render_case, replay, FuzzFailure, FuzzReport,
+    RACE_CASE_KEYS,
+};
 pub use generate::{CaseSpec, Op, ARR_A, ARR_OUT, TEMPLATE_SEEDS};
 pub use interleave::{
-    enumerate_small_scope, explore_script, script_envelope_holds, Coverage, EnumerationSummary,
-    ExploreResult,
+    enumerate_small_scope, enumerate_small_scope_jobs, explore_script, script_envelope_holds,
+    Coverage, EnumerationSummary, ExploreResult,
 };
 pub use shrink::shrink;

@@ -1,0 +1,53 @@
+//! Regression gate: the parallel case runner must be invisible in the
+//! output. A fuzz run at `jobs = 1` and `jobs = 4` over the same
+//! `(cases, seed)` must produce byte-identical reports, statistics and
+//! verdicts — CI additionally cross-checks the CLI output of
+//! `specrt-check fuzz --jobs 2` against a `-j1` run.
+
+use specrt_check::{enumerate_small_scope_jobs, fuzz_jobs, Coverage};
+
+/// The CI smoke-run configuration: 500 cases from the documented seed.
+const CASES: u64 = 500;
+const SEED: u64 = 0x5eed;
+
+#[test]
+fn fuzz_500_cases_is_byte_identical_across_job_counts() {
+    let serial = fuzz_jobs(CASES, SEED, 1);
+    let parallel = fuzz_jobs(CASES, SEED, 4);
+
+    assert_eq!(
+        serial.render(),
+        parallel.render(),
+        "rendered report must not depend on the worker count"
+    );
+    assert_eq!(
+        serial.stats.iter().collect::<Vec<_>>(),
+        parallel.stats.iter().collect::<Vec<_>>(),
+        "merged statistics must not depend on the worker count"
+    );
+    assert_eq!(serial.ok(), parallel.ok());
+    assert_eq!(serial.cases, parallel.cases);
+    assert_eq!(
+        serial.visited_race_cases(),
+        parallel.visited_race_cases(),
+        "race-case coverage must not depend on the worker count"
+    );
+    // The smoke run itself must stay clean: the machine agrees with the
+    // oracle on all 500 cases.
+    assert!(serial.ok(), "fuzz failures: {:?}", serial.failures);
+}
+
+#[test]
+fn interleave_enumeration_is_identical_across_job_counts() {
+    let mut cov1 = Coverage::new();
+    let s1 = enumerate_small_scope_jobs(&mut cov1, 1);
+    let mut cov4 = Coverage::new();
+    let s4 = enumerate_small_scope_jobs(&mut cov4, 4);
+
+    assert_eq!(s1.scripts, s4.scripts);
+    assert_eq!(s1.states, s4.states);
+    assert_eq!(s1.violations, s4.violations);
+    assert_eq!(s1.conservative, s4.conservative);
+    assert_eq!(cov1.counts, cov4.counts, "coverage counters must match");
+    assert_eq!(s1.violations, 0, "no ordering may break the envelope");
+}

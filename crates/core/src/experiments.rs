@@ -65,36 +65,71 @@ impl LoopResults {
     }
 }
 
-/// Runs all four scenarios of `w` on `procs` processors, aggregating over
-/// every invocation.
-pub fn run_workload(w: &Workload, procs: u32) -> LoopResults {
-    let mut out = LoopResults {
-        workload: w.name.to_string(),
-        paper_loop: w.paper_loop.to_string(),
-        procs,
-        serial: ScenarioTotals::default(),
-        ideal: ScenarioTotals::default(),
-        sw: ScenarioTotals::default(),
-        hw: ScenarioTotals::default(),
-    };
-    for spec in &w.invocations {
-        out.serial
-            .absorb(&run_scenario(spec, Scenario::Serial, procs));
-        out.ideal
-            .absorb(&run_scenario(spec, Scenario::Ideal, procs));
-        out.sw
-            .absorb(&run_scenario(spec, Scenario::Sw(w.sw_variant), procs));
-        out.hw.absorb(&run_scenario(spec, Scenario::Hw, procs));
+/// Runs a batch of `(workload, procs)` evaluations with the individual
+/// `run_scenario` calls — each an independent, deterministic simulation —
+/// fanned out over `jobs` worker threads. Results are reassembled in the
+/// flattening order (workload, then invocation, then Serial/Ideal/SW/HW),
+/// so the output is identical for every `jobs ≥ 1`.
+fn run_workloads_jobs(batch: &[(&Workload, u32)], jobs: usize) -> Vec<LoopResults> {
+    let mut units: Vec<(usize, &specrt_machine::LoopSpec, Scenario, u32)> = Vec::new();
+    for (wi, &(w, procs)) in batch.iter().enumerate() {
+        for spec in &w.invocations {
+            for scenario in [
+                Scenario::Serial,
+                Scenario::Ideal,
+                Scenario::Sw(w.sw_variant),
+                Scenario::Hw,
+            ] {
+                units.push((wi, spec, scenario, procs));
+            }
+        }
+    }
+    let results = specrt_par::par_map(jobs, &units, |_, &(_, spec, scenario, procs)| {
+        run_scenario(spec, scenario, procs)
+    });
+    let mut out: Vec<LoopResults> = batch
+        .iter()
+        .map(|&(w, procs)| LoopResults {
+            workload: w.name.to_string(),
+            paper_loop: w.paper_loop.to_string(),
+            procs,
+            serial: ScenarioTotals::default(),
+            ideal: ScenarioTotals::default(),
+            sw: ScenarioTotals::default(),
+            hw: ScenarioTotals::default(),
+        })
+        .collect();
+    for (&(wi, _, scenario, _), r) in units.iter().zip(&results) {
+        let row = &mut out[wi];
+        match scenario {
+            Scenario::Serial => row.serial.absorb(r),
+            Scenario::Ideal => row.ideal.absorb(r),
+            Scenario::Sw(_) => row.sw.absorb(r),
+            Scenario::Hw => row.hw.absorb(r),
+        }
     }
     out
 }
 
+/// Runs all four scenarios of `w` on `procs` processors, aggregating over
+/// every invocation.
+pub fn run_workload(w: &Workload, procs: u32) -> LoopResults {
+    run_workloads_jobs(&[(w, procs)], 1)
+        .pop()
+        .expect("one workload in, one result out")
+}
+
 /// Runs every workload at its paper processor count.
 pub fn evaluate_all(scale: Scale) -> Vec<LoopResults> {
-    all_workloads(scale)
-        .iter()
-        .map(|w| run_workload(w, w.procs))
-        .collect()
+    evaluate_all_jobs(scale, 1)
+}
+
+/// [`evaluate_all`] with the scenario runs distributed over `jobs` worker
+/// threads. Identical output for every `jobs ≥ 1`.
+pub fn evaluate_all_jobs(scale: Scale, jobs: usize) -> Vec<LoopResults> {
+    let workloads = all_workloads(scale);
+    let batch: Vec<(&Workload, u32)> = workloads.iter().map(|w| (w, w.procs)).collect();
+    run_workloads_jobs(&batch, jobs)
 }
 
 // ----------------------------------------------------------------------
@@ -133,6 +168,11 @@ pub fn fig11_from(results: &[LoopResults]) -> Vec<Fig11Row> {
 /// Runs and summarizes Figure 11.
 pub fn fig11(scale: Scale) -> Vec<Fig11Row> {
     fig11_from(&evaluate_all(scale))
+}
+
+/// [`fig11`] with the scenario runs distributed over `jobs` workers.
+pub fn fig11_jobs(scale: Scale, jobs: usize) -> Vec<Fig11Row> {
+    fig11_from(&evaluate_all_jobs(scale, jobs))
 }
 
 // ----------------------------------------------------------------------
@@ -206,6 +246,11 @@ pub fn fig12(scale: Scale) -> Vec<Fig12Row> {
     fig12_from(&evaluate_all(scale))
 }
 
+/// [`fig12`] with the scenario runs distributed over `jobs` workers.
+pub fn fig12_jobs(scale: Scale, jobs: usize) -> Vec<Fig12Row> {
+    fig12_from(&evaluate_all_jobs(scale, jobs))
+}
+
 // ----------------------------------------------------------------------
 // Figure 13: slowdown due to failure
 // ----------------------------------------------------------------------
@@ -231,9 +276,16 @@ pub struct Fig13Row {
 /// Runs Figure 13: forces the failure of one instance of each loop
 /// (the §6.2 recipes baked into each workload's `failure_instance`).
 pub fn fig13(scale: Scale) -> Vec<Fig13Row> {
-    all_workloads(scale)
-        .iter()
-        .map(|w| {
+    fig13_jobs(scale, 1)
+}
+
+/// [`fig13`] with one worker per loop (each row needs three scenario runs
+/// of the same forced-failure instance). Identical output for every
+/// `jobs ≥ 1`.
+pub fn fig13_jobs(scale: Scale, jobs: usize) -> Vec<Fig13Row> {
+    let workloads = all_workloads(scale);
+    specrt_par::par_map(jobs, &workloads, |_, w| {
+        {
             let spec = &w.failure_instance;
             let serial = run_scenario(spec, Scenario::Serial, w.procs);
             // Track's recipe is "run the iteration-wise tests on the loop
@@ -257,8 +309,8 @@ pub fn fig13(scale: Scale) -> Vec<Fig13Row> {
                 hw_iterations_before_abort: hw.iterations,
                 iterations: spec.iters,
             }
-        })
-        .collect()
+        }
+    })
 }
 
 // ----------------------------------------------------------------------
@@ -283,23 +335,28 @@ pub struct Fig14Row {
 /// Runs Figure 14: P3m, Adm and Track at 8 and 16 processors (Ocean is
 /// too small to run with 16, as in the paper).
 pub fn fig14(scale: Scale) -> Vec<Fig14Row> {
-    let mut rows = Vec::new();
-    for w in all_workloads(scale) {
-        if w.name == "ocean" {
-            continue;
-        }
-        for procs in [8u32, 16] {
-            let r = run_workload(&w, procs);
-            rows.push(Fig14Row {
-                workload: w.name.to_string(),
-                procs,
-                ideal: r.speedup(&r.ideal),
-                sw: r.speedup(&r.sw),
-                hw: r.speedup(&r.hw),
-            });
-        }
-    }
-    rows
+    fig14_jobs(scale, 1)
+}
+
+/// [`fig14`] with the scenario runs of every (loop, processor-count) point
+/// distributed over `jobs` workers. Identical output for every `jobs ≥ 1`.
+pub fn fig14_jobs(scale: Scale, jobs: usize) -> Vec<Fig14Row> {
+    let workloads = all_workloads(scale);
+    let batch: Vec<(&Workload, u32)> = workloads
+        .iter()
+        .filter(|w| w.name != "ocean")
+        .flat_map(|w| [(w, 8u32), (w, 16)])
+        .collect();
+    run_workloads_jobs(&batch, jobs)
+        .iter()
+        .map(|r| Fig14Row {
+            workload: r.workload.clone(),
+            procs: r.procs,
+            ideal: r.speedup(&r.ideal),
+            sw: r.speedup(&r.sw),
+            hw: r.speedup(&r.hw),
+        })
+        .collect()
 }
 
 // ----------------------------------------------------------------------
@@ -423,33 +480,35 @@ fn read_first_heavy_loop(iters: u64) -> specrt_machine::LoopSpec {
 /// read-first-heavy privatization loop under increasing superiteration
 /// sizes.
 pub fn ablation_chunking(scale: Scale) -> Vec<ChunkAblationRow> {
+    ablation_chunking_jobs(scale, 1)
+}
+
+/// [`ablation_chunking`] with one worker per chunk size.
+pub fn ablation_chunking_jobs(scale: Scale, jobs: usize) -> Vec<ChunkAblationRow> {
     use specrt_machine::ScheduleKind;
     use specrt_spec::IterationNumbering;
     let iters = scale.pick(200, 1500, 6000);
     let procs = 16;
-    [1u64, 4, 16, 64]
-        .into_iter()
-        .map(|chunk| {
-            let mut spec = read_first_heavy_loop(iters);
-            if chunk > 1 {
-                spec.numbering = IterationNumbering::chunked(chunk);
-                spec.schedule = ScheduleKind::BlockCyclic { block: chunk };
-            }
-            let hw = run_scenario(&spec, Scenario::Hw, procs);
-            assert_eq!(
-                hw.passed,
-                Some(true),
-                "chunked read-first loop must pass: {:?}",
-                hw.failure
-            );
-            ChunkAblationRow {
-                chunk,
-                hw_cycles: hw.total_cycles.raw(),
-                read_first_signals: hw.stats.get("priv_read_first_signals"),
-                stamp_bits: spec.numbering.stamp_bits(iters),
-            }
-        })
-        .collect()
+    specrt_par::par_map(jobs, &[1u64, 4, 16, 64], |_, &chunk| {
+        let mut spec = read_first_heavy_loop(iters);
+        if chunk > 1 {
+            spec.numbering = IterationNumbering::chunked(chunk);
+            spec.schedule = ScheduleKind::BlockCyclic { block: chunk };
+        }
+        let hw = run_scenario(&spec, Scenario::Hw, procs);
+        assert_eq!(
+            hw.passed,
+            Some(true),
+            "chunked read-first loop must pass: {:?}",
+            hw.failure
+        );
+        ChunkAblationRow {
+            chunk,
+            hw_cycles: hw.total_cycles.raw(),
+            read_first_signals: hw.stats.get("priv_read_first_signals"),
+            stamp_bits: spec.numbering.stamp_bits(iters),
+        }
+    })
 }
 
 /// One point of the §2.2.4 profitability sweep.
@@ -472,29 +531,50 @@ pub struct DensityRow {
 /// crossover where speculation stops paying is where `hw_over_serial`
 /// crosses 1.0.
 pub fn extension_density(scale: Scale) -> Vec<DensityRow> {
+    extension_density_jobs(scale, 1)
+}
+
+/// [`extension_density`] with the `(density, seed)` instances distributed
+/// over `jobs` workers. Per-instance ratios are summed in instance order, so
+/// the floating-point accumulation — and thus the output — is identical for
+/// every `jobs ≥ 1`.
+pub fn extension_density_jobs(scale: Scale, jobs: usize) -> Vec<DensityRow> {
+    const DENSITIES: [f64; 6] = [0.0, 0.02, 0.05, 0.1, 0.25, 0.5];
     let instances = scale.pick(3, 8, 16);
     let iters = scale.pick(64, 128, 256);
     let procs = 8;
-    [0.0, 0.02, 0.05, 0.1, 0.25, 0.5]
-        .into_iter()
-        .map(|density| {
+    let units: Vec<(f64, u64)> = DENSITIES
+        .iter()
+        .flat_map(|&density| (0..instances).map(move |seed| (density, seed)))
+        .collect();
+    let per_instance = specrt_par::par_map(jobs, &units, |_, &(density, seed)| {
+        let spec = specrt_workloads::synth::conflict_loop(iters, density, seed);
+        let serial = run_scenario(&spec, Scenario::Serial, procs);
+        let hw = run_scenario(&spec, Scenario::Hw, procs);
+        let sw = run_scenario(
+            &spec,
+            Scenario::Sw(specrt_workloads::synth::SW_VARIANT),
+            procs,
+        );
+        (
+            hw.passed == Some(true),
+            hw.total_cycles.raw() as f64 / serial.total_cycles.raw() as f64,
+            sw.total_cycles.raw() as f64 / serial.total_cycles.raw() as f64,
+        )
+    });
+    DENSITIES
+        .iter()
+        .zip(per_instance.chunks(instances as usize))
+        .map(|(&density, chunk)| {
             let mut passes = 0u32;
             let mut hw_sum = 0.0;
             let mut sw_sum = 0.0;
-            for seed in 0..instances {
-                let spec = specrt_workloads::synth::conflict_loop(iters, density, seed);
-                let serial = run_scenario(&spec, Scenario::Serial, procs);
-                let hw = run_scenario(&spec, Scenario::Hw, procs);
-                let sw = run_scenario(
-                    &spec,
-                    Scenario::Sw(specrt_workloads::synth::SW_VARIANT),
-                    procs,
-                );
-                if hw.passed == Some(true) {
+            for &(passed, hw_ratio, sw_ratio) in chunk {
+                if passed {
                     passes += 1;
                 }
-                hw_sum += hw.total_cycles.raw() as f64 / serial.total_cycles.raw() as f64;
-                sw_sum += sw.total_cycles.raw() as f64 / serial.total_cycles.raw() as f64;
+                hw_sum += hw_ratio;
+                sw_sum += sw_ratio;
             }
             DensityRow {
                 density,
@@ -519,34 +599,37 @@ pub struct PolicyAblationRow {
 /// Sensitivity to the abort broadcast latency (failure path) and to the
 /// dirty-read coherence policy (invalidate-on-fetch vs the classic DASH
 /// sharing write-back).
-pub fn ablation_policy(_scale: Scale) -> Vec<PolicyAblationRow> {
+pub fn ablation_policy(scale: Scale) -> Vec<PolicyAblationRow> {
+    ablation_policy_jobs(scale, 1)
+}
+
+/// [`ablation_policy`] with one worker per configuration point.
+pub fn ablation_policy_jobs(_scale: Scale, jobs: usize) -> Vec<PolicyAblationRow> {
     use specrt_machine::{run_scenario_configured, MachineConfig};
-    let mut rows = Vec::new();
-    // Abort latency on the forced-failure instance.
+    // Abort latency probes the forced-failure instance; the coherence
+    // policies run the parallel instance.
     let fail_spec = specrt_workloads::ocean::instance(0, true);
+    let ok_spec = specrt_workloads::ocean::instance(0, false);
+    let mut units: Vec<(String, MachineConfig, bool)> = Vec::new();
     for abort in [50u64, 200, 1000, 5000] {
         let mut cfg = MachineConfig::with_procs(8);
         cfg.abort_latency = abort;
-        let hw = run_scenario_configured(&fail_spec, Scenario::Hw, cfg);
-        assert_eq!(hw.passed, Some(false));
-        rows.push(PolicyAblationRow {
-            config: format!("abort latency {abort} (failing run)"),
-            hw_cycles: hw.total_cycles.raw(),
-        });
+        units.push((format!("abort latency {abort} (failing run)"), cfg, true));
     }
-    // Coherence policy on the parallel instance.
-    let ok_spec = specrt_workloads::ocean::instance(0, false);
     for (label, downgrade) in [("invalidate-on-fetch", false), ("sharing write-back", true)] {
         let mut cfg = MachineConfig::with_procs(8);
         cfg.mem.dirty_read_downgrades = downgrade;
-        let hw = run_scenario_configured(&ok_spec, Scenario::Hw, cfg);
-        assert_eq!(hw.passed, Some(true), "{:?}", hw.failure);
-        rows.push(PolicyAblationRow {
-            config: format!("dirty reads: {label}"),
-            hw_cycles: hw.total_cycles.raw(),
-        });
+        units.push((format!("dirty reads: {label}"), cfg, false));
     }
-    rows
+    specrt_par::par_map(jobs, &units, |_, (config, cfg, failing)| {
+        let spec = if *failing { &fail_spec } else { &ok_spec };
+        let hw = run_scenario_configured(spec, Scenario::Hw, *cfg);
+        assert_eq!(hw.passed, Some(!*failing), "{config}: {:?}", hw.failure);
+        PolicyAblationRow {
+            config: config.clone(),
+            hw_cycles: hw.total_cycles.raw(),
+        }
+    })
 }
 
 /// One point of the machine-sensitivity ablation.
@@ -564,7 +647,12 @@ pub struct MachineAblationRow {
 /// the small caches were chosen to match the workloads' working sets. We
 /// sweep cache geometry and the write-buffer depth on Ocean (the most
 /// memory-bound loop) and check that HW > SW survives every configuration.
-pub fn ablation_machine(_scale: Scale) -> Vec<MachineAblationRow> {
+pub fn ablation_machine(scale: Scale) -> Vec<MachineAblationRow> {
+    ablation_machine_jobs(scale, 1)
+}
+
+/// [`ablation_machine`] with one worker per machine configuration.
+pub fn ablation_machine_jobs(_scale: Scale, jobs: usize) -> Vec<MachineAblationRow> {
     use specrt_cache::CacheConfig;
     use specrt_machine::{run_scenario_configured, MachineConfig};
 
@@ -573,7 +661,6 @@ pub fn ablation_machine(_scale: Scale) -> Vec<MachineAblationRow> {
         .into_iter()
         .find(|w| w.name == "ocean")
         .expect("ocean exists");
-    let mut rows = Vec::new();
     let configs: Vec<(String, MachineConfig)> = vec![
         (
             "paper (32K/512K, wb16)".into(),
@@ -611,17 +698,16 @@ pub fn ablation_machine(_scale: Scale) -> Vec<MachineAblationRow> {
             c
         }),
     ];
-    for (label, cfg) in configs {
-        let serial = run_scenario_configured(&spec, Scenario::Serial, cfg);
-        let hw = run_scenario_configured(&spec, Scenario::Hw, cfg);
-        let sw = run_scenario_configured(&spec, Scenario::Sw(w.sw_variant), cfg);
-        rows.push(MachineAblationRow {
-            config: label,
+    specrt_par::par_map(jobs, &configs, |_, (label, cfg)| {
+        let serial = run_scenario_configured(&spec, Scenario::Serial, *cfg);
+        let hw = run_scenario_configured(&spec, Scenario::Hw, *cfg);
+        let sw = run_scenario_configured(&spec, Scenario::Sw(w.sw_variant), *cfg);
+        MachineAblationRow {
+            config: label.clone(),
             hw_speedup: serial.total_cycles.raw() as f64 / hw.total_cycles.raw() as f64,
             sw_speedup: serial.total_cycles.raw() as f64 / sw.total_cycles.raw() as f64,
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// One point of the Track block-size ablation.
@@ -640,21 +726,23 @@ pub struct TrackBlockRow {
 /// Runs Track's not-fully-parallel instance under various dynamic block
 /// sizes: block 1 splits the colliding iteration pairs across processors
 /// and must fail.
-pub fn ablation_track_block(_scale: Scale) -> Vec<TrackBlockRow> {
+pub fn ablation_track_block(scale: Scale) -> Vec<TrackBlockRow> {
+    ablation_track_block_jobs(scale, 1)
+}
+
+/// [`ablation_track_block`] with one worker per block size.
+pub fn ablation_track_block_jobs(_scale: Scale, jobs: usize) -> Vec<TrackBlockRow> {
     use specrt_machine::ScheduleKind;
-    [1u64, 2, 4, 8]
-        .into_iter()
-        .map(|block| {
-            let mut spec = specrt_workloads::track::instance(3, true);
-            spec.schedule = ScheduleKind::Dynamic { block };
-            let hw = run_scenario(&spec, Scenario::Hw, 16);
-            TrackBlockRow {
-                block,
-                passed: hw.passed == Some(true),
-                hw_cycles: hw.total_cycles.raw(),
-            }
-        })
-        .collect()
+    specrt_par::par_map(jobs, &[1u64, 2, 4, 8], |_, &block| {
+        let mut spec = specrt_workloads::track::instance(3, true);
+        spec.schedule = ScheduleKind::Dynamic { block };
+        let hw = run_scenario(&spec, Scenario::Hw, 16);
+        TrackBlockRow {
+            block,
+            passed: hw.passed == Some(true),
+            hw_cycles: hw.total_cycles.raw(),
+        }
+    })
 }
 
 #[cfg(test)]
@@ -706,6 +794,20 @@ mod tests {
                 r.workload
             );
         }
+    }
+
+    #[test]
+    fn parallel_figure_runs_match_single_threaded() {
+        // f64's Debug rendering is shortest-round-trip exact, so equal
+        // Debug strings mean bitwise-equal floats: the worker pool must be
+        // invisible in every figure row.
+        let serial = format!("{:?}", fig13(Scale::Smoke));
+        let parallel = format!("{:?}", fig13_jobs(Scale::Smoke, 4));
+        assert_eq!(serial, parallel, "fig13 must not depend on --jobs");
+
+        let serial = format!("{:?}", evaluate_all(Scale::Smoke));
+        let parallel = format!("{:?}", evaluate_all_jobs(Scale::Smoke, 4));
+        assert_eq!(serial, parallel, "evaluate_all must not depend on --jobs");
     }
 
     #[test]

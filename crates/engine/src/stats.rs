@@ -80,10 +80,21 @@ impl TimeBreakdown {
     }
 
     /// Scales every component by `num/den` (integer rounding), used when
-    /// normalizing per-invocation averages.
+    /// normalizing per-invocation averages. The intermediate product is
+    /// computed in `u128`: production-scale runs accumulate ≥ 2^44 cycles,
+    /// which already overflows `u64` when multiplied by a `num` in the
+    /// thousands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero, or if the *scaled result itself* exceeds
+    /// `u64` (a genuine overflow, not an intermediate one).
     pub fn scaled(&self, num: u64, den: u64) -> TimeBreakdown {
         assert!(den > 0, "cannot scale a breakdown by a zero denominator");
-        let scale = |c: Cycles| Cycles(c.raw() * num / den);
+        let scale = |c: Cycles| {
+            let wide = u128::from(c.raw()) * u128::from(num) / u128::from(den);
+            Cycles(u64::try_from(wide).expect("scaled cycle count overflows u64"))
+        };
         TimeBreakdown {
             busy: scale(self.busy),
             sync: scale(self.sync),
@@ -341,6 +352,29 @@ mod tests {
     #[should_panic(expected = "zero denominator")]
     fn scale_by_zero_denominator_panics() {
         TimeBreakdown::default().scaled(1, 0);
+    }
+
+    #[test]
+    fn scale_survives_production_scale_cycle_counts() {
+        // ~2^45 cycles (a couple of simulated days at 200 MHz) normalized
+        // over a few thousand invocations: the u64 intermediate product
+        // used to wrap at num ≥ ~2^20 here.
+        let t = TimeBreakdown {
+            busy: Cycles(1 << 45),
+            sync: Cycles((1 << 44) + 12345),
+            mem: Cycles(u64::MAX / 4096),
+        };
+        assert_eq!(t.scaled(4096, 4096), t, "identity scaling must be exact");
+        let half = t.scaled(2048, 4096);
+        assert_eq!(half.busy, Cycles(1 << 44));
+        assert_eq!(half.sync, Cycles(((1u64 << 44) + 12345) / 2));
+        // Scaling up past u64::MAX is a real overflow and must panic…
+        assert!(
+            std::panic::catch_unwind(|| t.scaled(1 << 20, 1)).is_err(),
+            "true overflow must not wrap silently"
+        );
+        // …but a large num balanced by a large den must not.
+        assert_eq!(t.scaled(1 << 20, 1 << 20), t);
     }
 
     #[test]

@@ -1,0 +1,203 @@
+#![warn(missing_docs)]
+
+//! # specrt-par
+//!
+//! A zero-dependency, deterministic fork-join primitive for the workloads
+//! this repository is full of: *many independent, deterministic simulation
+//! cases* (fuzz cases, interleaving scripts, experiment grid points) whose
+//! results must come back **in input order** no matter how many worker
+//! threads ran them.
+//!
+//! The design is a chunked work queue over [`std::thread::scope`]:
+//!
+//! * the caller hands over a slice of items and a `Fn(index, &item) -> R`;
+//! * `jobs` scoped workers claim chunks of indices from one shared atomic
+//!   cursor (dynamic load balancing — a slow case does not stall the rest
+//!   of its chunk-mates' workers);
+//! * each worker keeps its `(index, result)` pairs locally — no locks on
+//!   the result path — and the caller reassembles them into a `Vec<R>`
+//!   indexed exactly like the input.
+//!
+//! **Determinism guarantee:** for a pure `f`, `par_map(j, items, f)`
+//! returns the same `Vec<R>` for every `j ≥ 1`, including `j = 1` which
+//! runs inline without spawning. Thread scheduling only decides *who*
+//! computes an item, never *which* items are computed or how results are
+//! ordered. Anything order-dependent (stat merging, failure reporting) must
+//! therefore happen in the caller, on the returned in-order vector — which
+//! is what `specrt-check` and `specrt-core` do.
+//!
+//! Worker panics propagate to the caller with their original payload, so
+//! `should_panic` tests and assertion failures inside cases behave exactly
+//! as they do single-threaded.
+//!
+//! No rayon, no crossbeam: builds are offline and the std scoped-thread
+//! pool is ~60 lines.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// The worker count "auto" resolves to: the host's available parallelism
+/// (falling back to 1 where it cannot be queried).
+pub fn default_jobs() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parses a `--jobs` CLI value: a positive integer, or `0` meaning "auto"
+/// ([`default_jobs`]). Returns `None` for non-numeric input.
+pub fn parse_jobs(s: &str) -> Option<usize> {
+    match s.parse::<usize>().ok()? {
+        0 => Some(default_jobs()),
+        n => Some(n),
+    }
+}
+
+/// Maps `f` over `items` on up to `jobs` worker threads, returning results
+/// in item order. `jobs <= 1` (or a single item) runs inline on the calling
+/// thread — the `-j1` reference execution.
+///
+/// `f` receives `(index, &item)` so callers can label work or index into
+/// sibling arrays without cloning context into every item.
+///
+/// # Panics
+///
+/// Re-raises the first worker panic on the calling thread.
+pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_chunked(jobs, 1, items, f)
+}
+
+/// [`par_map`] with an explicit claim granularity: workers grab `chunk`
+/// consecutive indices per queue operation. Larger chunks amortize the
+/// (already tiny) atomic claim for very cheap items; `chunk = 1` maximizes
+/// load balance for coarse items like whole simulation runs.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0`; re-raises the first worker panic otherwise.
+pub fn par_map_chunked<T, R, F>(jobs: usize, chunk: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let jobs = jobs.clamp(1, items.len().div_ceil(chunk).max(1));
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let parts: Vec<Vec<(usize, R)>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= items.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(items.len());
+                        for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                            out.push((i, f(i, item)));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in parts.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "index {i} claimed twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("work queue claims every index exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_one_runs_inline() {
+        let items: Vec<u64> = (0..10).collect();
+        let got = par_map(1, &items, |i, &x| x * 2 + i as u64);
+        let want: Vec<u64> = (0..10).map(|x| x * 3).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn results_come_back_in_input_order_for_any_job_count() {
+        // Uneven work per item so fast items finish out of order.
+        let items: Vec<u64> = (0..97).collect();
+        let work = |_: usize, &x: &u64| {
+            let mut acc = x;
+            for _ in 0..(x % 13) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        };
+        let serial = par_map(1, &items, work);
+        for jobs in [2, 3, 8, 64] {
+            assert_eq!(par_map(jobs, &items, work), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn chunked_claims_cover_everything() {
+        let items: Vec<usize> = (0..41).collect();
+        for chunk in [1, 2, 7, 40, 41, 100] {
+            let got = par_map_chunked(4, chunk, &items, |i, &x| i + x);
+            let want: Vec<usize> = (0..41).map(|x| 2 * x).collect();
+            assert_eq!(got, want, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn more_jobs_than_items_is_fine() {
+        let items = [1u32, 2, 3];
+        assert_eq!(par_map(16, &items, |_, &x| x + 1), vec![2, 3, 4]);
+        assert_eq!(par_map(16, &[] as &[u32], |_, &x| x), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..20).collect();
+        let r = std::panic::catch_unwind(|| {
+            par_map(4, &items, |_, &x| {
+                assert!(x != 13, "unlucky item");
+                x
+            })
+        });
+        assert!(r.is_err(), "panic must reach the caller");
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_panics() {
+        par_map_chunked(2, 0, &[1], |_, &x: &i32| x);
+    }
+
+    #[test]
+    fn parse_jobs_spellings() {
+        assert_eq!(parse_jobs("3"), Some(3));
+        assert_eq!(parse_jobs("0"), Some(default_jobs()));
+        assert_eq!(parse_jobs("auto"), None);
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -9,7 +9,8 @@
 //! latency, so update-vs-write races reach the directory exactly as in the
 //! paper's algorithms (f)–(h).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::ops::Range;
 
 use specrt_cache::{CacheConfig, CacheHierarchy, HitLevel, LineState, LineTags, Victim};
@@ -143,7 +144,10 @@ pub struct MemSystem {
     priv_private: PrivPrivateStore,
     priv3_shared: Priv3SharedStore,
     priv3_private: Priv3PrivateStore,
-    private_layouts: HashMap<(ArrayId, ProcId), ArrayLayout>,
+    /// `BTreeMap`, not `HashMap`: iteration feeds [`Self::dump`] and any
+    /// future invariant walk, and must not be host-randomized — the
+    /// conformance harness compares dumps across runs byte-for-byte.
+    private_layouts: BTreeMap<(ArrayId, ProcId), ArrayLayout>,
     msgs: EventQueue<Msg>,
     failure: Option<(FailReason, Cycles)>,
     cur_eff_iter: Vec<u64>,
@@ -163,9 +167,10 @@ pub struct MemSystem {
     cur_ctx: Option<(Option<u32>, u32, u64, Option<u64>)>,
     /// Debug-build bookkeeping: latest scheduled delivery time per
     /// `(src, dst)` node pair, used to assert the interconnect's in-order
-    /// per-path delivery guarantee at every [`Self::send`].
+    /// per-path delivery guarantee at every [`Self::send`]. Ordered so
+    /// debug dumps of the in-flight state are deterministic.
     #[cfg(debug_assertions)]
-    last_arrival: HashMap<(u32, u32), Cycles>,
+    last_arrival: BTreeMap<(u32, u32), Cycles>,
 }
 
 impl MemSystem {
@@ -188,7 +193,7 @@ impl MemSystem {
             priv_private: PrivPrivateStore::new(),
             priv3_shared: Priv3SharedStore::new(),
             priv3_private: Priv3PrivateStore::new(),
-            private_layouts: HashMap::new(),
+            private_layouts: BTreeMap::new(),
             msgs: EventQueue::new(),
             failure: None,
             cur_eff_iter: vec![0; procs],
@@ -200,7 +205,7 @@ impl MemSystem {
             last_case: None,
             cur_ctx: None,
             #[cfg(debug_assertions)]
-            last_arrival: HashMap::new(),
+            last_arrival: BTreeMap::new(),
             trace_filter: std::env::var("SPECRT_TRACE").ok().and_then(|v| {
                 let parts: Vec<u64> = v.split(',').filter_map(|x| x.parse().ok()).collect();
                 (parts.len() == 2).then(|| (parts[0] as u32, parts[1]))
@@ -477,6 +482,37 @@ impl MemSystem {
                 }
             }
         }
+    }
+
+    /// Renders the coherence-visible state of the whole memory system as a
+    /// deterministic multi-line string: per-node directory lines (sorted by
+    /// address), per-processor resident lines with their coherence state,
+    /// and the private-copy layout table. Two runs of the same deterministic
+    /// simulation produce byte-identical dumps — the conformance harness
+    /// pins that, so host hash randomization can never leak into debug
+    /// output, golden files, or the `-j1` vs `-jN` determinism gate.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for (node, dir) in self.dirs.iter().enumerate() {
+            let mut lines: Vec<(LineAddr, &DirLineState)> = dir.iter().collect();
+            lines.sort_by_key(|(l, _)| *l);
+            let _ = writeln!(out, "dir {node}: {} tracked", lines.len());
+            for (line, state) in lines {
+                let _ = writeln!(out, "  {line} {state:?}");
+            }
+        }
+        for (p, cache) in self.caches.iter().enumerate() {
+            let resident = cache.resident();
+            let _ = writeln!(out, "cache {p}: {} resident", resident.len());
+            for line in resident {
+                let _ = writeln!(out, "  {line} {:?}", cache.state_of(line));
+            }
+        }
+        let _ = writeln!(out, "private copies: {}", self.private_layouts.len());
+        for ((arr, proc), layout) in &self.private_layouts {
+            let _ = writeln!(out, "  {arr} @ {proc}: {layout:?}");
+        }
+        out
     }
 
     /// Empties all caches (the paper flushes caches after every loop

@@ -56,23 +56,36 @@ pub fn active(fault: FaultKind) -> bool {
     ACTIVE.with(|a| a.get()) == Some(fault)
 }
 
-/// RAII guard: injects a fault on construction, clears it on drop. Keeps
-/// test code exception-safe — a panicking assertion does not leave the
-/// fault active for the next test on the same thread.
+/// The fault injected on the current thread, if any. Fan-out code (the
+/// parallel fuzzer) reads this before spawning workers and re-injects it on
+/// each worker thread, so `--inject` behaves identically at every `--jobs`.
+pub fn current() -> Option<FaultKind> {
+    ACTIVE.with(|a| a.get())
+}
+
+/// RAII guard: injects a fault on construction, restores the previously
+/// active fault on drop. Restoring (rather than clearing) keeps nested
+/// guards well-behaved: the parallel fuzzer creates one guard per case, and
+/// with `--jobs 1` those run inline on a thread that already holds the
+/// CLI's outer guard — a clearing drop would silently disarm the fault for
+/// everything after the first case (including shrinking). The guard is also
+/// exception-safe: a panicking assertion does not leave the fault active
+/// for the next test on the same thread.
 #[derive(Debug)]
-pub struct Injected(());
+pub struct Injected(Option<FaultKind>);
 
 impl Injected {
     /// Activates `fault` until the guard is dropped.
     pub fn new(fault: FaultKind) -> Injected {
+        let prev = current();
         inject(Some(fault));
-        Injected(())
+        Injected(prev)
     }
 }
 
 impl Drop for Injected {
     fn drop(&mut self) {
-        inject(None);
+        inject(self.0);
     }
 }
 
@@ -92,6 +105,35 @@ mod tests {
             assert!(active(FaultKind::DropROnlyCheck));
         }
         assert!(!active(FaultKind::DropROnlyCheck));
+    }
+
+    #[test]
+    fn current_is_thread_local_and_replicable() {
+        let outer = Injected::new(FaultKind::DropROnlyCheck);
+        let fault = current();
+        assert_eq!(fault, Some(FaultKind::DropROnlyCheck));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                assert_eq!(current(), None, "workers start clean");
+                let _g = fault.map(Injected::new);
+                assert!(active(FaultKind::DropROnlyCheck));
+            });
+        });
+        drop(outer);
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn nested_guard_restores_outer_injection() {
+        let _outer = Injected::new(FaultKind::DropROnlyCheck);
+        {
+            let _inner = Injected::new(FaultKind::DropROnlyCheck);
+            assert!(active(FaultKind::DropROnlyCheck));
+        }
+        assert!(
+            active(FaultKind::DropROnlyCheck),
+            "dropping a nested guard must not disarm the outer one"
+        );
     }
 
     #[test]
