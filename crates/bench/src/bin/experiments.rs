@@ -403,6 +403,8 @@ fn shift_events(events: &mut [TraceEvent], by: Cycles) {
             | TraceEvent::Message { at, .. }
             | TraceEvent::Net { at, .. }
             | TraceEvent::Sched { at, .. }
+            | TraceEvent::Fault { at, .. }
+            | TraceEvent::Recovery { at, .. }
             | TraceEvent::Abort { at, .. } => *at += by,
         }
     }

@@ -5,6 +5,8 @@
 //! specrt-check replay <seed>
 //! specrt-check interleave [--jobs N]
 //! specrt-check coverage [--cases N] [--seed S] [--jobs N]
+//! specrt-check campaign [--cases N] [--fault-seeds N] [--rates ppm,ppm,..]
+//!                       [--jobs N] [--out FILE]
 //! ```
 //!
 //! * `fuzz` runs the differential fuzzer; exits non-zero on any oracle
@@ -15,6 +17,11 @@
 //! * `interleave` runs the small-scope message-ordering enumeration.
 //! * `coverage` runs both and fails unless every race case (a)–(h) of the
 //!   paper's Figs. 6–7 was reached.
+//! * `campaign` sweeps the interconnect fault plane (drop / duplicate /
+//!   delay × rate × fault seed) over generated loops, asserts every run
+//!   still reproduces the serial oracle's memory image, and emits a
+//!   deterministic degradation report (JSON) — to stdout, or to `--out
+//!   FILE` (the `BENCH_faults.json` artifact).
 //!
 //! `--jobs N` distributes independent cases (fuzz) or script-prefix
 //! partitions (interleave) over `N` worker threads; `--jobs 0` means "all
@@ -25,7 +32,8 @@
 use std::process::ExitCode;
 
 use specrt_check::{
-    enumerate_small_scope_jobs, fuzz_jobs, render_case, replay, CaseSpec, Coverage, FuzzFailure,
+    enumerate_small_scope_jobs, fuzz_jobs, render_case, replay, run_campaign, CampaignConfig,
+    CaseSpec, Coverage, FuzzFailure,
 };
 use specrt_spec::fault;
 
@@ -39,9 +47,15 @@ fn parse_u64(s: &str) -> Option<u64> {
 
 struct Args {
     cases: u64,
+    /// Whether `--cases` was given explicitly (the fuzz and campaign
+    /// subcommands have different defaults).
+    cases_set: bool,
     seed: u64,
     jobs: usize,
     inject: Option<fault::FaultKind>,
+    fault_seeds: Option<u64>,
+    rates_ppm: Option<Vec<u32>>,
+    out: Option<String>,
     positional: Vec<String>,
 }
 
@@ -50,9 +64,13 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
     let cmd = argv.next().ok_or_else(usage)?;
     let mut args = Args {
         cases: 500,
+        cases_set: false,
         seed: 0x5eed,
         jobs: 1,
         inject: None,
+        fault_seeds: None,
+        rates_ppm: None,
+        out: None,
         positional: Vec::new(),
     };
     while let Some(a) = argv.next() {
@@ -60,6 +78,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
             "--cases" => {
                 let v = argv.next().ok_or("--cases needs a value")?;
                 args.cases = parse_u64(&v).ok_or(format!("bad --cases value: {v}"))?;
+                args.cases_set = true;
             }
             "--seed" => {
                 let v = argv.next().ok_or("--seed needs a value")?;
@@ -71,8 +90,26 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
             }
             "--inject" => {
                 let v = argv.next().ok_or("--inject needs a value")?;
-                args.inject =
-                    Some(fault::FaultKind::parse(&v).ok_or(format!("unknown fault: {v}"))?);
+                args.inject = Some(fault::FaultKind::parse(&v).ok_or(format!(
+                    "unknown fault: {v} (valid: {})",
+                    fault::FaultKind::known_names()
+                ))?);
+            }
+            "--fault-seeds" => {
+                let v = argv.next().ok_or("--fault-seeds needs a value")?;
+                args.fault_seeds =
+                    Some(parse_u64(&v).ok_or(format!("bad --fault-seeds value: {v}"))?);
+            }
+            "--rates" => {
+                let v = argv.next().ok_or("--rates needs a value")?;
+                let rates: Option<Vec<u32>> = v
+                    .split(',')
+                    .map(|r| parse_u64(r.trim()).and_then(|n| u32::try_from(n).ok()))
+                    .collect();
+                args.rates_ppm = Some(rates.ok_or(format!("bad --rates value: {v}"))?);
+            }
+            "--out" => {
+                args.out = Some(argv.next().ok_or("--out needs a value")?);
             }
             other if !other.starts_with('-') => args.positional.push(other.to_string()),
             other => return Err(format!("unknown flag: {other}")),
@@ -82,8 +119,9 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
 }
 
 fn usage() -> String {
-    "usage: specrt-check <fuzz|replay|interleave|coverage> \
-     [--cases N] [--seed S] [--jobs N] [--inject drop-ronly] [seed]"
+    "usage: specrt-check <fuzz|replay|interleave|coverage|campaign> \
+     [--cases N] [--seed S] [--jobs N] [--inject drop-ronly] \
+     [--fault-seeds N] [--rates ppm,ppm,..] [--out FILE] [seed]"
         .to_string()
 }
 
@@ -207,6 +245,46 @@ fn cmd_coverage(args: &Args) -> ExitCode {
     }
 }
 
+fn cmd_campaign(args: &Args) -> ExitCode {
+    let mut cfg = CampaignConfig::default();
+    if args.cases_set {
+        cfg.cases = args.cases;
+    }
+    if let Some(fs) = args.fault_seeds {
+        cfg.fault_seeds = fs;
+    }
+    if let Some(rates) = &args.rates_ppm {
+        cfg.rates_ppm = rates.clone();
+    }
+    if cfg.cases == 0 || cfg.fault_seeds == 0 || cfg.rates_ppm.is_empty() {
+        eprintln!("campaign needs at least one case, fault seed and rate");
+        return ExitCode::FAILURE;
+    }
+    let report = run_campaign(&cfg, args.jobs);
+    let json = report.render_json();
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("campaign report written to {path}");
+        }
+        None => print!("{json}"),
+    }
+    println!(
+        "campaign: {} cells x {} runs, {} image mismatch(es)",
+        report.cells.len(),
+        report.runs_per_cell,
+        report.image_mismatches()
+    );
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     match parse_args(std::env::args()) {
         Ok((cmd, args)) => match cmd.as_str() {
@@ -214,6 +292,7 @@ fn main() -> ExitCode {
             "replay" => cmd_replay(&args),
             "interleave" => cmd_interleave(&args),
             "coverage" => cmd_coverage(&args),
+            "campaign" => cmd_campaign(&args),
             other => {
                 eprintln!("unknown command: {other}\n{}", usage());
                 ExitCode::FAILURE

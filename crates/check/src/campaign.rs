@@ -1,0 +1,432 @@
+//! Deterministic fault-injection campaign: sweep the interconnect fault
+//! plane over generated loops and prove the resilience story end to end.
+//!
+//! A campaign is a grid of *cells* — fault kind (`drop` / `duplicate` /
+//! `delay`) × injection rate (ppm) × fault seed. Every cell runs the same
+//! set of generated [`CaseSpec`] loops on the hardware scenario under a
+//! lossy interconnect and checks the one property faults must never break:
+//! **the final memory image equals the serial oracle's in every run** —
+//! whether the loop completed speculatively, recovered through the
+//! watchdog's retransmissions, re-ran under
+//! [`RecoveryPolicy::RetrySpeculative`], or fell back to the paper's serial
+//! safety net.
+//!
+//! Alongside the safety check the campaign produces a *degradation report*
+//! per cell: completion rate (runs that still passed speculatively), mean
+//! retransmissions per run, and added latency relative to the fault-free
+//! baseline of the same loops. [`CampaignReport::render_json`] is a
+//! deterministic JSON document; cells fan out over a [`specrt_par`] worker
+//! pool and merge in grid order, so the rendering is byte-identical for
+//! every `--jobs` value (a CI cross-check pins this).
+
+use specrt_machine::{run_scenario_configured, MachineConfig, RecoveryPolicy, RunResult, Scenario};
+use specrt_mem::MemoryImage;
+use specrt_proto::{FaultConfig, NetConfig};
+use specrt_spec::ProtocolKind;
+
+use crate::generate::{CaseSpec, ARR_A, ARR_OUT};
+
+/// The network fault kinds a campaign sweeps, in report order.
+pub const FAULT_KINDS: [&str; 3] = ["drop", "duplicate", "delay"];
+
+/// Extra in-flight cycles the `delay` kind adds to an affected message.
+pub const DELAY_CYCLES: u64 = 2_000;
+
+/// Campaign grid parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Generated case seeds `0..cases` (the hand-written templates first).
+    pub cases: u64,
+    /// Fault-plane seeds per (kind, rate) cell.
+    pub fault_seeds: u64,
+    /// Injection rates swept, in parts per million of messages affected.
+    /// Rate `0` cells double as the regression gate: they must behave
+    /// byte-identically to the fault-free baseline.
+    pub rates_ppm: Vec<u32>,
+    /// Failure-recovery policy of every hardware run (and of the fault-free
+    /// baseline, so latency ratios compare like with like).
+    pub recovery: RecoveryPolicy,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            cases: 6,
+            fault_seeds: 2,
+            rates_ppm: vec![0, 50_000, 200_000],
+            recovery: RecoveryPolicy::RetrySpeculative { max_attempts: 1 },
+        }
+    }
+}
+
+/// The two hardware protocols every case runs under.
+const PROTOCOLS: [(&str, ProtocolKind); 2] = [
+    ("nonpriv", ProtocolKind::NonPriv),
+    (
+        "priv",
+        ProtocolKind::Priv {
+            read_in: true,
+            copy_out: true,
+        },
+    ),
+];
+
+/// Aggregate outcome of one campaign cell (kind × rate × fault seed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellReport {
+    /// Fault kind (one of [`FAULT_KINDS`]).
+    pub kind: &'static str,
+    /// Injection rate in ppm.
+    pub rate_ppm: u32,
+    /// Fault-plane seed of the cell.
+    pub fault_seed: u64,
+    /// Hardware runs executed (cases × protocols).
+    pub runs: u64,
+    /// Runs whose speculation passed (no serial fallback).
+    pub speculative_passes: u64,
+    /// Runs that aborted and took the serial safety net.
+    pub serial_fallbacks: u64,
+    /// Runs whose final image differed from the serial oracle. Any nonzero
+    /// value is a correctness bug — faults may cost time, never answers.
+    pub image_mismatches: u64,
+    /// Messages the fault plane dropped / duplicated / extra-delayed.
+    pub faults_injected: u64,
+    /// Watchdog retransmissions across all runs.
+    pub resends: u64,
+    /// Speculative loop re-runs taken by the recovery policy.
+    pub reruns: u64,
+    /// Watchdog escalations (every transmission of a message lost).
+    pub exhausted: u64,
+    /// Summed machine cycles of the cell's runs.
+    pub total_cycles: u64,
+    /// Summed cycles of the same runs on the fault-free interconnect.
+    pub baseline_cycles: u64,
+}
+
+/// Outcome of a whole campaign.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// The grid that was run.
+    pub cfg: CampaignConfig,
+    /// Per-cell outcomes in grid order (kind, then rate, then fault seed).
+    pub cells: Vec<CellReport>,
+    /// Speculative passes of the fault-free baseline (same cases,
+    /// protocols and recovery policy — the completion rate faults are
+    /// judged against).
+    pub baseline_passes: u64,
+    /// Runs per cell (cases × protocols).
+    pub runs_per_cell: u64,
+}
+
+impl CampaignReport {
+    /// Whether every run of every cell reproduced the serial oracle image.
+    pub fn ok(&self) -> bool {
+        self.cells.iter().all(|c| c.image_mismatches == 0)
+    }
+
+    /// Total image mismatches (must be zero).
+    pub fn image_mismatches(&self) -> u64 {
+        self.cells.iter().map(|c| c.image_mismatches).sum()
+    }
+
+    /// Deterministic JSON rendering — the `BENCH_faults.json` artifact.
+    /// Stable key order, integers except the two fixed-precision ratios,
+    /// byte-identical across worker counts.
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("{\n  \"campaign\": {");
+        let _ = write!(
+            out,
+            "\"cases\": {}, \"fault_seeds\": {}, \"rates_ppm\": {:?}, \
+             \"kinds\": [\"drop\", \"duplicate\", \"delay\"], \
+             \"protocols\": [\"nonpriv\", \"priv\"], \
+             \"recovery\": \"{}\", \"runs_per_cell\": {}, \
+             \"baseline_passes\": {}",
+            self.cfg.cases,
+            self.cfg.fault_seeds,
+            self.cfg.rates_ppm,
+            match self.cfg.recovery {
+                RecoveryPolicy::SerialReexec => "serial-reexec".to_string(),
+                RecoveryPolicy::RetrySpeculative { max_attempts } =>
+                    format!("retry-speculative({max_attempts})"),
+            },
+            self.runs_per_cell,
+            self.baseline_passes,
+        );
+        out.push_str("},\n  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let added_pct = if c.baseline_cycles > 0 {
+                (c.total_cycles as f64 - c.baseline_cycles as f64) * 100.0
+                    / c.baseline_cycles as f64
+            } else {
+                0.0
+            };
+            let _ = write!(
+                out,
+                "    {{\"kind\": \"{}\", \"rate_ppm\": {}, \"fault_seed\": {}, \
+                 \"runs\": {}, \"speculative_passes\": {}, \"serial_fallbacks\": {}, \
+                 \"image_mismatches\": {}, \"faults_injected\": {}, \"resends\": {}, \
+                 \"reruns\": {}, \"exhausted\": {}, \"total_cycles\": {}, \
+                 \"baseline_cycles\": {}, \"added_latency_pct\": {:.2}}}",
+                c.kind,
+                c.rate_ppm,
+                c.fault_seed,
+                c.runs,
+                c.speculative_passes,
+                c.serial_fallbacks,
+                c.image_mismatches,
+                c.faults_injected,
+                c.resends,
+                c.reruns,
+                c.exhausted,
+                c.total_cycles,
+                c.baseline_cycles,
+                added_pct,
+            );
+            out.push_str(if i + 1 < self.cells.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"summary\": {");
+        let runs: u64 = self.cells.iter().map(|c| c.runs).sum();
+        let passes: u64 = self.cells.iter().map(|c| c.speculative_passes).sum();
+        let resends: u64 = self.cells.iter().map(|c| c.resends).sum();
+        let completion = if runs > 0 {
+            passes as f64 * 100.0 / runs as f64
+        } else {
+            100.0
+        };
+        let mean_resends = if runs > 0 {
+            resends as f64 / runs as f64
+        } else {
+            0.0
+        };
+        let _ = write!(
+            out,
+            "\"runs\": {}, \"image_mismatches\": {}, \"completion_rate_pct\": {:.2}, \
+             \"mean_resends_per_run\": {:.4}",
+            runs,
+            self.image_mismatches(),
+            completion,
+            mean_resends,
+        );
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+/// The fault plane of one cell. Rates are mutually exclusive per kind so a
+/// cell isolates one failure mode; the seed is mixed with the case seed so
+/// every run draws an independent — but reproducible — decision stream.
+fn cell_faults(kind: &'static str, rate_ppm: u32, fault_seed: u64, case_seed: u64) -> FaultConfig {
+    let seed = fault_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(case_seed.rotate_left(17))
+        .wrapping_add(1);
+    match kind {
+        "drop" => FaultConfig {
+            seed,
+            drop_ppm: rate_ppm,
+            ..FaultConfig::none()
+        },
+        "duplicate" => FaultConfig {
+            seed,
+            dup_ppm: rate_ppm,
+            ..FaultConfig::none()
+        },
+        "delay" => FaultConfig {
+            seed,
+            delay_ppm: rate_ppm,
+            delay_cycles: DELAY_CYCLES,
+            ..FaultConfig::none()
+        },
+        other => unreachable!("unknown fault kind {other}"),
+    }
+}
+
+fn machine_cfg(procs: u32, recovery: RecoveryPolicy, faults: FaultConfig) -> MachineConfig {
+    MachineConfig::with_procs(procs)
+        .with_net(NetConfig::flat().with_faults(faults))
+        .with_recovery(recovery)
+}
+
+fn hw_run(case: &CaseSpec, protocol: ProtocolKind, cfg: MachineConfig) -> RunResult {
+    run_scenario_configured(&case.loop_spec(protocol, true), Scenario::Hw, cfg)
+}
+
+/// One case's precomputed ground truth: the serial image plus the fault-free
+/// hardware runs it is compared against.
+struct Baseline {
+    case: CaseSpec,
+    serial: MemoryImage,
+    /// Per protocol (in [`PROTOCOLS`] order): (passed speculatively, cycles).
+    fault_free: Vec<(bool, u64)>,
+}
+
+/// Runs the campaign grid over `jobs` worker threads. Deterministic: the
+/// report (and its JSON rendering) is byte-identical for every `jobs ≥ 1`.
+pub fn run_campaign(cfg: &CampaignConfig, jobs: usize) -> CampaignReport {
+    // Ground truth first: serial oracle image and fault-free hardware
+    // timing per case, computed once and shared by every cell.
+    let case_seeds: Vec<u64> = (0..cfg.cases).collect();
+    let recovery = cfg.recovery;
+    let baselines: Vec<Baseline> = specrt_par::par_map(jobs, &case_seeds, |_, &seed| {
+        let case = CaseSpec::generate(seed);
+        let serial = run_scenario_configured(
+            &case.loop_spec(ProtocolKind::NonPriv, true),
+            Scenario::Serial,
+            machine_cfg(case.procs, recovery, FaultConfig::none()),
+        )
+        .final_image;
+        let fault_free = PROTOCOLS
+            .iter()
+            .map(|&(_, protocol)| {
+                let r = hw_run(
+                    &case,
+                    protocol,
+                    machine_cfg(case.procs, recovery, FaultConfig::none()),
+                );
+                (r.passed == Some(true), r.total_cycles.raw())
+            })
+            .collect();
+        Baseline {
+            case,
+            serial,
+            fault_free,
+        }
+    });
+    let baseline_passes = baselines
+        .iter()
+        .flat_map(|b| &b.fault_free)
+        .filter(|(passed, _)| *passed)
+        .count() as u64;
+
+    // The grid, in report order.
+    let mut grid: Vec<(&'static str, u32, u64)> = Vec::new();
+    for kind in FAULT_KINDS {
+        for &rate in &cfg.rates_ppm {
+            for fault_seed in 0..cfg.fault_seeds {
+                grid.push((kind, rate, fault_seed));
+            }
+        }
+    }
+
+    let cells = specrt_par::par_map(jobs, &grid, |_, &(kind, rate_ppm, fault_seed)| {
+        let mut cell = CellReport {
+            kind,
+            rate_ppm,
+            fault_seed,
+            runs: 0,
+            speculative_passes: 0,
+            serial_fallbacks: 0,
+            image_mismatches: 0,
+            faults_injected: 0,
+            resends: 0,
+            reruns: 0,
+            exhausted: 0,
+            total_cycles: 0,
+            baseline_cycles: 0,
+        };
+        for b in &baselines {
+            let faults = cell_faults(kind, rate_ppm, fault_seed, b.case.seed);
+            for (pi, &(_, protocol)) in PROTOCOLS.iter().enumerate() {
+                let r = hw_run(
+                    &b.case,
+                    protocol,
+                    machine_cfg(b.case.procs, recovery, faults),
+                );
+                cell.runs += 1;
+                match r.passed {
+                    Some(true) => cell.speculative_passes += 1,
+                    _ => cell.serial_fallbacks += 1,
+                }
+                if !r.final_image.same_contents(&b.serial, &[ARR_A, ARR_OUT]) {
+                    cell.image_mismatches += 1;
+                }
+                cell.faults_injected += r.stats.get("fault.dropped")
+                    + r.stats.get("fault.duplicated")
+                    + r.stats.get("fault.delayed");
+                cell.resends += r.stats.get("retry.resends");
+                cell.reruns += r.stats.get("retry.speculative_reruns");
+                cell.exhausted += r.stats.get("retry.exhausted");
+                cell.total_cycles += r.total_cycles.raw();
+                cell.baseline_cycles += b.fault_free[pi].1;
+            }
+        }
+        cell
+    });
+
+    CampaignReport {
+        cfg: cfg.clone(),
+        cells,
+        baseline_passes,
+        runs_per_cell: cfg.cases * PROTOCOLS.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CampaignConfig {
+        CampaignConfig {
+            cases: 4,
+            fault_seeds: 1,
+            rates_ppm: vec![0, 200_000],
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn every_run_reproduces_the_serial_oracle() {
+        let r = run_campaign(&small(), 1);
+        assert!(
+            r.ok(),
+            "image mismatches under faults:\n{}",
+            r.render_json()
+        );
+        assert_eq!(r.cells.len(), 3 * 2); // kinds × rates (1 seed)
+        assert!(r.cells.iter().all(|c| c.runs == r.runs_per_cell));
+    }
+
+    #[test]
+    fn zero_rate_cells_match_the_fault_free_baseline_exactly() {
+        let r = run_campaign(&small(), 1);
+        for c in r.cells.iter().filter(|c| c.rate_ppm == 0) {
+            assert_eq!(c.faults_injected, 0, "{c:?}");
+            assert_eq!(c.resends, 0, "{c:?}");
+            assert_eq!(
+                c.total_cycles, c.baseline_cycles,
+                "fault plane at rate 0 must be inert: {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn nonzero_rates_actually_inject_faults() {
+        let r = run_campaign(&small(), 1);
+        let injected: u64 = r
+            .cells
+            .iter()
+            .filter(|c| c.rate_ppm > 0)
+            .map(|c| c.faults_injected)
+            .sum();
+        assert!(
+            injected > 0,
+            "20% cells injected nothing:\n{}",
+            r.render_json()
+        );
+    }
+
+    #[test]
+    fn report_is_byte_identical_across_worker_counts() {
+        let cfg = small();
+        let one = run_campaign(&cfg, 1).render_json();
+        for jobs in [2, 4] {
+            assert_eq!(run_campaign(&cfg, jobs).render_json(), one, "jobs={jobs}");
+        }
+    }
+}

@@ -28,12 +28,16 @@
 //!   [`specrt_spec::fault`] provides the deliberate-bug injection the
 //!   harness uses to prove it can catch real protocol regressions.
 
+pub mod campaign;
 pub mod diff;
 pub mod fuzz;
 pub mod generate;
 pub mod interleave;
 pub mod shrink;
 
+pub use campaign::{
+    run_campaign, CampaignConfig, CampaignReport, CellReport, DELAY_CYCLES, FAULT_KINDS,
+};
 pub use diff::{run_case, CaseResult, Mismatch};
 pub use fuzz::{
     case_fails, fuzz, fuzz_jobs, parse_seed, render_case, replay, FuzzFailure, FuzzReport,

@@ -32,7 +32,7 @@ fn corpus_seeds() -> Vec<(String, u64)> {
 #[test]
 fn corpus_is_nonempty_and_replays_clean() {
     let seeds = corpus_seeds();
-    assert!(seeds.len() >= 8, "corpus unexpectedly small: {seeds:?}");
+    assert!(seeds.len() >= 10, "corpus unexpectedly small: {seeds:?}");
     for (name, seed) in seeds {
         let case = CaseSpec::generate(seed);
         let r = run_case(&case);
@@ -44,16 +44,20 @@ fn corpus_is_nonempty_and_replays_clean() {
     }
 }
 
-/// The minimized drop-ronly witness must still catch the injected bug —
-/// and shrink back to a small counterexample (≤ 8 accesses).
-#[test]
-fn drop_ronly_witness_still_catches_the_injected_bug() {
+/// A minimized witness must still catch its injected bug — and shrink back
+/// to a small counterexample (≤ 8 accesses).
+fn assert_witness_catches(file: &str, fault: FaultKind) {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus");
-    let text = std::fs::read_to_string(dir.join("drop-ronly-witness.seed")).unwrap();
+    let text = std::fs::read_to_string(dir.join(file)).unwrap();
     let seed = parse_seed(&text).unwrap();
 
-    let _guard = Injected::new(FaultKind::DropROnlyCheck);
-    let failure = replay(seed).expect("witness seed must disagree under drop-ronly injection");
+    let _guard = Injected::new(fault);
+    let failure = replay(seed).unwrap_or_else(|| {
+        panic!(
+            "witness seed must disagree under {} injection",
+            fault.name()
+        )
+    });
     assert!(
         failure.shrunk.accesses() <= 8,
         "witness no longer shrinks small: {} accesses",
@@ -63,4 +67,19 @@ fn drop_ronly_witness_still_catches_the_injected_bug() {
         !failure.mismatches.is_empty(),
         "disagreement must name at least one scenario"
     );
+}
+
+#[test]
+fn drop_ronly_witness_still_catches_the_injected_bug() {
+    assert_witness_catches("drop-ronly-witness.seed", FaultKind::DropROnlyCheck);
+}
+
+#[test]
+fn drop_maxr1st_witness_still_catches_the_injected_bug() {
+    assert_witness_catches("drop-maxr1st-witness.seed", FaultKind::DropMaxR1stUpdate);
+}
+
+#[test]
+fn swap_ts_compare_witness_still_catches_the_injected_bug() {
+    assert_witness_catches("swap-ts-compare-witness.seed", FaultKind::SwapTsCompare);
 }

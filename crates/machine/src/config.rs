@@ -2,6 +2,39 @@
 
 use specrt_proto::{MemSystemConfig, NetConfig};
 
+/// What the machine does when the hardware flags a speculation failure.
+///
+/// The paper's policy (§3) is [`RecoveryPolicy::SerialReexec`]: abort the
+/// doall, restore the backups, re-execute the whole loop serially.
+/// [`RecoveryPolicy::RetrySpeculative`] generalizes it for *transient*
+/// failures (a lost message escalated by the watchdog): restore the
+/// backups, then re-run the loop speculatively up to `max_attempts` times
+/// before falling back to the serial safety net. Deterministic dependence
+/// violations fail every retry and land in the same serial fallback, so
+/// the final memory image is identical under either policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Abort → restore → serial re-execution (the paper's safety net).
+    SerialReexec,
+    /// Abort → restore → speculative re-run, at most `max_attempts` times,
+    /// then the serial safety net.
+    RetrySpeculative {
+        /// Speculative attempts beyond the first run (≥ 1 to be
+        /// distinguishable from [`RecoveryPolicy::SerialReexec`]).
+        max_attempts: u32,
+    },
+}
+
+impl RecoveryPolicy {
+    /// Speculative re-runs this policy allows after the initial attempt.
+    pub fn retries(&self) -> u32 {
+        match self {
+            RecoveryPolicy::SerialReexec => 0,
+            RecoveryPolicy::RetrySpeculative { max_attempts } => *max_attempts,
+        }
+    }
+}
+
 /// Constants governing processor and synchronization behaviour.
 #[derive(Debug, Clone, Copy)]
 pub struct MachineConfig {
@@ -35,6 +68,9 @@ pub struct MachineConfig {
     /// `trace_capacity > 0`). Off by default: the network stream is dense
     /// and would evict the transaction-level events golden tests rely on.
     pub trace_net: bool,
+    /// Failure-recovery policy (the paper's serial re-execution by
+    /// default).
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for MachineConfig {
@@ -50,6 +86,7 @@ impl Default for MachineConfig {
             detailed_barrier: false,
             trace_capacity: 0,
             trace_net: false,
+            recovery: RecoveryPolicy::SerialReexec,
         }
     }
 }
@@ -70,6 +107,12 @@ impl MachineConfig {
     /// Same machine with a different interconnect.
     pub fn with_net(mut self, net: NetConfig) -> Self {
         self.mem.net = net;
+        self
+    }
+
+    /// Same machine with a different failure-recovery policy.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
         self
     }
 }
@@ -95,5 +138,18 @@ mod tests {
         let c = MachineConfig::with_procs(16).with_net(NetConfig::mesh(16));
         assert!(c.mem.net.is_contended());
         assert!(!MachineConfig::default().mem.net.is_contended());
+    }
+
+    #[test]
+    fn recovery_policy_retry_budget() {
+        assert_eq!(RecoveryPolicy::SerialReexec.retries(), 0);
+        assert_eq!(
+            RecoveryPolicy::RetrySpeculative { max_attempts: 3 }.retries(),
+            3
+        );
+        assert_eq!(
+            MachineConfig::default().recovery,
+            RecoveryPolicy::SerialReexec
+        );
     }
 }

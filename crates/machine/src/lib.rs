@@ -27,7 +27,7 @@ pub mod loopspec;
 pub mod scenario;
 pub mod sched;
 
-pub use config::MachineConfig;
+pub use config::{MachineConfig, RecoveryPolicy};
 pub use exec::{ExecEnd, ExecSummary, Executor, BARRIER_ARRAY};
 pub use loopspec::{ArrayDecl, LoopSpec, ScheduleKind};
 pub use scenario::{run_scenario, run_scenario_configured, RunResult, Scenario, SwVariant};

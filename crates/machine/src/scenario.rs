@@ -612,8 +612,6 @@ fn run_hw(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
     let (dense, sparse, sparse_snapshot) =
         backup_phase(spec, &cfg, &mut ms, &mut image, &mut accum);
 
-    // Phase 2: the speculative loop under the protocol extensions.
-    ms.configure_loop(spec.plan.clone(), spec.numbering);
     let priv_arrays = spec.plan.priv_arrays();
     for &arr in &priv_arrays {
         for p in 0..procs {
@@ -627,83 +625,152 @@ fn run_hw(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
         .filter(|_| !priv_arrays.is_empty())
         .unwrap_or(spec.iters)
         .max(1);
-    let mut iterations = 0u64;
-    let mut winners: std::collections::HashMap<(ArrayId, u64), (u64, Scalar)> =
-        std::collections::HashMap::new();
-    let mut loop_end = ExecEnd::Completed;
-    let mut start = 0u64;
-    while start < spec.iters {
-        let len = window.min(spec.iters - start);
-        if start > 0 {
-            // Synchronization point: all in-flight protocol messages land,
-            // the stamps reset, and a barrier separates the windows.
-            ms.drain_all_messages();
-            if let Some((reason, at)) = ms.failure() {
+
+    // Speculative attempts: the paper's policy (SerialReexec) runs the loop
+    // once and falls straight back to serial re-execution on failure;
+    // RetrySpeculative restores the backups and re-runs the loop
+    // speculatively up to `retries` more times first — a transient failure
+    // (a lost message escalated by the watchdog) need not repeat, while a
+    // deterministic dependence violation burns the attempts and lands in
+    // the same serial safety net.
+    let retries = cfg.recovery.retries();
+    let mut attempt: u32 = 0;
+    let (failed, iterations, winners, stats) = loop {
+        // Phase 2: the speculative loop under the protocol extensions.
+        ms.configure_loop(spec.plan.clone(), spec.numbering);
+        let mut iterations = 0u64;
+        let mut winners: std::collections::HashMap<(ArrayId, u64), (u64, Scalar)> =
+            std::collections::HashMap::new();
+        let mut loop_end = ExecEnd::Completed;
+        let mut start = 0u64;
+        while start < spec.iters {
+            let len = window.min(spec.iters - start);
+            if start > 0 {
+                // Synchronization point: all in-flight protocol messages
+                // land, the stamps reset, and a barrier separates the
+                // windows.
+                ms.drain_all_messages();
+                if let Some((reason, at)) = ms.failure() {
+                    loop_end = ExecEnd::Failed { reason, at };
+                    break;
+                }
+                ms.reset_stamp_window(start);
+                accum.now += Cycles(cfg.barrier_overhead);
+            }
+            let inner = make_sched(spec.schedule, len, procs, &cfg);
+            let mut sched = crate::sched::Windowed::new(inner, start);
+            let mut exec = Executor::new(
+                &cfg,
+                &mut ms,
+                &mut image,
+                vec![spec.body.clone(); procs as usize],
+                &mut sched,
+            )
+            .route_privatized(true)
+            .speculative(true)
+            .starting_at(accum.now);
+            for &arr in &priv_arrays {
+                for p in 0..procs {
+                    exec = exec.track_copy_out(private_copy_id(arr, ProcId(p)), arr);
+                }
+            }
+            for &arr in &sparse {
+                exec = exec.track_copy_out(arr, arr);
+            }
+            let summary = exec.run();
+            accum.absorb(&summary);
+            iterations += summary.iterations;
+            for (k, v) in &summary.winners {
+                let e = winners.entry(*k).or_insert(*v);
+                if v.0 >= e.0 {
+                    *e = *v;
+                }
+            }
+            if let ExecEnd::Failed { reason, at } = summary.end {
                 loop_end = ExecEnd::Failed { reason, at };
                 break;
             }
-            ms.reset_stamp_window(start);
-            accum.now += Cycles(cfg.barrier_overhead);
+            start += len;
         }
-        let inner = make_sched(spec.schedule, len, procs, &cfg);
-        let mut sched = crate::sched::Windowed::new(inner, start);
-        let mut exec = Executor::new(
+        ms.drain_all_messages();
+        // Quiescent point: every protocol message has landed; the directory
+        // and cache views must agree before the verdict is read.
+        #[cfg(debug_assertions)]
+        ms.assert_invariants();
+
+        let late_failure = match (&loop_end, ms.failure()) {
+            (ExecEnd::Completed, Some((reason, at))) => Some((reason, at.max(accum.now))),
+            _ => None,
+        };
+        let failed = match (&loop_end, late_failure) {
+            (ExecEnd::Failed { reason, .. }, _) => Some(format!("{reason}")),
+            (_, Some((reason, at))) => {
+                accum.now = accum.now.max(at + Cycles(cfg.abort_latency));
+                Some(format!("{reason}"))
+            }
+            _ => None,
+        };
+
+        let stats = ms.stats().clone();
+        // Post-loop phases (restore / copy-out / serial fallback) run under
+        // plain coherence.
+        ms.configure_loop(TestPlan::new(), IterationNumbering::iteration_wise());
+
+        match failed {
+            None => break (None, iterations, winners, stats),
+            Some(reason) if attempt >= retries => break (Some(reason), iterations, winners, stats),
+            Some(_) => {}
+        }
+        // Retry path: restore the backups (costed like any abort), re-arm
+        // the speculation hardware, and go around again.
+        attempt += 1;
+        let sparse_counts: Vec<(ArrayId, u64)> = sparse
+            .iter()
+            .map(|&a| (a, written_count(&winners, a)))
+            .collect();
+        restore_phase(
+            spec,
             &cfg,
             &mut ms,
             &mut image,
-            vec![spec.body.clone(); procs as usize],
-            &mut sched,
-        )
-        .route_privatized(true)
-        .speculative(true)
-        .starting_at(accum.now);
+            &mut accum,
+            &dense,
+            &sparse_counts,
+            &sparse_snapshot,
+        );
+        // Private copies restart clean, exactly as a fresh loop entry would
+        // see them (their read-in/copy-out decisions were wiped with the
+        // access bits).
         for &arr in &priv_arrays {
             for p in 0..procs {
-                exec = exec.track_copy_out(private_copy_id(arr, ProcId(p)), arr);
+                let len = spec.array(arr).len as usize;
+                image.set_contents(private_copy_id(arr, ProcId(p)), vec![Scalar::ZERO; len]);
             }
         }
-        for &arr in &sparse {
-            exec = exec.track_copy_out(arr, arr);
+        ms.reset_speculation();
+        if ms.tracer().enabled() {
+            let at = accum.now;
+            ms.tracer_mut().emit(TraceEvent::Recovery {
+                at,
+                action: "retry-speculative",
+                attempt,
+            });
         }
-        let summary = exec.run();
-        accum.absorb(&summary);
-        iterations += summary.iterations;
-        for (k, v) in &summary.winners {
-            let e = winners.entry(*k).or_insert(*v);
-            if v.0 >= e.0 {
-                *e = *v;
-            }
-        }
-        if let ExecEnd::Failed { reason, at } = summary.end {
-            loop_end = ExecEnd::Failed { reason, at };
-            break;
-        }
-        start += len;
-    }
-    ms.drain_all_messages();
-    // Quiescent point: every protocol message has landed; the directory and
-    // cache views must agree before the verdict is read.
-    #[cfg(debug_assertions)]
-    ms.assert_invariants();
-
-    let late_failure = match (&loop_end, ms.failure()) {
-        (ExecEnd::Completed, Some((reason, at))) => Some((reason, at.max(accum.now))),
-        _ => None,
-    };
-    let failed = match (&loop_end, late_failure) {
-        (ExecEnd::Failed { reason, .. }, _) => Some(format!("{reason}")),
-        (_, Some((reason, at))) => {
-            accum.now = accum.now.max(at + Cycles(cfg.abort_latency));
-            Some(format!("{reason}"))
-        }
-        _ => None,
     };
 
-    let stats = ms.stats().clone();
-    // Post-loop phases (restore / copy-out) run under plain coherence.
-    ms.configure_loop(TestPlan::new(), IterationNumbering::iteration_wise());
     if let Some(reason) = failed {
         // Failure path: restore + serial re-execution.
+        // The Recovery event is only emitted under the non-default retry
+        // policy: the paper's SerialReexec baseline must stay byte-identical
+        // to the pre-resilience golden traces.
+        if retries > 0 && ms.tracer().enabled() {
+            let at = accum.now;
+            ms.tracer_mut().emit(TraceEvent::Recovery {
+                at,
+                action: "serial-reexec",
+                attempt,
+            });
+        }
         let sparse_counts: Vec<(ArrayId, u64)> = sparse
             .iter()
             .map(|&a| (a, written_count(&winners, a)))
@@ -1252,6 +1319,162 @@ mod tests {
         assert_eq!(iw.passed, Some(false));
         let hw = run_scenario(&spec, Scenario::Hw, 4);
         assert_eq!(hw.passed, Some(true), "{:?}", hw.failure);
+    }
+
+    /// A lossy interconnect makes the watchdog abort the first speculative
+    /// attempt; `RetrySpeculative` restores the backups, re-runs the loop
+    /// (drawing fresh fault decisions), and passes — where the paper's
+    /// `SerialReexec` policy falls straight back to serial. Both end on the
+    /// serial-equivalent memory image. The drop rate and fault seed are
+    /// picked so the first attempt deterministically loses an update
+    /// message past the retransmission budget.
+    #[test]
+    fn retry_policy_recovers_transient_message_loss() {
+        use crate::config::RecoveryPolicy;
+        use specrt_proto::{FaultConfig, NetConfig};
+
+        let spec = permutation_loop(64);
+        let faults = FaultConfig {
+            seed: 6,
+            drop_ppm: 350_000,
+            dup_ppm: 0,
+            delay_ppm: 0,
+            delay_cycles: 0,
+        };
+        let mut cfg = MachineConfig::with_procs(4).with_net(NetConfig::flat().with_faults(faults));
+        cfg.mem.retry.timeout = 64;
+        cfg.mem.retry.max_retries = 1;
+        cfg.trace_capacity = 4096;
+        let serial = run_scenario_configured(&spec, Scenario::Serial, cfg);
+
+        // Paper policy: the loss escalates into abort + serial fallback.
+        let base = run_scenario_configured(&spec, Scenario::Hw, cfg);
+        assert_eq!(base.passed, Some(false));
+        assert!(
+            base.failure.as_deref().unwrap_or("").contains("lost"),
+            "expected a message-loss abort, got {:?}",
+            base.failure
+        );
+        assert!(base.final_image.same_contents(&serial.final_image, &[A]));
+
+        // Retry policy: the re-run draws different fault decisions and
+        // completes speculatively.
+        let retry = run_scenario_configured(
+            &spec,
+            Scenario::Hw,
+            cfg.with_recovery(RecoveryPolicy::RetrySpeculative { max_attempts: 3 }),
+        );
+        assert_eq!(retry.passed, Some(true), "{:?}", retry.failure);
+        assert!(retry.stats.get("retry.speculative_reruns") >= 1);
+        assert!(retry.final_image.same_contents(&serial.final_image, &[A]));
+        assert!(
+            retry.trace.iter().any(|e| matches!(
+                e,
+                TraceEvent::Recovery {
+                    action: "retry-speculative",
+                    ..
+                }
+            )),
+            "retry must be visible in the event trace"
+        );
+    }
+
+    /// A deterministic dependence violation fails every speculative
+    /// attempt: `RetrySpeculative` burns its budget, lands in the serial
+    /// safety net, and still produces the serial result.
+    #[test]
+    fn retry_policy_exhausts_on_deterministic_conflict() {
+        use crate::config::RecoveryPolicy;
+
+        let spec = colliding_loop(64);
+        let mut cfg = MachineConfig::with_procs(4)
+            .with_recovery(RecoveryPolicy::RetrySpeculative { max_attempts: 2 });
+        cfg.trace_capacity = 4096;
+        let serial = run_scenario_configured(&spec, Scenario::Serial, cfg);
+        let run = run_scenario_configured(&spec, Scenario::Hw, cfg);
+        assert_eq!(run.passed, Some(false));
+        assert!(run.failure.is_some());
+        assert_eq!(run.stats.get("retry.speculative_reruns"), 2);
+        assert!(run.final_image.same_contents(&serial.final_image, &[A]));
+        let serial_fallback = run.trace.iter().any(|e| {
+            matches!(
+                e,
+                TraceEvent::Recovery {
+                    action: "serial-reexec",
+                    attempt: 2,
+                    ..
+                }
+            )
+        });
+        assert!(serial_fallback, "exhaustion must emit the fallback event");
+    }
+
+    /// The FAIL broadcast rides the same interconnect as everything else:
+    /// on a congested mesh the abort traffic queues behind hot links, yet
+    /// the post-detection `abort_latency` is still charged on top of the
+    /// (delayed) detection time, and the machine quiesces — `run_hw` drains
+    /// every in-flight message and checks directory/cache agreement before
+    /// the serial safety net runs, so the final image must still be the
+    /// serial one.
+    #[test]
+    fn mesh_contention_delays_abort_but_keeps_accounting_and_quiescence() {
+        use specrt_proto::NetConfig;
+
+        let spec = colliding_loop(64);
+        let serial = run_scenario(&spec, Scenario::Serial, 4);
+
+        let hot = |abort: u64| {
+            let mut cfg =
+                MachineConfig::with_procs(4).with_net(NetConfig::mesh(4).with_link_service(400));
+            cfg.abort_latency = abort;
+            cfg
+        };
+        let run = run_scenario_configured(&spec, Scenario::Hw, hot(200));
+        assert_eq!(run.passed, Some(false));
+        assert!(
+            run.iterations < 64,
+            "must abort early even under contention"
+        );
+        assert!(
+            run.net.total_queue > 0,
+            "a 400-cycle link service must actually queue: {:?}",
+            run.net
+        );
+        assert!(
+            run.final_image.same_contents(&serial.final_image, &[A]),
+            "machine must quiesce and fall back to the serial answer"
+        );
+
+        // Detection is network-bound: the same abort on the flat
+        // infinite-bandwidth crossbar resolves sooner end to end.
+        let mut flat_cfg = MachineConfig::with_procs(4);
+        flat_cfg.abort_latency = 200;
+        let flat = run_scenario_configured(&spec, Scenario::Hw, flat_cfg);
+        assert_eq!(flat.passed, Some(false));
+        assert!(
+            run.total_cycles > flat.total_cycles,
+            "hot mesh {} must be slower to detect + recover than flat {}",
+            run.total_cycles.raw(),
+            flat.total_cycles.raw()
+        );
+
+        // `abort_latency` accounting survives contention. The charge is
+        // `max(detect + abort_latency, pending network drain)` per
+        // processor, so short latencies can hide inside the queue drain —
+        // but once the latency dominates, lengthening it by Δ must push the
+        // end-to-end time out by exactly Δ.
+        let slow = run_scenario_configured(&spec, Scenario::Hw, hot(5_000));
+        let slower = run_scenario_configured(&spec, Scenario::Hw, hot(10_000));
+        assert_eq!(slow.passed, Some(false));
+        assert!(slow.total_cycles > run.total_cycles, "latency not charged");
+        assert_eq!(
+            slower.total_cycles.raw() - slow.total_cycles.raw(),
+            5_000,
+            "dominant abort_latency must shift the end time rigidly: {} vs {}",
+            slower.total_cycles.raw(),
+            slow.total_cycles.raw()
+        );
+        assert!(slow.final_image.same_contents(&serial.final_image, &[A]));
     }
 }
 

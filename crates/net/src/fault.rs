@@ -1,0 +1,244 @@
+//! Deterministic message-fault injection for the interconnect.
+//!
+//! A [`FaultPlane`] sits beside the routing machinery and decides, per
+//! message, whether the interconnect delivers it cleanly, drops it,
+//! duplicates it, or holds it for extra cycles. Decisions come from a
+//! [`SplitMix64`] stream seeded by [`FaultConfig::seed`], so a run's fault
+//! pattern is a pure function of the configuration and the (deterministic)
+//! message sequence — reproducible at any `--jobs`, in any process.
+//!
+//! With every rate at zero the plane is inert: [`FaultPlane::decide`]
+//! returns [`FaultAction::Deliver`] without drawing from the RNG or
+//! touching a counter, so fault-free runs stay byte-identical to the
+//! pre-fault-plane golden traces.
+
+use specrt_engine::SplitMix64;
+
+/// One million — the denominator of every fault rate.
+pub const PPM: u32 = 1_000_000;
+
+/// Fault-injection rates, in parts per million of messages.
+///
+/// Rates are integers (not floats) so the config stays `Copy + Eq` and a
+/// sweep cell can key a report deterministically. The three rates are
+/// mutually exclusive per message: a drawn message is classified by one
+/// draw against the cumulative thresholds, so `drop_ppm + dup_ppm +
+/// delay_ppm` must not exceed [`PPM`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Seed of the decision stream. Two runs with the same seed, rates and
+    /// message sequence fault the same messages.
+    pub seed: u64,
+    /// Probability (ppm) a message is silently dropped.
+    pub drop_ppm: u32,
+    /// Probability (ppm) a message is delivered twice.
+    pub dup_ppm: u32,
+    /// Probability (ppm) a message is held for [`FaultConfig::delay_cycles`]
+    /// extra cycles.
+    pub delay_ppm: u32,
+    /// Extra transit cycles a delayed message pays.
+    pub delay_cycles: u64,
+}
+
+impl FaultConfig {
+    /// The inert configuration: no faults, no RNG draws, byte-identical
+    /// timings to a network without a fault plane.
+    pub const fn none() -> Self {
+        FaultConfig {
+            seed: 0,
+            drop_ppm: 0,
+            dup_ppm: 0,
+            delay_ppm: 0,
+            delay_cycles: 0,
+        }
+    }
+
+    /// Whether any fault can ever fire.
+    pub fn enabled(&self) -> bool {
+        self.drop_ppm > 0 || self.dup_ppm > 0 || self.delay_ppm > 0
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
+
+/// What the fault plane decided for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver normally.
+    Deliver,
+    /// The message vanishes in transit; the sender sees nothing.
+    Drop,
+    /// The message arrives twice (the copy takes its own trip through the
+    /// routing layer, so it lands at or after the original).
+    Duplicate,
+    /// The message arrives `.0` cycles later than routing alone dictates.
+    Delay(u64),
+}
+
+/// Counts of faults actually injected, for reports and metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages classified (only counted while faults are enabled).
+    pub decided: u64,
+    /// Messages dropped.
+    pub dropped: u64,
+    /// Messages duplicated.
+    pub duplicated: u64,
+    /// Messages delayed.
+    pub delayed: u64,
+}
+
+/// The seeded decision stream. Owned by a [`crate::Network`]; single-writer
+/// by construction (one simulated machine owns one network), so the draw
+/// order — and therefore the fault pattern — follows the simulation's own
+/// deterministic message order.
+#[derive(Debug)]
+pub struct FaultPlane {
+    cfg: FaultConfig,
+    rng: SplitMix64,
+    stats: FaultStats,
+}
+
+impl FaultPlane {
+    /// Builds the plane for `cfg`.
+    pub fn new(cfg: FaultConfig) -> Self {
+        debug_assert!(
+            cfg.drop_ppm
+                .saturating_add(cfg.dup_ppm)
+                .saturating_add(cfg.delay_ppm)
+                <= PPM,
+            "fault rates exceed one million ppm"
+        );
+        FaultPlane {
+            cfg,
+            rng: SplitMix64::new(cfg.seed),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Classifies the next message. Inert (no RNG draw, no counter) when
+    /// faults are disabled.
+    pub fn decide(&mut self) -> FaultAction {
+        if !self.cfg.enabled() {
+            return FaultAction::Deliver;
+        }
+        self.stats.decided += 1;
+        let r = self.rng.below(u64::from(PPM)) as u32;
+        if r < self.cfg.drop_ppm {
+            self.stats.dropped += 1;
+            FaultAction::Drop
+        } else if r < self.cfg.drop_ppm + self.cfg.dup_ppm {
+            self.stats.duplicated += 1;
+            FaultAction::Duplicate
+        } else if r < self.cfg.drop_ppm + self.cfg.dup_ppm + self.cfg.delay_ppm {
+            self.stats.delayed += 1;
+            FaultAction::Delay(self.cfg.delay_cycles)
+        } else {
+            FaultAction::Deliver
+        }
+    }
+
+    /// Faults injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Rewinds the decision stream to its initial state (same seed, zeroed
+    /// counters) — the fault-plane half of [`crate::Network::reset`].
+    pub fn reset(&mut self) {
+        self.rng = SplitMix64::new(self.cfg.seed);
+        self.stats = FaultStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plane_is_inert() {
+        let mut p = FaultPlane::new(FaultConfig::none());
+        for _ in 0..100 {
+            assert_eq!(p.decide(), FaultAction::Deliver);
+        }
+        assert_eq!(p.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn decisions_are_seed_deterministic() {
+        let cfg = FaultConfig {
+            seed: 0x5eed,
+            drop_ppm: 100_000,
+            dup_ppm: 100_000,
+            delay_ppm: 100_000,
+            delay_cycles: 64,
+        };
+        let mut a = FaultPlane::new(cfg);
+        let mut b = FaultPlane::new(cfg);
+        let sa: Vec<_> = (0..1000).map(|_| a.decide()).collect();
+        let sb: Vec<_> = (0..1000).map(|_| b.decide()).collect();
+        assert_eq!(sa, sb);
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().dropped > 0, "10% drop rate never fired in 1000");
+        assert!(a.stats().duplicated > 0);
+        assert!(a.stats().delayed > 0);
+    }
+
+    #[test]
+    fn rates_roughly_respected() {
+        let cfg = FaultConfig {
+            seed: 7,
+            drop_ppm: 500_000,
+            dup_ppm: 0,
+            delay_ppm: 0,
+            delay_cycles: 0,
+        };
+        let mut p = FaultPlane::new(cfg);
+        for _ in 0..10_000 {
+            p.decide();
+        }
+        let s = p.stats();
+        assert_eq!(s.decided, 10_000);
+        // 50% ± generous slack.
+        assert!((4_000..6_000).contains(&s.dropped), "dropped={}", s.dropped);
+    }
+
+    #[test]
+    fn reset_rewinds_the_stream() {
+        let cfg = FaultConfig {
+            seed: 42,
+            drop_ppm: 250_000,
+            dup_ppm: 0,
+            delay_ppm: 0,
+            delay_cycles: 0,
+        };
+        let mut p = FaultPlane::new(cfg);
+        let first: Vec<_> = (0..64).map(|_| p.decide()).collect();
+        p.reset();
+        assert_eq!(p.stats(), FaultStats::default());
+        let again: Vec<_> = (0..64).map(|_| p.decide()).collect();
+        assert_eq!(first, again, "reset must rewind to the seed");
+    }
+
+    #[test]
+    fn delay_carries_configured_cycles() {
+        let cfg = FaultConfig {
+            seed: 1,
+            drop_ppm: 0,
+            dup_ppm: 0,
+            delay_ppm: PPM,
+            delay_cycles: 96,
+        };
+        let mut p = FaultPlane::new(cfg);
+        assert_eq!(p.decide(), FaultAction::Delay(96));
+    }
+}

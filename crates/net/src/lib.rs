@@ -23,8 +23,10 @@
 
 #![warn(missing_docs)]
 
+mod fault;
 mod network;
 mod topology;
 
+pub use fault::{FaultAction, FaultConfig, FaultPlane, FaultStats, PPM};
 pub use network::{Delivery, LinkStat, NetConfig, NetSummary, Network, DEFAULT_MESH_LINK_SERVICE};
 pub use topology::{LinkId, Topology};

@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use specrt_engine::{Cycles, Resource};
 use specrt_mem::NodeId;
 
+use crate::fault::{FaultAction, FaultConfig, FaultPlane, FaultStats};
 use crate::topology::{LinkId, Topology};
 
 /// Default cycles a mesh link is occupied per message (a 64-byte line at
@@ -32,6 +33,9 @@ pub struct NetConfig {
     /// bandwidth. `0` models infinite bandwidth (no contention), which is
     /// the seed's abstraction.
     pub link_service: u64,
+    /// Message-fault injection rates ([`FaultConfig::none`] = a perfect
+    /// network, the default).
+    pub faults: FaultConfig,
 }
 
 impl NetConfig {
@@ -42,6 +46,7 @@ impl NetConfig {
             topology: Topology::Flat,
             hop_latency: 0,
             link_service: 0,
+            faults: FaultConfig::none(),
         }
     }
 
@@ -52,12 +57,19 @@ impl NetConfig {
             topology: Topology::mesh_for(nodes),
             hop_latency: 0,
             link_service: DEFAULT_MESH_LINK_SERVICE,
+            faults: FaultConfig::none(),
         }
     }
 
     /// Same topology with a different per-message link occupancy.
     pub fn with_link_service(mut self, service: u64) -> Self {
         self.link_service = service;
+        self
+    }
+
+    /// Same network with a fault plane attached.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -173,6 +185,7 @@ pub struct Network {
     links: BTreeMap<LinkId, Resource>,
     /// Last delivery time per (src, dst), for the in-order hold-back.
     last_arrival: BTreeMap<(u32, u32), Cycles>,
+    faults: FaultPlane,
     messages: u64,
     local_messages: u64,
     total_hops: u64,
@@ -204,6 +217,7 @@ impl Network {
             hop_latency,
             links: BTreeMap::new(),
             last_arrival: BTreeMap::new(),
+            faults: FaultPlane::new(cfg.faults),
             messages: 0,
             local_messages: 0,
             total_hops: 0,
@@ -219,6 +233,21 @@ impl Network {
     /// The per-hop latency actually applied (after calibration).
     pub fn hop_latency(&self) -> u64 {
         self.hop_latency
+    }
+
+    /// Classifies the next *faultable* message (drop / duplicate / delay /
+    /// deliver). The protocol layer calls this once per asynchronous
+    /// message before routing; synchronous request/reply transactions are
+    /// not subjected to faults (they model CPU-blocking accesses whose loss
+    /// would hang the simulated processor, not a recoverable message).
+    /// Inert — no RNG draw, no state change — when faults are disabled.
+    pub fn fault_decide(&mut self) -> FaultAction {
+        self.faults.decide()
+    }
+
+    /// Faults injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.stats()
     }
 
     /// Zero-load transit time from `src` to `dst`.
@@ -336,10 +365,12 @@ impl Network {
         }
     }
 
-    /// Forgets all reservations, hold-backs and statistics.
+    /// Forgets all reservations, hold-backs and statistics, and rewinds
+    /// the fault plane to its seed.
     pub fn reset(&mut self) {
         self.links.clear();
         self.last_arrival.clear();
+        self.faults.reset();
         self.messages = 0;
         self.local_messages = 0;
         self.total_hops = 0;

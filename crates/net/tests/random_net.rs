@@ -67,6 +67,7 @@ fn in_order_per_pair_under_random_contention() {
                 topology: Topology::mesh_for(12),
                 hop_latency: 5,
                 link_service: 16,
+                ..NetConfig::flat()
             },
             "mesh3x4/explicit",
         ),

@@ -37,6 +37,9 @@ pub mod system;
 
 pub use directory::{DirLineState, DirectoryNode};
 pub use latency::LatencyConfig;
-pub use specrt_net::{Delivery, LinkStat, NetConfig, NetSummary, Network, Topology};
+pub use specrt_net::{
+    Delivery, FaultAction, FaultConfig, FaultStats, LinkStat, NetConfig, NetSummary, Network,
+    Topology,
+};
 pub use specrt_trace::{HitKind, NullSink, RingBufferSink, TraceEvent, TraceSink, Tracer};
-pub use system::{private_copy_id, AccessOutcome, MemSystem, MemSystemConfig};
+pub use system::{private_copy_id, AccessOutcome, MemSystem, MemSystemConfig, RetryConfig};

@@ -17,7 +17,7 @@ use specrt_cache::{CacheConfig, CacheHierarchy, HitLevel, LineState, LineTags, V
 use specrt_engine::{BankedResource, Cycles, EventQueue, StatSet};
 use specrt_ir::ArrayId;
 use specrt_mem::{ArrayLayout, ElemSize, LineAddr, NodeId, NumaAllocator, PlacementPolicy, ProcId};
-use specrt_net::{Delivery, NetConfig, NetSummary, Network};
+use specrt_net::{Delivery, FaultAction, FaultStats, NetConfig, NetSummary, Network};
 use specrt_spec::{
     nonpriv_cache_read, nonpriv_cache_write, nonpriv_complete_write, nonpriv_on_first_update_fail,
     priv_cache_read, priv_cache_write, FailReason, FirstUpdateOutcome, IterationNumbering,
@@ -79,6 +79,39 @@ pub struct MemSystemConfig {
     /// better under the migratory sharing these loops exhibit). Access bits
     /// stay with the owner's retained copy either way.
     pub dirty_read_downgrades: bool,
+    /// Timeout/retry policy for asynchronous protocol messages when the
+    /// interconnect's fault plane is lossy. Irrelevant (never consulted)
+    /// on a fault-free network.
+    pub retry: RetryConfig,
+}
+
+/// Sender-side watchdog policy for asynchronous protocol update messages.
+///
+/// The paper assumes reliable delivery; under a lossy [`NetConfig`] fault
+/// plane each update message gets a watchdog timer. If the (implicit)
+/// directory acknowledgement does not come back within the timeout, the
+/// sender retransmits with bounded exponential backoff; replay at the
+/// directory is idempotent (duplicate `First_update`s serialize exactly as
+/// race cases (f)/(g) dictate — at worst a redundant `Redundant`/bounce).
+/// When every transmission is lost the watchdog escalates into the paper's
+/// own safety net: [`specrt_spec::FailReason::MessageLost`] aborts the
+/// speculative run, backups are restored, and the loop re-executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Cycles the watchdog waits before the first retransmission; each
+    /// further attempt doubles the wait (exponential backoff).
+    pub timeout: u64,
+    /// Retransmissions attempted before escalating to an abort.
+    pub max_retries: u32,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            timeout: 512,
+            max_retries: 4,
+        }
+    }
 }
 
 impl Default for MemSystemConfig {
@@ -90,6 +123,7 @@ impl Default for MemSystemConfig {
             dir_banks: 8,
             net: NetConfig::flat(),
             dirty_read_downgrades: false,
+            retry: RetryConfig::default(),
         }
     }
 }
@@ -165,12 +199,16 @@ pub struct MemSystem {
     /// Scratch: abort context `(proc, arr, idx, iter)` of the access or
     /// message currently being processed, consumed by [`Self::fail`].
     cur_ctx: Option<(Option<u32>, u32, u64, Option<u64>)>,
-    /// Debug-build bookkeeping: latest scheduled delivery time per
-    /// `(src, dst)` node pair, used to assert the interconnect's in-order
-    /// per-path delivery guarantee at every [`Self::send`]. Ordered so
-    /// debug dumps of the in-flight state are deterministic.
-    #[cfg(debug_assertions)]
-    last_arrival: BTreeMap<(u32, u32), Cycles>,
+    /// Latest scheduled delivery time per `(src, dst)` node pair. On a
+    /// fault-free network this only *asserts* (debug builds) the
+    /// interconnect's in-order per-path guarantee — the computed arrival is
+    /// never earlier. Under a lossy fault plane it becomes an active
+    /// go-back-N clamp: a retransmitted or extra-delayed message raises the
+    /// path's watermark, and every later message on the path delivers at or
+    /// after it, preserving the §3.2 in-order assumption the protocol
+    /// algorithms rely on. Ordered so debug dumps of the in-flight state
+    /// are deterministic.
+    msg_arrival: BTreeMap<(u32, u32), Cycles>,
 }
 
 impl MemSystem {
@@ -204,8 +242,7 @@ impl MemSystem {
             last_queue: Cycles(0),
             last_case: None,
             cur_ctx: None,
-            #[cfg(debug_assertions)]
-            last_arrival: BTreeMap::new(),
+            msg_arrival: BTreeMap::new(),
             trace_filter: std::env::var("SPECRT_TRACE").ok().and_then(|v| {
                 let parts: Vec<u64> = v.split(',').filter_map(|x| x.parse().ok()).collect();
                 (parts.len() == 2).then(|| (parts[0] as u32, parts[1]))
@@ -411,6 +448,34 @@ impl MemSystem {
         self.stats.incr("stamp_window_resets");
     }
 
+    /// Abort-side reset: re-arms the speculation hardware for a fresh
+    /// speculative attempt after an abort
+    /// (`RecoveryPolicy::RetrySpeculative`). Drops every in-flight protocol
+    /// message (the abort broadcast quashes them), clears the recorded
+    /// failure, every access-bit store on both the directory and cache
+    /// sides, and the per-path delivery watermarks. Statistics and the
+    /// fault plane's RNG stream are deliberately *not* reset: counters keep
+    /// accumulating across attempts, and the re-run draws fresh fault
+    /// decisions — a transient message loss need not repeat.
+    pub fn reset_speculation(&mut self) {
+        self.msgs.clear();
+        self.failure = None;
+        self.stamp_base = 0;
+        self.nonpriv.clear();
+        self.priv_shared.clear();
+        self.priv_private.clear();
+        self.priv3_shared.clear();
+        self.priv3_private.clear();
+        for e in &mut self.cur_eff_iter {
+            *e = 0;
+        }
+        for c in &mut self.caches {
+            c.clear_all_access_bits();
+        }
+        self.msg_arrival.clear();
+        self.stats.incr("retry.speculative_reruns");
+    }
+
     /// The recorded speculation failure, if any.
     pub fn failure(&self) -> Option<(FailReason, Cycles)> {
         self.failure
@@ -545,6 +610,11 @@ impl MemSystem {
     /// per-link occupancy).
     pub fn net_summary(&self) -> NetSummary {
         self.net.summary()
+    }
+
+    /// Faults the interconnect's fault plane has injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.net.fault_stats()
     }
 
     /// Enables/disables per-message [`TraceEvent::Net`] emission (off by
@@ -1627,19 +1697,92 @@ impl MemSystem {
 
     fn send(&mut self, now: Cycles, from: NodeId, to: NodeId, msg: Msg) {
         self.stats.incr("update_messages");
-        let arrive = self.route(from, to, now).arrive + Cycles(1);
+        let retry = self.cfg.retry;
+        let mut send_at = now;
+        let mut attempt: u32 = 0;
+        loop {
+            match self.net.fault_decide() {
+                FaultAction::Deliver => {
+                    let arrive = self.route(from, to, send_at).arrive + Cycles(1);
+                    self.deliver(from, to, arrive, msg);
+                    return;
+                }
+                FaultAction::Delay(extra) => {
+                    self.stats.incr("fault.delayed");
+                    self.emit_fault(send_at, from, to, "delay", attempt);
+                    let arrive = self.route(from, to, send_at).arrive + Cycles(1) + Cycles(extra);
+                    self.deliver(from, to, arrive, msg);
+                    return;
+                }
+                FaultAction::Duplicate => {
+                    self.stats.incr("fault.duplicated");
+                    self.emit_fault(send_at, from, to, "duplicate", attempt);
+                    // Both copies take a real trip through the routing
+                    // layer; the directory's replay is idempotent, so the
+                    // straggler serializes like any raced update.
+                    let first = self.route(from, to, send_at).arrive + Cycles(1);
+                    let second = self.route(from, to, send_at).arrive + Cycles(1);
+                    self.deliver(from, to, first, msg.clone());
+                    self.deliver(from, to, second, msg);
+                    return;
+                }
+                FaultAction::Drop => {
+                    self.stats.incr("fault.dropped");
+                    self.emit_fault(send_at, from, to, "drop", attempt);
+                    // The lost copy still occupied links before vanishing.
+                    let _ = self.route(from, to, send_at);
+                    let wait = Cycles(retry.timeout.checked_shl(attempt).unwrap_or(u64::MAX));
+                    if attempt >= retry.max_retries {
+                        // Watchdog exhausted: the dependence test can no
+                        // longer be trusted — escalate into the paper's
+                        // abort/restore/serial safety net.
+                        self.stats.incr("retry.exhausted");
+                        self.fail(
+                            FailReason::MessageLost {
+                                attempts: attempt + 1,
+                            },
+                            send_at + wait,
+                        );
+                        return;
+                    }
+                    self.stats.incr("retry.resends");
+                    send_at += wait;
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Schedules one delivered copy, clamping to the path's in-order
+    /// watermark (identity on a fault-free network — debug builds assert
+    /// that).
+    fn deliver(&mut self, from: NodeId, to: NodeId, arrive: Cycles, msg: Msg) {
+        let slot = self.msg_arrival.entry((from.0, to.0)).or_insert(Cycles(0));
         #[cfg(debug_assertions)]
-        {
-            let last = self.last_arrival.entry((from.0, to.0)).or_insert(Cycles(0));
+        if !self.net.config().faults.enabled() {
             assert!(
-                arrive >= *last,
+                arrive >= *slot,
                 "out-of-order delivery {from}->{to}: {arrive} scheduled before {last}",
                 arrive = arrive.raw(),
-                last = last.raw(),
+                last = slot.raw(),
             );
-            *last = arrive;
         }
+        let arrive = arrive.max(*slot);
+        *slot = arrive;
         self.msgs.push_lenient(arrive, msg);
+    }
+
+    /// Emits a [`TraceEvent::Fault`] for one fault-plane decision.
+    fn emit_fault(&mut self, at: Cycles, from: NodeId, to: NodeId, kind: &'static str, n: u32) {
+        if self.tracer.enabled() {
+            self.tracer.emit(TraceEvent::Fault {
+                at,
+                src: from.0,
+                dst: to.0,
+                kind,
+                attempt: n,
+            });
+        }
     }
 
     fn drain_messages(&mut self, upto: Cycles) {
@@ -1921,6 +2064,7 @@ mod tests {
             dir_banks: 4,
             net: NetConfig::flat(),
             dirty_read_downgrades: false,
+            retry: RetryConfig::default(),
         })
     }
 
@@ -2253,6 +2397,7 @@ mod tests {
             dir_banks: 4,
             net: NetConfig::flat(),
             dirty_read_downgrades: true,
+            retry: RetryConfig::default(),
         };
         let mut ms = MemSystem::new(cfg);
         let b = ArrayId(1);
@@ -2290,6 +2435,7 @@ mod tests {
             dir_banks: 4,
             net: NetConfig::flat(),
             dirty_read_downgrades: true,
+            retry: RetryConfig::default(),
         });
         ms.alloc_array(A, 32, ElemSize::W8, PlacementPolicy::RoundRobin);
         ms.configure_loop(nonpriv_plan(), IterationNumbering::iteration_wise());
@@ -2449,5 +2595,125 @@ mod tests {
             ms.drain_all_messages();
             assert!(ms.failure().is_some(), "conflict caught under {net:?}");
         }
+    }
+
+    /// A read-only storm over a non-privatized array: round one misses
+    /// (synchronous directory tests), round two hits in cache and sends the
+    /// asynchronous `First_update`/`ROnly_update` stream — the messages the
+    /// fault plane perturbs. No writes, so the only possible failure is a
+    /// lost message.
+    fn run_read_storm(faults: specrt_net::FaultConfig) -> MemSystem {
+        let mut ms = MemSystem::new(MemSystemConfig {
+            procs: 4,
+            net: NetConfig::flat().with_faults(faults),
+            ..MemSystemConfig::default()
+        });
+        ms.alloc_array(A, 32, ElemSize::W8, PlacementPolicy::RoundRobin);
+        ms.configure_loop(nonpriv_plan(), IterationNumbering::iteration_wise());
+        let mut t = Cycles(0);
+        for _round in 0..2 {
+            for p in 0..4u32 {
+                for i in 0..32 {
+                    let o = ms.read(ProcId(p), A, i, t);
+                    t = o.complete_at + Cycles(1);
+                }
+            }
+        }
+        ms.drain_all_messages();
+        ms
+    }
+
+    #[test]
+    fn dropped_updates_retry_and_recover() {
+        let ms = run_read_storm(specrt_net::FaultConfig {
+            seed: 0x5eed,
+            drop_ppm: 200_000,
+            dup_ppm: 0,
+            delay_ppm: 0,
+            delay_cycles: 0,
+        });
+        assert!(ms.stats().get("fault.dropped") > 0, "no drop ever fired");
+        assert!(ms.stats().get("retry.resends") > 0, "drops must retransmit");
+        assert_eq!(
+            ms.failure(),
+            None,
+            "bounded retries recover a 20% loss rate"
+        );
+        assert!(ms.fault_stats().dropped > 0);
+    }
+
+    #[test]
+    fn duplicated_updates_replay_idempotently() {
+        let clean = run_read_storm(specrt_net::FaultConfig::none());
+        let dup = run_read_storm(specrt_net::FaultConfig {
+            seed: 1,
+            drop_ppm: 0,
+            dup_ppm: 1_000_000,
+            delay_ppm: 0,
+            delay_cycles: 0,
+        });
+        assert!(dup.stats().get("fault.duplicated") > 0);
+        assert_eq!(dup.failure(), None, "duplicates must not fail a clean run");
+        assert_eq!(
+            dup.dump(),
+            clean.dump(),
+            "directory replay of duplicates must be idempotent"
+        );
+    }
+
+    #[test]
+    fn delayed_updates_stay_in_order_and_pass() {
+        let ms = run_read_storm(specrt_net::FaultConfig {
+            seed: 2,
+            drop_ppm: 0,
+            dup_ppm: 0,
+            delay_ppm: 1_000_000,
+            delay_cycles: 10_000,
+        });
+        assert!(ms.stats().get("fault.delayed") > 0);
+        assert_eq!(
+            ms.failure(),
+            None,
+            "delay alone must never fail a clean run"
+        );
+    }
+
+    #[test]
+    fn total_loss_escalates_to_message_lost_abort() {
+        let ms = run_read_storm(specrt_net::FaultConfig {
+            seed: 3,
+            drop_ppm: 1_000_000,
+            dup_ppm: 0,
+            delay_ppm: 0,
+            delay_cycles: 0,
+        });
+        assert!(ms.stats().get("retry.exhausted") > 0);
+        let (reason, _) = ms.failure().expect("total loss must abort");
+        assert_eq!(reason.label(), "message_lost");
+    }
+
+    #[test]
+    fn faulty_network_still_catches_real_conflicts() {
+        // Drop/duplicate/delay must never mask a genuine dependence: the
+        // same conflicting pattern as mesh_keeps_protocol_outcomes_identical
+        // under an aggressive fault plane still records a failure.
+        let faults = specrt_net::FaultConfig {
+            seed: 7,
+            drop_ppm: 100_000,
+            dup_ppm: 100_000,
+            delay_ppm: 100_000,
+            delay_cycles: 500,
+        };
+        let mut ms = MemSystem::new(MemSystemConfig {
+            procs: 4,
+            net: NetConfig::mesh(4).with_link_service(32).with_faults(faults),
+            ..MemSystemConfig::default()
+        });
+        ms.alloc_array(A, 32, ElemSize::W8, PlacementPolicy::RoundRobin);
+        ms.configure_loop(nonpriv_plan(), IterationNumbering::iteration_wise());
+        let t = ms.write(P0, A, 3, Cycles(0)).complete_at;
+        let _ = ms.read(P1, A, 3, t + Cycles(1000));
+        ms.drain_all_messages();
+        assert!(ms.failure().is_some(), "conflict caught despite faults");
     }
 }

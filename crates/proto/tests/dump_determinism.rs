@@ -29,6 +29,7 @@ fn run_once() -> (String, Option<specrt_spec::FailReason>) {
         dir_banks: 4,
         net: NetConfig::flat(),
         dirty_read_downgrades: false,
+        retry: specrt_proto::RetryConfig::default(),
     });
     ms.alloc_array(A, 64, ElemSize::W8, PlacementPolicy::RoundRobin);
     ms.alloc_array(B, 64, ElemSize::W8, PlacementPolicy::RoundRobin);

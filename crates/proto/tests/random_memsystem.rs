@@ -23,6 +23,7 @@ fn small_system(procs: u32) -> MemSystem {
         dir_banks: 4,
         net: specrt_proto::NetConfig::flat(),
         dirty_read_downgrades: false,
+        retry: specrt_proto::RetryConfig::default(),
     })
 }
 

@@ -72,6 +72,14 @@ pub enum FailReason {
     /// zero caused by stale speculative data); per §2.2 the loop must abort
     /// and re-execute serially.
     Exception,
+    /// A protocol update message and every retransmission of it were lost
+    /// in transit; the watchdog can no longer prove the dependence test
+    /// saw all accesses, so it escalates into the paper's safety net (§3):
+    /// abort, restore backups, re-execute serially.
+    MessageLost {
+        /// Transmissions attempted (original send plus retries).
+        attempts: u32,
+    },
 }
 
 impl FailReason {
@@ -86,6 +94,7 @@ impl FailReason {
             FailReason::ReadFirstAfterWrite { .. } => "read_first_after_write",
             FailReason::WriteBeforeReadFirst { .. } => "write_before_read_first",
             FailReason::Exception => "exception",
+            FailReason::MessageLost { .. } => "message_lost",
         }
     }
 
@@ -100,6 +109,7 @@ impl FailReason {
             FailReason::ReadFirstAfterWrite { .. } => "Fig. 8-e",
             FailReason::WriteBeforeReadFirst { .. } => "Fig. 9-j",
             FailReason::Exception => "§2.2",
+            FailReason::MessageLost { .. } => "§3",
         }
     }
 }
@@ -152,6 +162,9 @@ impl fmt::Display for FailReason {
                 )?;
             }
             FailReason::Exception => write!(f, "exception during speculative execution")?,
+            FailReason::MessageLost { attempts } => {
+                write!(f, "update message lost after {attempts} transmission(s)")?;
+            }
         }
         write!(f, " [{}]", self.figure())
     }
@@ -182,6 +195,7 @@ mod tests {
                 max_r1st: 2,
             },
             FailReason::Exception,
+            FailReason::MessageLost { attempts: 5 },
         ];
         let mut labels: Vec<_> = reasons.iter().map(|r| r.label()).collect();
         labels.sort_unstable();
@@ -226,6 +240,7 @@ mod tests {
                 max_r1st: 3,
             },
             FailReason::Exception,
+            FailReason::MessageLost { attempts: 3 },
         ];
         for r in reasons {
             let s = r.to_string();

@@ -21,22 +21,50 @@ pub enum FaultKind {
     /// anti-dependence goes undetected and the loop "passes" with a wrong
     /// outcome.
     DropROnlyCheck,
+    /// The privatization shared directory loses the `MaxR1st` stamp update
+    /// (paper §4.2, Fig. 8 cases (d)/(e)): read-first iterations are tested
+    /// but never recorded, so a later first-write's `Curr_Iter < MaxR1st`
+    /// test (Fig. 9) compares against a stale stamp and a write-before-read
+    /// flow hazard goes undetected — the loop "passes" with a wrong
+    /// outcome.
+    DropMaxR1stUpdate,
+    /// The privatization read-first test's time-stamp comparison is
+    /// inverted (paper Fig. 8: `Curr_Iter > MinW` becomes `Curr_Iter <=
+    /// MinW`): legal read-firsts FAIL and genuine flow dependences pass,
+    /// corrupting the stamps in both directions.
+    SwapTsCompare,
 }
 
 impl FaultKind {
+    /// Every injectable fault, in CLI-listing order.
+    pub const ALL: [FaultKind; 3] = [
+        FaultKind::DropROnlyCheck,
+        FaultKind::DropMaxR1stUpdate,
+        FaultKind::SwapTsCompare,
+    ];
+
     /// Parses the CLI spelling used by `specrt-check fuzz --inject <bug>`.
     pub fn parse(s: &str) -> Option<FaultKind> {
-        match s {
-            "drop-ronly" => Some(FaultKind::DropROnlyCheck),
-            _ => None,
-        }
+        Self::ALL.into_iter().find(|k| k.name() == s)
     }
 
     /// The CLI spelling of this fault.
     pub fn name(&self) -> &'static str {
         match self {
             FaultKind::DropROnlyCheck => "drop-ronly",
+            FaultKind::DropMaxR1stUpdate => "drop-maxr1st",
+            FaultKind::SwapTsCompare => "swap-ts-compare",
         }
+    }
+
+    /// Comma-separated list of every valid CLI spelling, for error
+    /// messages.
+    pub fn known_names() -> String {
+        Self::ALL
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(", ")
     }
 }
 
@@ -138,8 +166,25 @@ mod tests {
 
     #[test]
     fn parse_round_trips() {
-        let k = FaultKind::DropROnlyCheck;
-        assert_eq!(FaultKind::parse(k.name()), Some(k));
+        for k in FaultKind::ALL {
+            assert_eq!(FaultKind::parse(k.name()), Some(k));
+        }
         assert_eq!(FaultKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn known_names_lists_every_fault() {
+        let listed = FaultKind::known_names();
+        for k in FaultKind::ALL {
+            assert!(listed.contains(k.name()), "{listed:?} misses {}", k.name());
+        }
+    }
+
+    #[test]
+    fn injection_is_kind_specific() {
+        let _g = Injected::new(FaultKind::DropMaxR1stUpdate);
+        assert!(active(FaultKind::DropMaxR1stUpdate));
+        assert!(!active(FaultKind::SwapTsCompare));
+        assert!(!active(FaultKind::DropROnlyCheck));
     }
 }

@@ -23,6 +23,7 @@
 use specrt_cache::ElemTag;
 
 use crate::fail::FailReason;
+use crate::fault;
 
 /// Sentinel for `MinW` before any write has been observed.
 const NO_WRITE: u64 = u64::MAX;
@@ -75,11 +76,27 @@ impl PrivSharedElem {
     /// Panics if `iter` is 0 (stamps are 1-based).
     pub fn on_read_first(&mut self, iter: u64) -> Result<(), FailReason> {
         assert!(iter > 0, "effective iteration stamps are 1-based");
-        if iter > self.min_w {
+        // Injectable bug (`swap-ts-compare`): the Fig. 8 comparison runs
+        // inverted, failing legal read-firsts and passing flow hazards. The
+        // stamp invariant no longer holds under it, so the debug asserts
+        // below are gated off while it is active — the conformance harness
+        // must catch the bug through the oracle, not through an assert.
+        let swapped = fault::active(fault::FaultKind::SwapTsCompare);
+        let fails = if swapped {
+            iter <= self.min_w
+        } else {
+            iter > self.min_w
+        };
+        if fails {
             return Err(FailReason::ReadFirstAfterWrite {
                 iter,
                 min_w: self.min_w,
             });
+        }
+        // Injectable bug (`drop-maxr1st`): the stamp update is lost, so a
+        // later first-write tests against a stale `MaxR1st`.
+        if fault::active(fault::FaultKind::DropMaxR1stUpdate) {
+            return Ok(());
         }
         #[cfg(debug_assertions)]
         let old = self.max_r1st;
@@ -88,7 +105,7 @@ impl PrivSharedElem {
         {
             debug_assert!(self.max_r1st >= old, "MaxR1st must never decrease");
             debug_assert!(
-                self.max_r1st <= self.min_w,
+                swapped || self.max_r1st <= self.min_w,
                 "stamp invariant broken: MaxR1st={} > MinW={}",
                 self.max_r1st,
                 self.min_w
@@ -123,8 +140,10 @@ impl PrivSharedElem {
         #[cfg(debug_assertions)]
         {
             debug_assert!(self.min_w <= old, "MinW must never increase");
+            // An active `swap-ts-compare` injection corrupts the stamps by
+            // design; see `on_read_first`.
             debug_assert!(
-                self.max_r1st <= self.min_w,
+                fault::active(fault::FaultKind::SwapTsCompare) || self.max_r1st <= self.min_w,
                 "stamp invariant broken: MaxR1st={} > MinW={}",
                 self.max_r1st,
                 self.min_w
@@ -411,6 +430,31 @@ mod tests {
     #[should_panic(expected = "1-based")]
     fn zero_stamp_rejected() {
         PrivSharedElem::default().on_read_first(0).unwrap();
+    }
+
+    // ---- injectable-bug behaviour (consumed by the conformance harness) ----
+
+    #[test]
+    fn drop_maxr1st_injection_loses_the_stamp_and_misses_the_hazard() {
+        let _g = fault::Injected::new(fault::FaultKind::DropMaxR1stUpdate);
+        let mut s = PrivSharedElem::default();
+        s.on_read_first(7).unwrap();
+        assert_eq!(s.max_r1st, 0, "the injected bug drops the stamp update");
+        // Write iteration 4 precedes read-first iteration 7: must FAIL
+        // (Fig. 9-j), but the stale stamp lets it through.
+        assert!(s.on_first_write(4).is_ok());
+    }
+
+    #[test]
+    fn swap_ts_compare_injection_inverts_the_read_first_test() {
+        let _g = fault::Injected::new(fault::FaultKind::SwapTsCompare);
+        // A perfectly legal first read-first now fails...
+        let mut s = PrivSharedElem::default();
+        assert!(s.on_read_first(1).is_err());
+        // ...and a genuine flow hazard passes.
+        let mut s2 = PrivSharedElem::default();
+        s2.on_first_write(3).unwrap();
+        assert!(s2.on_read_first(5).is_ok());
     }
 
     // ---- private-directory tests ----

@@ -128,6 +128,32 @@ pub enum TraceEvent {
         /// Idle wait before the work became available.
         wait: Cycles,
     },
+    /// The interconnect's fault plane perturbed a message in transit
+    /// (dropped, duplicated, or delayed it).
+    Fault {
+        /// Send time of the affected message.
+        at: Cycles,
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+        /// What happened (`drop`, `duplicate`, `delay`).
+        kind: &'static str,
+        /// Which transmission the decision applied to (0 = original send,
+        /// n = n-th retransmission).
+        attempt: u32,
+    },
+    /// The machine exercised a recovery path after a speculation failure:
+    /// a speculative retry, or the paper's serial re-execution safety net.
+    Recovery {
+        /// When recovery began.
+        at: Cycles,
+        /// Recovery action (`retry-speculative`, `serial-reexec`).
+        action: &'static str,
+        /// Attempt number (1-based across retries; serial fallback carries
+        /// the attempt count that preceded it).
+        attempt: u32,
+    },
     /// Abort forensics: the speculation FAILed.
     Abort {
         /// Detection time.
@@ -156,12 +182,14 @@ impl TraceEvent {
             | TraceEvent::Message { at, .. }
             | TraceEvent::Net { at, .. }
             | TraceEvent::Sched { at, .. }
+            | TraceEvent::Fault { at, .. }
+            | TraceEvent::Recovery { at, .. }
             | TraceEvent::Abort { at, .. } => *at,
         }
     }
 
     /// Stable kind label used by the exporters (`txn`, `spec`, `msg`,
-    /// `net`, `sched`, `abort`).
+    /// `net`, `sched`, `fault`, `recovery`, `abort`).
     pub fn kind(&self) -> &'static str {
         match self {
             TraceEvent::Transaction { .. } => "txn",
@@ -169,6 +197,8 @@ impl TraceEvent {
             TraceEvent::Message { .. } => "msg",
             TraceEvent::Net { .. } => "net",
             TraceEvent::Sched { .. } => "sched",
+            TraceEvent::Fault { .. } => "fault",
+            TraceEvent::Recovery { .. } => "recovery",
             TraceEvent::Abort { .. } => "abort",
         }
     }
@@ -244,6 +274,22 @@ impl fmt::Display for TraceEvent {
                 overhead.raw(),
                 wait.raw(),
             ),
+            TraceEvent::Fault {
+                at,
+                src,
+                dst,
+                kind,
+                attempt,
+            } => write!(
+                f,
+                "t={:<8} FAULT n{src}->n{dst} {kind} (attempt {attempt})",
+                at.raw(),
+            ),
+            TraceEvent::Recovery {
+                at,
+                action,
+                attempt,
+            } => write!(f, "t={:<8} RECOV {action} (attempt {attempt})", at.raw(),),
             TraceEvent::Abort {
                 at,
                 proc,

@@ -124,6 +124,23 @@ fn event_json(e: &TraceEvent) -> String {
                 wait.raw()
             );
         }
+        TraceEvent::Fault {
+            src,
+            dst,
+            kind,
+            attempt,
+            ..
+        } => {
+            let _ = write!(
+                s,
+                ",\"src\":{src},\"dst\":{dst},\"fault\":\"{kind}\",\"attempt\":{attempt}"
+            );
+        }
+        TraceEvent::Recovery {
+            action, attempt, ..
+        } => {
+            let _ = write!(s, ",\"action\":\"{action}\",\"attempt\":{attempt}");
+        }
         TraceEvent::Abort {
             proc,
             arr,
@@ -236,6 +253,18 @@ fn chrome_event(e: &TraceEvent) -> String {
              \"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{proc},\"args\":{args}}}",
             at.raw(),
             (overhead.raw() + wait.raw()).max(1),
+        ),
+        TraceEvent::Fault {
+            at, src, dst, kind, ..
+        } => format!(
+            "{{\"name\":\"fault {kind} n{src}->n{dst}\",\"cat\":\"fault\",\"ph\":\"i\",\
+             \"s\":\"p\",\"ts\":{},\"pid\":0,\"tid\":{src},\"args\":{args}}}",
+            at.raw(),
+        ),
+        TraceEvent::Recovery { at, action, .. } => format!(
+            "{{\"name\":\"recovery {action}\",\"cat\":\"recovery\",\"ph\":\"i\",\"s\":\"g\",\
+             \"ts\":{},\"pid\":0,\"tid\":0,\"args\":{args}}}",
+            at.raw(),
         ),
         TraceEvent::Abort { at, label, .. } => format!(
             "{{\"name\":\"FAIL {label}\",\"cat\":\"abort\",\"ph\":\"i\",\"s\":\"g\",\
@@ -383,6 +412,30 @@ mod tests {
         let chrome = chrome_trace(&[e]);
         assert!(chrome.contains("\"cat\":\"net\""));
         assert!(chrome.contains("\"dur\":63"));
+    }
+
+    #[test]
+    fn fault_and_recovery_events_export() {
+        let f = TraceEvent::Fault {
+            at: Cycles(40),
+            src: 1,
+            dst: 6,
+            kind: "drop",
+            attempt: 2,
+        };
+        let r = TraceEvent::Recovery {
+            at: Cycles(90),
+            action: "retry-speculative",
+            attempt: 1,
+        };
+        let lines = jsonl(&[f.clone(), r.clone()]);
+        assert!(lines.contains("\"kind\":\"fault\""));
+        assert!(lines.contains("\"fault\":\"drop\"") && lines.contains("\"attempt\":2"));
+        assert!(lines.contains("\"kind\":\"recovery\""));
+        assert!(lines.contains("\"action\":\"retry-speculative\""));
+        let chrome = chrome_trace(&[f, r]);
+        assert!(chrome.contains("\"cat\":\"fault\""));
+        assert!(chrome.contains("recovery retry-speculative"));
     }
 
     #[test]
