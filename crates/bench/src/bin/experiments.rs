@@ -30,6 +30,12 @@
 //! finite link bandwidth (`--link-bw` cycles of link occupancy per
 //! message), and `--net-report` prints per-link utilization plus the
 //! worst hotspot alongside the abort forensics.
+//!
+//! `--profile[=FILE]` enables the host-side span profiler for whatever the
+//! invocation runs and prints the ranked self-time table to **stderr**
+//! when it finishes; `=FILE` additionally writes a Chrome `trace_events`
+//! timeline of the host spans (one track per worker). stdout — the figure
+//! tables themselves — is byte-identical with or without it.
 
 use specrt_core::experiments::{
     ablation_chunking_jobs, ablation_machine_jobs, ablation_policy_jobs, ablation_track_block_jobs,
@@ -53,10 +59,22 @@ fn main() {
     let mut net_report = false;
     let mut workload = String::from("adm");
     let mut jobs = specrt_par::default_jobs();
+    let mut profile = false;
+    let mut profile_out: Option<String> = None;
     let mut pos: Vec<String> = Vec::new();
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--profile" => profile = true,
+            flag if flag.starts_with("--profile=") => {
+                profile = true;
+                let p = &flag["--profile=".len()..];
+                if p.is_empty() {
+                    eprintln!("--profile= requires a file name");
+                    std::process::exit(2);
+                }
+                profile_out = Some(p.to_string());
+            }
             "--jobs" | "-j" => match it.next().as_deref().and_then(specrt_par::parse_jobs) {
                 Some(j) => jobs = j,
                 None => {
@@ -101,6 +119,9 @@ fn main() {
             _ => pos.push(a),
         }
     }
+    if profile {
+        specrt_prof::set_enabled(true);
+    }
     let report_mode = trace_path.is_some() || metrics || net_report;
     let what = pos.first().map(String::as_str).unwrap_or("all");
     let scale_arg = if report_mode { pos.first() } else { pos.get(1) };
@@ -123,6 +144,9 @@ fn main() {
             net_report,
         };
         trace_report(&workload, scale, &opts);
+        if profile {
+            finish_profile(profile_out.as_deref());
+        }
         return;
     }
     if net_arg.is_some() || link_bw.is_some() {
@@ -157,6 +181,25 @@ fn main() {
         other => {
             eprintln!("unknown experiment {other:?}");
             std::process::exit(2);
+        }
+    }
+    if profile {
+        finish_profile(profile_out.as_deref());
+    }
+}
+
+/// Prints the ranked host self-time table to stderr and, when asked,
+/// writes the host-span Chrome timeline — after all deterministic stdout
+/// output is complete.
+fn finish_profile(out: Option<&str>) {
+    let report = specrt_prof::take_report();
+    specrt_prof::set_enabled(false);
+    eprint!("{}", report.render_table(20));
+    if let Some(path) = out {
+        let doc = specrt_trace::export::chrome_host_trace(&report);
+        match std::fs::write(path, doc) {
+            Ok(()) => eprintln!("host timeline written to {path} (Chrome trace_events)"),
+            Err(e) => eprintln!("cannot write {path}: {e}"),
         }
     }
 }

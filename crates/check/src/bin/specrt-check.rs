@@ -28,6 +28,14 @@
 //! available cores". Output is byte-identical for every job count — the
 //! default stays 1 so existing invocations and golden comparisons are
 //! unchanged unless parallelism is asked for.
+//!
+//! `--profile[=FILE]` turns on the host-side span profiler for the run and
+//! prints the ranked self-time table (plus worker-pool telemetry) to
+//! **stderr** after the command finishes; with `=FILE` it also writes a
+//! Chrome `trace_events` timeline of the host spans — one track per worker
+//! — loadable in Perfetto. stdout is untouched: profiled runs stay
+//! byte-identical to unprofiled ones, which a determinism test and a CI
+//! `cmp` both enforce.
 
 use std::process::ExitCode;
 
@@ -56,6 +64,8 @@ struct Args {
     fault_seeds: Option<u64>,
     rates_ppm: Option<Vec<u32>>,
     out: Option<String>,
+    profile: bool,
+    profile_out: Option<String>,
     positional: Vec<String>,
 }
 
@@ -71,6 +81,8 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         fault_seeds: None,
         rates_ppm: None,
         out: None,
+        profile: false,
+        profile_out: None,
         positional: Vec::new(),
     };
     while let Some(a) = argv.next() {
@@ -111,6 +123,15 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
             "--out" => {
                 args.out = Some(argv.next().ok_or("--out needs a value")?);
             }
+            "--profile" => args.profile = true,
+            other if other.starts_with("--profile=") => {
+                args.profile = true;
+                let path = &other["--profile=".len()..];
+                if path.is_empty() {
+                    return Err("--profile= needs a file name".to_string());
+                }
+                args.profile_out = Some(path.to_string());
+            }
             other if !other.starts_with('-') => args.positional.push(other.to_string()),
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -121,7 +142,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
 fn usage() -> String {
     "usage: specrt-check <fuzz|replay|interleave|coverage|campaign> \
      [--cases N] [--seed S] [--jobs N] [--inject drop-ronly] \
-     [--fault-seeds N] [--rates ppm,ppm,..] [--out FILE] [seed]"
+     [--fault-seeds N] [--rates ppm,ppm,..] [--out FILE] [--profile[=FILE]] [seed]"
         .to_string()
 }
 
@@ -138,6 +159,17 @@ fn cmd_fuzz(args: &Args) -> ExitCode {
     let _guard = args.inject.map(fault::Injected::new);
     let report = fuzz_jobs(args.cases, args.seed, args.jobs);
     print!("{}", report.render());
+    if args.profile {
+        // Telemetry is scheduling-dependent for jobs > 1 — stderr only.
+        let p = &report.pool;
+        eprintln!(
+            "worker pool: {} worker(s), {} case(s), claims {:?}, imbalance {}",
+            p.workers,
+            p.items,
+            p.claimed,
+            p.imbalance()
+        );
+    }
     match args.inject {
         None => {
             if report.ok() {
@@ -285,19 +317,44 @@ fn cmd_campaign(args: &Args) -> ExitCode {
     }
 }
 
+/// Prints the ranked self-time table to stderr and, if asked, writes the
+/// host-span Chrome timeline. Runs after the command so the deterministic
+/// stdout output is complete before any profile text appears.
+fn finish_profile(args: &Args) {
+    let report = specrt_prof::take_report();
+    specrt_prof::set_enabled(false);
+    eprint!("{}", report.render_table(20));
+    if let Some(path) = &args.profile_out {
+        let doc = specrt_trace::export::chrome_host_trace(&report);
+        match std::fs::write(path, doc) {
+            Ok(()) => eprintln!("host timeline written to {path} (Chrome trace_events)"),
+            Err(e) => eprintln!("cannot write {path}: {e}"),
+        }
+    }
+}
+
 fn main() -> ExitCode {
     match parse_args(std::env::args()) {
-        Ok((cmd, args)) => match cmd.as_str() {
-            "fuzz" => cmd_fuzz(&args),
-            "replay" => cmd_replay(&args),
-            "interleave" => cmd_interleave(&args),
-            "coverage" => cmd_coverage(&args),
-            "campaign" => cmd_campaign(&args),
-            other => {
-                eprintln!("unknown command: {other}\n{}", usage());
-                ExitCode::FAILURE
+        Ok((cmd, args)) => {
+            if args.profile {
+                specrt_prof::set_enabled(true);
             }
-        },
+            let code = match cmd.as_str() {
+                "fuzz" => cmd_fuzz(&args),
+                "replay" => cmd_replay(&args),
+                "interleave" => cmd_interleave(&args),
+                "coverage" => cmd_coverage(&args),
+                "campaign" => cmd_campaign(&args),
+                other => {
+                    eprintln!("unknown command: {other}\n{}", usage());
+                    ExitCode::FAILURE
+                }
+            };
+            if args.profile {
+                finish_profile(&args);
+            }
+            code
+        }
         Err(e) => {
             eprintln!("{e}");
             ExitCode::FAILURE

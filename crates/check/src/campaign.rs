@@ -274,6 +274,7 @@ pub fn run_campaign(cfg: &CampaignConfig, jobs: usize) -> CampaignReport {
     let case_seeds: Vec<u64> = (0..cfg.cases).collect();
     let recovery = cfg.recovery;
     let baselines: Vec<Baseline> = specrt_par::par_map(jobs, &case_seeds, |_, &seed| {
+        let _prof = specrt_prof::scope("campaign.baseline");
         let case = CaseSpec::generate(seed);
         let serial = run_scenario_configured(
             &case.loop_spec(ProtocolKind::NonPriv, true),
@@ -315,6 +316,7 @@ pub fn run_campaign(cfg: &CampaignConfig, jobs: usize) -> CampaignReport {
     }
 
     let cells = specrt_par::par_map(jobs, &grid, |_, &(kind, rate_ppm, fault_seed)| {
+        let _prof = specrt_prof::scope("campaign.cell");
         let mut cell = CellReport {
             kind,
             rate_ppm,

@@ -83,6 +83,7 @@ impl CaseResult {
 /// Per-iteration access sequences on the array under test, obtained by
 /// functional (serial-order) execution.
 pub fn oracle_traces(case: &CaseSpec) -> Vec<Vec<(u64, AccessKind)>> {
+    let _prof = specrt_prof::scope("fuzz.oracle");
     let body = case.body();
     let mut mem = MapMemory::new();
     (0..case.iters())
@@ -148,6 +149,7 @@ fn check_one(
     image_ids: &[specrt_ir::ArrayId],
     out: &mut Vec<Mismatch>,
 ) {
+    let _prof = specrt_prof::scope("fuzz.image_diff");
     if let Some(expected) = expected {
         if run.passed != Some(expected) {
             out.push(Mismatch::Verdict {

@@ -55,6 +55,10 @@ pub struct FuzzReport {
     /// At most the first `MAX_FAILURES` (3) in seed order are kept and
     /// shrunk.
     pub failures: Vec<FuzzFailure>,
+    /// Worker-pool counters of the run. Per-worker claims depend on thread
+    /// scheduling, so this never feeds [`render`](Self::render) — it is for
+    /// the opt-in profile / metrics channel only.
+    pub pool: specrt_par::PoolTelemetry,
 }
 
 impl FuzzReport {
@@ -163,9 +167,14 @@ pub fn fuzz(cases: u64, seed: u64) -> FuzzReport {
 pub fn fuzz_jobs(cases: u64, seed: u64, jobs: usize) -> FuzzReport {
     let seeds = case_seeds(cases, seed);
     let injected = fault::current();
-    let results = specrt_par::par_map(jobs, &seeds, |_, &case_seed| {
+    let (results, pool) = specrt_par::par_map_telemetry(jobs, 1, &seeds, |_, &case_seed| {
         let _guard = injected.map(fault::Injected::new);
-        run_case(&CaseSpec::generate(case_seed))
+        let case = {
+            let _prof = specrt_prof::scope("fuzz.gen");
+            CaseSpec::generate(case_seed)
+        };
+        let _prof = specrt_prof::scope("fuzz.case");
+        run_case(&case)
     });
 
     let mut stats = StatSet::new();
@@ -178,10 +187,13 @@ pub fn fuzz_jobs(cases: u64, seed: u64, jobs: usize) -> FuzzReport {
     }
     let failures = failing
         .into_iter()
-        .map(|(case_seed, mismatches)| FuzzFailure {
-            seed: case_seed,
-            mismatches,
-            shrunk: shrink(&CaseSpec::generate(case_seed), case_fails),
+        .map(|(case_seed, mismatches)| {
+            let _prof = specrt_prof::scope("fuzz.shrink");
+            FuzzFailure {
+                seed: case_seed,
+                mismatches,
+                shrunk: shrink(&CaseSpec::generate(case_seed), case_fails),
+            }
         })
         .collect();
     FuzzReport {
@@ -189,6 +201,7 @@ pub fn fuzz_jobs(cases: u64, seed: u64, jobs: usize) -> FuzzReport {
         seed,
         stats,
         failures,
+        pool,
     }
 }
 

@@ -515,6 +515,7 @@ pub fn enumerate_small_scope(cov: &mut Coverage) -> EnumerationSummary {
 pub fn enumerate_small_scope_jobs(cov: &mut Coverage, jobs: usize) -> EnumerationSummary {
     let seqs = all_sequences();
     let parts = specrt_par::par_map(jobs, &seqs, |_, a| {
+        let _prof = specrt_prof::scope("interleave.script");
         let mut part_cov = Coverage::new();
         let mut part = EnumerationSummary {
             scripts: 0,

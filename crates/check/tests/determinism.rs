@@ -38,6 +38,48 @@ fn fuzz_500_cases_is_byte_identical_across_job_counts() {
 }
 
 #[test]
+fn profiling_does_not_perturb_fuzz_output() {
+    // The hard invariant of the host profiling plane: turning it on must
+    // leave every deterministic output byte-identical, at any job count.
+    // (CI additionally cross-checks the CLI: `fuzz --profile` stdout is
+    // `cmp`-ed against an unprofiled run.)
+    let baseline = fuzz_jobs(64, SEED, 1);
+    specrt_prof::set_enabled(true);
+    let profiled_j1 = fuzz_jobs(64, SEED, 1);
+    let profiled_j4 = fuzz_jobs(64, SEED, 4);
+    specrt_prof::set_enabled(false);
+    let report = specrt_prof::take_report();
+
+    assert_eq!(
+        baseline.render(),
+        profiled_j1.render(),
+        "profiling must not change the rendered report"
+    );
+    assert_eq!(
+        baseline.render(),
+        profiled_j4.render(),
+        "profiling plus parallelism must not change the rendered report"
+    );
+    assert_eq!(
+        baseline.stats.iter().collect::<Vec<_>>(),
+        profiled_j1.stats.iter().collect::<Vec<_>>(),
+        "profiling must not change the merged statistics"
+    );
+    // And the profiler did actually observe the run.
+    assert!(!report.is_empty(), "profiled run must record spans");
+    let totals = report.totals();
+    let case = totals
+        .iter()
+        .find(|(n, _)| n == "fuzz.case")
+        .map(|(_, s)| *s)
+        .expect("fuzz.case span recorded");
+    // At least our own 128 cases (64 at j=1 + 64 at j=4); sibling tests in
+    // this binary may run concurrently while the profiler is enabled and
+    // contribute more — the registry is global, so don't assert equality.
+    assert!(case.count >= 128, "expected >= 128 fuzz.case spans");
+}
+
+#[test]
 fn interleave_enumeration_is_identical_across_job_counts() {
     let mut cov1 = Coverage::new();
     let s1 = enumerate_small_scope_jobs(&mut cov1, 1);

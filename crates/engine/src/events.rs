@@ -86,6 +86,7 @@ impl<E> EventQueue<E> {
     /// scheduling into the past would violate causality and indicates a bug
     /// in the component that scheduled it.
     pub fn push(&mut self, at: Cycles, event: E) {
+        let _prof = specrt_prof::scope("engine.evq_push");
         assert!(
             at >= self.now,
             "event scheduled in the past: at={at}, now={}",
@@ -116,6 +117,7 @@ impl<E> EventQueue<E> {
     /// sender's own messages remain in order because its send times are
     /// monotone.
     pub fn push_lenient(&mut self, at: Cycles, event: E) {
+        let _prof = specrt_prof::scope("engine.evq_push");
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry {
@@ -129,6 +131,7 @@ impl<E> EventQueue<E> {
     /// of "now" to its timestamp (never backwards). Returns `None` when the
     /// queue is empty.
     pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        let _prof = specrt_prof::scope("engine.evq_pop");
         let entry = self.heap.pop()?;
         self.now = self.now.max(entry.time);
         Some((entry.time, entry.event))

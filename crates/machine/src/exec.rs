@@ -184,6 +184,7 @@ impl<'a> Executor<'a> {
 
     /// Runs the loop to completion or abort.
     pub fn run(mut self) -> ExecSummary {
+        let _prof = specrt_prof::scope("machine.exec");
         let procs = self.ms.procs() as usize;
         let mut states: Vec<PState> = (0..procs)
             .map(|p| PState {

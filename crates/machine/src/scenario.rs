@@ -189,6 +189,7 @@ fn make_sched(
 
 /// Allocates and registers the loop's arrays on a machine.
 fn setup_arrays(spec: &LoopSpec, ms: &mut MemSystem, image: &mut MemoryImage, local: bool) {
+    let _prof = specrt_prof::scope("machine.setup");
     for a in &spec.arrays {
         let policy = if local {
             PlacementPolicy::Local(NodeId(0))
@@ -290,6 +291,7 @@ fn serial_reexec(
     restored: &MemoryImage,
     cfg: MachineConfig,
 ) -> (Cycles, TimeBreakdown, MemoryImage) {
+    let _prof = specrt_prof::scope("machine.serial_reexec");
     let cfg = single_proc(cfg);
     let mut ms = MemSystem::new(cfg.mem);
     let mut image = MemoryImage::new();
@@ -451,6 +453,7 @@ fn backup_phase(
     image: &mut MemoryImage,
     accum: &mut Accum,
 ) -> (Vec<ArrayId>, Vec<ArrayId>, ArrayBackup) {
+    let _prof = specrt_prof::scope("machine.backup");
     let mut dense = Vec::new();
     let mut sparse = Vec::new();
     for arr in spec.backup_arrays() {
@@ -490,6 +493,7 @@ fn restore_phase(
     sparse_counts: &[(ArrayId, u64)],
     sparse_snapshot: &ArrayBackup,
 ) {
+    let _prof = specrt_prof::scope("machine.restore");
     for &arr in dense {
         let decl = spec.array(arr);
         copy_phase(
@@ -533,6 +537,7 @@ fn copy_out_phase(
     winners: &std::collections::HashMap<(ArrayId, u64), (u64, Scalar)>,
     hw_private_src: bool,
 ) {
+    let _prof = specrt_prof::scope("machine.copy_out");
     for &arr in live_priv {
         let decl = spec.array(arr);
         // Timing: each processor copies its slice from its own private copy
@@ -562,6 +567,7 @@ fn setup_speculative_storage(
     ms: &mut MemSystem,
     image: &mut MemoryImage,
 ) -> (Vec<ArrayId>, Vec<ArrayId>) {
+    let _prof = specrt_prof::scope("machine.setup");
     let backups = spec.backup_arrays();
     for &arr in &backups {
         let decl = spec.array(arr);

@@ -260,6 +260,7 @@ impl Network {
     /// the delivery. The caller supplies the send time; per-link waits and
     /// the in-order hold-back accumulate into [`Delivery::queue`].
     pub fn send(&mut self, src: NodeId, dst: NodeId, now: Cycles) -> Delivery {
+        let _prof = specrt_prof::scope("net.route");
         if src == dst {
             self.local_messages += 1;
             return Delivery {

@@ -32,6 +32,19 @@
 //!
 //! No rayon, no crossbeam: builds are offline and the std scoped-thread
 //! pool is ~60 lines.
+//!
+//! ## Observability
+//!
+//! Each worker is labelled `worker-N` for `specrt-prof` and wraps its
+//! lifecycle in host-profile spans — `par.worker` (whole lifetime),
+//! `par.claim` (queue operations) and `par.case` (running one item) — so
+//! an opt-in `--profile` run yields a per-worker timeline and utilization
+//! fractions. [`par_map_telemetry`] additionally returns a
+//! [`PoolTelemetry`] of pure *counts* (workers, chunk claims, per-worker
+//! items). The count of items, workers and chunk claims is deterministic;
+//! *which* worker claimed an item is scheduling-dependent, which is why
+//! telemetry rides the opt-in profile channel and never the gated
+//! deterministic outputs.
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -87,28 +100,115 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_telemetry(jobs, chunk, items, f).0
+}
+
+/// Worker-pool counters from one [`par_map_telemetry`] run.
+///
+/// `workers`, `chunk`, `items` and `chunks` are deterministic functions of
+/// the call arguments. `claimed` (items run per worker) depends on thread
+/// scheduling when `workers > 1`, so it belongs to the opt-in profile /
+/// metrics channel, never to gated deterministic outputs. Its *sum* is
+/// always `items`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PoolTelemetry {
+    /// Worker threads actually used, after clamping `jobs` to the work
+    /// available (`1` means the pool ran inline on the calling thread).
+    pub workers: usize,
+    /// Claim granularity: consecutive indices grabbed per queue operation.
+    pub chunk: usize,
+    /// Total items mapped.
+    pub items: usize,
+    /// Queue operations that found work: `ceil(items / chunk)`.
+    pub chunks: usize,
+    /// Items executed by each worker, indexed by worker id
+    /// (`claimed.len() == workers`; sums to `items`).
+    pub claimed: Vec<u64>,
+}
+
+impl PoolTelemetry {
+    /// Load imbalance as `max(claimed) - min(claimed)`; `0` for a perfectly
+    /// even split (and always `0` when `workers <= 1`).
+    pub fn imbalance(&self) -> u64 {
+        match (self.claimed.iter().max(), self.claimed.iter().min()) {
+            (Some(max), Some(min)) => max - min,
+            _ => 0,
+        }
+    }
+}
+
+/// [`par_map_chunked`] that also returns [`PoolTelemetry`] counters and
+/// instruments workers with `specrt-prof` spans (`par.worker`, `par.claim`,
+/// `par.case`) under per-worker `worker-N` labels.
+///
+/// The result vector is bit-for-bit identical to [`par_map_chunked`] for
+/// any pure `f`; only the telemetry side channel differs across `jobs`.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0`; re-raises the first worker panic otherwise.
+pub fn par_map_telemetry<T, R, F>(
+    jobs: usize,
+    chunk: usize,
+    items: &[T],
+    f: F,
+) -> (Vec<R>, PoolTelemetry)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     assert!(chunk > 0, "chunk size must be positive");
     let jobs = jobs.clamp(1, items.len().div_ceil(chunk).max(1));
+    let telemetry = |claimed: Vec<u64>| PoolTelemetry {
+        workers: jobs,
+        chunk,
+        items: items.len(),
+        chunks: items.len().div_ceil(chunk),
+        claimed,
+    };
     if jobs <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let _worker = specrt_prof::scope("par.worker");
+        let out = items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let _case = specrt_prof::scope("par.case");
+                f(i, t)
+            })
+            .collect();
+        return (out, telemetry(vec![items.len() as u64]));
     }
     let next = AtomicUsize::new(0);
+    let next = &next;
     let f = &f;
     let parts: Vec<Vec<(usize, R)>> = thread::scope(|s| {
         let handles: Vec<_> = (0..jobs)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let start = next.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= items.len() {
-                            break;
+            .map(|w| {
+                s.spawn(move || {
+                    specrt_prof::set_thread_label(&format!("worker-{w}"));
+                    let out = {
+                        let _worker = specrt_prof::scope("par.worker");
+                        let mut out = Vec::new();
+                        loop {
+                            let start = {
+                                let _claim = specrt_prof::scope("par.claim");
+                                next.fetch_add(chunk, Ordering::Relaxed)
+                            };
+                            if start >= items.len() {
+                                break;
+                            }
+                            let end = (start + chunk).min(items.len());
+                            for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                                let _case = specrt_prof::scope("par.case");
+                                out.push((i, f(i, item)));
+                            }
                         }
-                        let end = (start + chunk).min(items.len());
-                        for (i, item) in items.iter().enumerate().take(end).skip(start) {
-                            out.push((i, f(i, item)));
-                        }
-                    }
+                        out
+                    };
+                    // Scoped joins can beat TLS destructors; flush by hand so
+                    // this worker's spans reach the next take_report().
+                    specrt_prof::flush_thread();
                     out
                 })
             })
@@ -118,15 +218,17 @@ where
             .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .collect()
     });
+    let claimed: Vec<u64> = parts.iter().map(|p| p.len() as u64).collect();
     let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     for (i, r) in parts.into_iter().flatten() {
         debug_assert!(slots[i].is_none(), "index {i} claimed twice");
         slots[i] = Some(r);
     }
-    slots
+    let out = slots
         .into_iter()
         .map(|r| r.expect("work queue claims every index exactly once"))
-        .collect()
+        .collect();
+    (out, telemetry(claimed))
 }
 
 #[cfg(test)]
@@ -199,5 +301,38 @@ mod tests {
         assert_eq!(parse_jobs("0"), Some(default_jobs()));
         assert_eq!(parse_jobs("auto"), None);
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn telemetry_counts_are_consistent() {
+        let items: Vec<u64> = (0..53).collect();
+        for (jobs, chunk) in [(1, 1), (4, 1), (4, 7), (3, 20), (64, 1)] {
+            let (got, t) = par_map_telemetry(jobs, chunk, &items, |i, &x| x + i as u64);
+            let want: Vec<u64> = (0..53).map(|x| 2 * x).collect();
+            assert_eq!(got, want, "jobs={jobs} chunk={chunk}");
+            assert_eq!(t.chunk, chunk);
+            assert_eq!(t.items, items.len());
+            assert_eq!(t.chunks, items.len().div_ceil(chunk));
+            assert!(t.workers >= 1 && t.workers <= jobs.max(1));
+            assert_eq!(t.claimed.len(), t.workers);
+            assert_eq!(
+                t.claimed.iter().sum::<u64>(),
+                items.len() as u64,
+                "every item claimed exactly once (jobs={jobs} chunk={chunk})"
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_inline_path_claims_everything_on_one_worker() {
+        let items = [1u32, 2, 3];
+        let (_, t) = par_map_telemetry(1, 1, &items, |_, &x| x);
+        assert_eq!(t.workers, 1);
+        assert_eq!(t.claimed, vec![3]);
+        assert_eq!(t.imbalance(), 0);
+        let (_, empty) = par_map_telemetry(8, 1, &[] as &[u32], |_, &x| x);
+        assert_eq!(empty.workers, 1);
+        assert_eq!(empty.claimed, vec![0]);
+        assert_eq!(empty.chunks, 0);
     }
 }

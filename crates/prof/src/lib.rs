@@ -1,0 +1,702 @@
+#![warn(missing_docs)]
+
+//! # specrt-prof
+//!
+//! Host-side performance observability for the simulator itself: where do
+//! the *microseconds* go, as opposed to the simulated cycles that every
+//! other crate accounts for.
+//!
+//! The design is a thread-local hierarchical span profiler:
+//!
+//! * [`scope("proto.access")`](scope) returns an RAII guard; dropping it
+//!   records one span. Spans nest — a span's **self time** is its wall time
+//!   minus the wall time of the spans opened inside it, so a ranked
+//!   self-time table points at real code, not at whichever caller happens
+//!   to sit on top.
+//! * All bookkeeping is thread-local (no locks on the record path). When a
+//!   thread exits, its aggregate flushes into a global registry;
+//!   [`take_report`] drains the registry plus the calling thread into one
+//!   [`ProfReport`] with **deterministic ordering** (threads by label,
+//!   spans by name), so reports are diffable even though the times in them
+//!   are not.
+//! * Profiling is **off by default** and gated on one relaxed atomic load:
+//!   a disabled [`scope`] call costs a branch and returns a 1-byte inert
+//!   guard. The repo's hard determinism invariant is preserved by
+//!   construction — host timing never flows into simulated state, and every
+//!   consumer routes profile output to an opt-in channel (stderr / side
+//!   files), never into gated deterministic output.
+//!
+//! Besides the per-name aggregation each thread keeps a bounded **timeline**
+//! of `(name, start, duration)` triples for its outermost span levels;
+//! `specrt-trace` renders these as a Chrome `trace_events` document with one
+//! track per worker thread, which is how "worker 3 idled at the barrier for
+//! 40% of the run" becomes visible.
+//!
+//! Zero dependencies; the clock is [`std::time::Instant`] (monotonic),
+//! reported as nanoseconds since the first use in the process.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Timeline spans a single thread retains before it starts counting drops
+/// (aggregation is unaffected — only the Chrome timeline is bounded).
+pub const TIMELINE_CAP: usize = 1 << 16;
+
+/// Maximum nesting depth recorded on the timeline. Deep, hot leaf spans
+/// (event-queue pushes, per-message routing) still aggregate into the
+/// self-time table but would drown a timeline in millions of slivers.
+pub const TIMELINE_MAX_DEPTH: u32 = 4;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether profiling is currently enabled.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Globally enables or disables span collection. Enable *before* the work
+/// under measurement and call [`take_report`] after it; flipping the switch
+/// while spans are open on some thread merely loses those spans.
+pub fn set_enabled(on: bool) {
+    if on {
+        // Pin the epoch before the first span so timestamps are comparable
+        // across threads.
+        epoch();
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+fn flushed() -> &'static Mutex<Vec<ThreadData>> {
+    static FLUSHED: OnceLock<Mutex<Vec<ThreadData>>> = OnceLock::new();
+    FLUSHED.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+// ----------------------------------------------------------------------
+// Per-thread collection
+// ----------------------------------------------------------------------
+
+/// Aggregate statistics of one span name on one thread (or merged).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Times the span was entered.
+    pub count: u64,
+    /// Total wall nanoseconds inside the span (children included).
+    pub total_ns: u64,
+    /// Wall nanoseconds inside the span *excluding* nested spans.
+    pub self_ns: u64,
+    /// Longest single occurrence, in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    /// Adds another aggregate into this one (sums; max of maxima).
+    pub fn absorb(&mut self, other: &SpanStat) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.self_ns += other.self_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// One completed span occurrence on a thread's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineSpan {
+    /// Span name.
+    pub name: &'static str,
+    /// Start, in nanoseconds since the process profiling epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth at which the span ran (0 = outermost).
+    pub depth: u32,
+}
+
+#[derive(Debug, Default)]
+struct ThreadData {
+    label: String,
+    spans: Vec<(&'static str, SpanStat)>,
+    timeline: Vec<TimelineSpan>,
+    dropped: u64,
+}
+
+impl ThreadData {
+    fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.timeline.is_empty()
+    }
+}
+
+struct Frame {
+    name: &'static str,
+    start_ns: u64,
+    child_ns: u64,
+}
+
+struct ThreadState {
+    /// Explicit label ([`set_thread_label`]) or the std thread name.
+    label: Option<String>,
+    fallback: String,
+    stack: Vec<Frame>,
+    data: ThreadData,
+}
+
+impl ThreadState {
+    fn new() -> ThreadState {
+        ThreadState {
+            label: None,
+            fallback: std::thread::current()
+                .name()
+                .unwrap_or("thread")
+                .to_string(),
+            stack: Vec::new(),
+            data: ThreadData::default(),
+        }
+    }
+
+    fn record(&mut self, name: &'static str, dur_ns: u64, self_ns: u64, start_ns: u64) {
+        let stat = match self.data.spans.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, s)) => s,
+            None => {
+                self.data.spans.push((name, SpanStat::default()));
+                &mut self.data.spans.last_mut().expect("just pushed").1
+            }
+        };
+        stat.count += 1;
+        stat.total_ns += dur_ns;
+        stat.self_ns += self_ns;
+        stat.max_ns = stat.max_ns.max(dur_ns);
+        let depth = self.stack.len() as u32;
+        if depth < TIMELINE_MAX_DEPTH {
+            if self.data.timeline.len() < TIMELINE_CAP {
+                self.data.timeline.push(TimelineSpan {
+                    name,
+                    start_ns,
+                    dur_ns,
+                    depth,
+                });
+            } else {
+                self.data.dropped += 1;
+            }
+        }
+    }
+
+    fn take(&mut self) -> ThreadData {
+        let mut d = std::mem::take(&mut self.data);
+        d.label = self.label.clone().unwrap_or_else(|| self.fallback.clone());
+        d
+    }
+}
+
+impl ThreadState {
+    fn flush(&mut self) {
+        if !self.data.is_empty() {
+            let d = self.take();
+            if let Ok(mut g) = flushed().lock() {
+                g.push(d);
+            }
+        }
+    }
+}
+
+impl Drop for ThreadState {
+    fn drop(&mut self) {
+        // Thread exit: flush this thread's aggregate into the global
+        // registry. Backstop only — `thread::scope` can unblock *before*
+        // a worker's TLS destructors run, so pool workers also call
+        // [`flush_thread`] explicitly before returning.
+        self.flush();
+    }
+}
+
+thread_local! {
+    static TLS: RefCell<ThreadState> = RefCell::new(ThreadState::new());
+}
+
+/// Immediately flushes the calling thread's recorded data into the global
+/// registry (normally this happens at thread exit). Short-lived worker
+/// threads should call this as their last act: `thread::scope` and `join`
+/// may return before the worker's thread-local destructors have run, so an
+/// exit-time-only flush can lose the race against [`take_report`]. Safe to
+/// call repeatedly; a thread with nothing new recorded flushes nothing.
+pub fn flush_thread() {
+    TLS.with(|t| t.borrow_mut().flush());
+}
+
+/// Labels the calling thread in profile reports (e.g. `worker-3`). Without
+/// a label the std thread name (or `thread`) is used.
+pub fn set_thread_label(label: &str) {
+    TLS.with(|t| t.borrow_mut().label = Some(label.to_string()));
+}
+
+/// RAII guard returned by [`scope`]; records the span when dropped.
+#[must_use = "a span guard records on drop; binding it to `_` ends it immediately"]
+pub struct Scope {
+    armed: bool,
+}
+
+/// Opens a named span on the calling thread. Near-free when profiling is
+/// disabled (one relaxed atomic load). Guards must drop in LIFO order —
+/// the natural consequence of binding them to locals.
+#[inline]
+pub fn scope(name: &'static str) -> Scope {
+    if !enabled() {
+        return Scope { armed: false };
+    }
+    open(name);
+    Scope { armed: true }
+}
+
+fn open(name: &'static str) {
+    let start_ns = now_ns();
+    TLS.with(|t| {
+        t.borrow_mut().stack.push(Frame {
+            name,
+            start_ns,
+            child_ns: 0,
+        })
+    });
+}
+
+impl Drop for Scope {
+    #[inline]
+    fn drop(&mut self) {
+        if self.armed {
+            close();
+        }
+    }
+}
+
+fn close() {
+    let end_ns = now_ns();
+    TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        let Some(f) = t.stack.pop() else {
+            return;
+        };
+        let dur = end_ns.saturating_sub(f.start_ns);
+        let self_ns = dur.saturating_sub(f.child_ns);
+        if let Some(parent) = t.stack.last_mut() {
+            parent.child_ns += dur;
+        }
+        t.record(f.name, dur, self_ns, f.start_ns);
+    });
+}
+
+// ----------------------------------------------------------------------
+// Reports
+// ----------------------------------------------------------------------
+
+/// One thread's contribution to a [`ProfReport`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ThreadProfile {
+    /// Thread label (`main`, `worker-0`, …).
+    pub label: String,
+    /// Per-span aggregates, sorted by span name.
+    pub spans: Vec<(String, SpanStat)>,
+    /// Completed spans in start order (bounded; see [`TIMELINE_CAP`]).
+    pub timeline: Vec<TimelineSpan>,
+    /// Timeline spans discarded after the cap was reached.
+    pub dropped: u64,
+}
+
+impl ThreadProfile {
+    /// Aggregate for span `name`, if the thread ever entered it.
+    pub fn span(&self, name: &str) -> Option<&SpanStat> {
+        self.spans
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.spans[i].1)
+    }
+}
+
+/// Merged host-profile of a run: one [`ThreadProfile`] per thread label,
+/// deterministically ordered (labels in natural order, spans by name).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfReport {
+    /// Per-thread profiles, sorted by label.
+    pub threads: Vec<ThreadProfile>,
+}
+
+/// Natural sort key: `worker-10` sorts after `worker-2`.
+fn label_key(label: &str) -> (String, u64) {
+    let stem = label.trim_end_matches(|c: char| c.is_ascii_digit());
+    let num = label[stem.len()..].parse().unwrap_or(0);
+    (stem.to_string(), num)
+}
+
+impl ProfReport {
+    fn from_threads(datas: Vec<ThreadData>) -> ProfReport {
+        let mut report = ProfReport::default();
+        for d in datas {
+            report.absorb_thread(d.label, d.spans, d.timeline, d.dropped);
+        }
+        report.normalize();
+        report
+    }
+
+    fn absorb_thread(
+        &mut self,
+        label: String,
+        spans: Vec<(impl AsRef<str>, SpanStat)>,
+        timeline: Vec<TimelineSpan>,
+        dropped: u64,
+    ) {
+        let t = match self.threads.iter_mut().find(|t| t.label == label) {
+            Some(t) => t,
+            None => {
+                self.threads.push(ThreadProfile {
+                    label,
+                    ..ThreadProfile::default()
+                });
+                self.threads.last_mut().expect("just pushed")
+            }
+        };
+        for (name, stat) in spans {
+            let name = name.as_ref();
+            match t.spans.iter_mut().find(|(n, _)| n == name) {
+                Some((_, s)) => s.absorb(&stat),
+                None => t.spans.push((name.to_string(), stat)),
+            }
+        }
+        t.timeline.extend(timeline);
+        t.dropped += dropped;
+    }
+
+    fn normalize(&mut self) {
+        self.threads.sort_by_key(|t| label_key(&t.label));
+        for t in &mut self.threads {
+            t.spans.sort_by(|a, b| a.0.cmp(&b.0));
+            t.timeline.sort_by_key(|s| (s.start_ns, s.depth, s.dur_ns));
+        }
+    }
+
+    /// Merges another report into this one: same-label threads combine
+    /// span-wise, orderings stay deterministic. Commutative up to the
+    /// (sorted) result.
+    pub fn merge(&mut self, other: &ProfReport) {
+        for t in &other.threads {
+            self.absorb_thread(
+                t.label.clone(),
+                t.spans.clone(),
+                t.timeline.clone(),
+                t.dropped,
+            );
+        }
+        self.normalize();
+    }
+
+    /// Whether no thread recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.threads.iter().all(|t| t.spans.is_empty())
+    }
+
+    /// Span aggregates summed across all threads, sorted by name.
+    pub fn totals(&self) -> Vec<(String, SpanStat)> {
+        let mut out: Vec<(String, SpanStat)> = Vec::new();
+        for t in &self.threads {
+            for (name, stat) in &t.spans {
+                match out.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, s)) => s.absorb(stat),
+                    None => out.push((name.clone(), *stat)),
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// [`totals`](Self::totals) ranked by self time, descending (name
+    /// breaks ties, so equal-time rankings are still deterministic).
+    pub fn ranked(&self) -> Vec<(String, SpanStat)> {
+        let mut out = self.totals();
+        out.sort_by(|a, b| b.1.self_ns.cmp(&a.1.self_ns).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Per-worker utilization: for every thread that ran a `par.worker`
+    /// span, the fraction of that span spent inside `par.case` — i.e. doing
+    /// assigned work rather than claiming or idling at the implicit join
+    /// barrier. Sorted by thread label.
+    pub fn worker_utilization(&self) -> Vec<(String, f64)> {
+        self.threads
+            .iter()
+            .filter_map(|t| {
+                let worker = t.span("par.worker")?;
+                if worker.total_ns == 0 {
+                    return None;
+                }
+                let busy = t.span("par.case").map_or(0, |s| s.total_ns);
+                Some((
+                    t.label.clone(),
+                    (busy as f64 / worker.total_ns as f64).min(1.0),
+                ))
+            })
+            .collect()
+    }
+
+    /// The ranked self-time table as plain text: one row per span (top
+    /// `top` rows), with count, total/self milliseconds, the share of all
+    /// self time, and the worst single occurrence.
+    pub fn render_table(&self, top: usize) -> String {
+        use std::fmt::Write as _;
+        let ranked = self.ranked();
+        let all_self: u64 = ranked.iter().map(|(_, s)| s.self_ns).sum();
+        let mut out = format!(
+            "host profile: {} thread(s), {} span name(s), {:.1} ms total self time\n",
+            self.threads.len(),
+            ranked.len(),
+            all_self as f64 / 1e6
+        );
+        let _ = writeln!(
+            out,
+            "{:<24} {:>10} {:>12} {:>12} {:>7} {:>12}",
+            "span", "count", "total ms", "self ms", "self%", "max µs"
+        );
+        for (name, s) in ranked.iter().take(top) {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>10} {:>12.3} {:>12.3} {:>6.1}% {:>12.1}",
+                name,
+                s.count,
+                s.total_ns as f64 / 1e6,
+                s.self_ns as f64 / 1e6,
+                100.0 * s.self_ns as f64 / all_self.max(1) as f64,
+                s.max_ns as f64 / 1e3,
+            );
+        }
+        let util = self.worker_utilization();
+        if !util.is_empty() {
+            let mean = util.iter().map(|(_, u)| u).sum::<f64>() / util.len() as f64;
+            let _ = write!(out, "worker utilization:");
+            for (label, u) in &util {
+                let _ = write!(out, " {label}={:.0}%", u * 100.0);
+            }
+            let _ = writeln!(out, " (mean {:.0}%)", mean * 100.0);
+        }
+        let dropped: u64 = self.threads.iter().map(|t| t.dropped).sum();
+        if dropped > 0 {
+            let _ = writeln!(
+                out,
+                "(timeline truncated: {dropped} span(s) past the {TIMELINE_CAP}-per-thread cap)"
+            );
+        }
+        out
+    }
+}
+
+/// Drains everything recorded so far — previously exited threads plus the
+/// calling thread — into one deterministic-ordered report, resetting the
+/// collector. Call after the profiled workload has joined its workers.
+pub fn take_report() -> ProfReport {
+    let mut datas: Vec<ThreadData> = match flushed().lock() {
+        Ok(mut g) => g.drain(..).collect(),
+        Err(_) => Vec::new(),
+    };
+    TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        if !t.data.is_empty() {
+            let d = t.take();
+            datas.push(d);
+        }
+    });
+    ProfReport::from_threads(datas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Profiling state is process-global; tests touching it serialize.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_scopes_record_nothing() {
+        let _l = locked();
+        set_enabled(false);
+        let _ = take_report();
+        {
+            let _a = scope("noop.outer");
+            let _b = scope("noop.inner");
+        }
+        assert!(take_report().is_empty());
+    }
+
+    #[test]
+    fn nesting_splits_self_time_exactly() {
+        let _l = locked();
+        set_enabled(true);
+        let _ = take_report();
+        {
+            let _o = scope("t.outer");
+            for _ in 0..3 {
+                let _i = scope("t.inner");
+                std::hint::black_box(0u64);
+            }
+        }
+        set_enabled(false);
+        let report = take_report();
+        let totals = report.totals();
+        let get = |n: &str| totals.iter().find(|(k, _)| k == n).map(|(_, s)| *s);
+        let outer = get("t.outer").expect("outer recorded");
+        let inner = get("t.inner").expect("inner recorded");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 3);
+        // Child time is subtracted exactly, not approximately.
+        assert_eq!(outer.self_ns, outer.total_ns - inner.total_ns);
+        assert!(inner.self_ns <= inner.total_ns);
+        assert!(inner.max_ns <= inner.total_ns);
+    }
+
+    #[test]
+    fn worker_threads_flush_on_exit_and_sort_naturally() {
+        let _l = locked();
+        set_enabled(true);
+        let _ = take_report();
+        std::thread::scope(|s| {
+            for w in [10u32, 2, 0] {
+                s.spawn(move || {
+                    set_thread_label(&format!("worker-{w}"));
+                    {
+                        let _g = scope("par.worker");
+                        let _c = scope("par.case");
+                        std::hint::black_box(w);
+                    }
+                    flush_thread();
+                });
+            }
+        });
+        set_enabled(false);
+        let report = take_report();
+        let labels: Vec<&str> = report.threads.iter().map(|t| t.label.as_str()).collect();
+        assert_eq!(labels, ["worker-0", "worker-2", "worker-10"]);
+        let util = report.worker_utilization();
+        assert_eq!(util.len(), 3);
+        for (_, u) in util {
+            assert!((0.0..=1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn report_merge_is_stable_and_order_independent() {
+        let mk = |label: &str, name: &str, stat: SpanStat| ProfReport {
+            threads: vec![ThreadProfile {
+                label: label.to_string(),
+                spans: vec![(name.to_string(), stat)],
+                timeline: Vec::new(),
+                dropped: 0,
+            }],
+        };
+        let a = mk(
+            "worker-1",
+            "par.case",
+            SpanStat {
+                count: 4,
+                total_ns: 400,
+                self_ns: 300,
+                max_ns: 200,
+            },
+        );
+        let b = mk(
+            "worker-0",
+            "par.case",
+            SpanStat {
+                count: 2,
+                total_ns: 100,
+                self_ns: 100,
+                max_ns: 90,
+            },
+        );
+        let c = mk(
+            "worker-1",
+            "fuzz.case",
+            SpanStat {
+                count: 1,
+                total_ns: 50,
+                self_ns: 50,
+                max_ns: 50,
+            },
+        );
+
+        let mut abc = a.clone();
+        abc.merge(&b);
+        abc.merge(&c);
+        let mut cba = c.clone();
+        cba.merge(&b);
+        cba.merge(&a);
+        assert_eq!(abc, cba, "merge must be order-independent");
+
+        let labels: Vec<&str> = abc.threads.iter().map(|t| t.label.as_str()).collect();
+        assert_eq!(labels, ["worker-0", "worker-1"]);
+        // Same-label merge combined the two span lists, name-sorted.
+        let w1 = &abc.threads[1];
+        let names: Vec<&str> = w1.spans.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["fuzz.case", "par.case"]);
+        assert_eq!(w1.span("par.case").unwrap().count, 4);
+
+        // Merging the same report twice doubles counts deterministically.
+        let mut twice = a.clone();
+        twice.merge(&a);
+        assert_eq!(twice.threads[0].span("par.case").unwrap().count, 8);
+        assert_eq!(twice.threads[0].span("par.case").unwrap().max_ns, 200);
+    }
+
+    #[test]
+    fn ranked_orders_by_self_time_then_name() {
+        let report = ProfReport {
+            threads: vec![ThreadProfile {
+                label: "main".into(),
+                spans: vec![
+                    (
+                        "a.small".into(),
+                        SpanStat {
+                            count: 1,
+                            total_ns: 10,
+                            self_ns: 10,
+                            max_ns: 10,
+                        },
+                    ),
+                    (
+                        "b.big".into(),
+                        SpanStat {
+                            count: 1,
+                            total_ns: 99,
+                            self_ns: 99,
+                            max_ns: 99,
+                        },
+                    ),
+                    (
+                        "c.small".into(),
+                        SpanStat {
+                            count: 1,
+                            total_ns: 10,
+                            self_ns: 10,
+                            max_ns: 10,
+                        },
+                    ),
+                ],
+                timeline: Vec::new(),
+                dropped: 0,
+            }],
+        };
+        let names: Vec<String> = report.ranked().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["b.big", "a.small", "c.small"]);
+        let table = report.render_table(10);
+        assert!(table.contains("b.big"));
+        assert!(table.lines().count() >= 4);
+    }
+}

@@ -484,6 +484,7 @@ impl MemSystem {
     /// Delivers every pending asynchronous protocol message (loop end: the
     /// test only passes once all in-flight updates have been checked).
     pub fn drain_all_messages(&mut self) {
+        let _prof = specrt_prof::scope("proto.drain_all");
         while let Some(t) = self.msgs.peek_time() {
             self.drain_messages(t);
         }
@@ -661,6 +662,7 @@ impl MemSystem {
         now: Cycles,
         is_write: bool,
     ) -> AccessOutcome {
+        let _prof = specrt_prof::scope("proto.access");
         self.trace(proc, arr, idx, now, if is_write { "write" } else { "read" });
         self.drain_messages(now);
         let enabled = self.tracer.enabled();
@@ -1786,6 +1788,7 @@ impl MemSystem {
     }
 
     fn drain_messages(&mut self, upto: Cycles) {
+        let _prof = specrt_prof::scope("proto.drain");
         while let Some(t) = self.msgs.peek_time() {
             if t > upto {
                 break;
@@ -1796,6 +1799,7 @@ impl MemSystem {
     }
 
     fn handle_message(&mut self, at: Cycles, msg: Msg) {
+        let _prof = specrt_prof::scope("proto.dir_msg");
         // Preserve the abort context of any in-progress access: messages
         // delivered mid-transaction carry their own context.
         let saved_ctx = self.cur_ctx.take();

@@ -274,6 +274,40 @@ fn chrome_event(e: &TraceEvent) -> String {
     }
 }
 
+/// A Chrome `trace_events` document of *host* profiling spans: one track
+/// per profiled thread (named via `thread_name` metadata, so worker tracks
+/// read `worker-0`, `worker-1`, …), one complete (`"ph":"X"`) event per
+/// [`specrt_prof::TimelineSpan`]. Timestamps are microseconds since the
+/// process profiling epoch — real wall time, unlike [`chrome_trace`] whose
+/// "microseconds" are simulated cycles; the two documents use different
+/// pids so they stay distinguishable if ever concatenated.
+pub fn chrome_host_trace(report: &specrt_prof::ProfReport) -> String {
+    let mut out = String::from(
+        "{\"traceEvents\":[{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\
+         \"tid\":0,\"args\":{\"name\":\"specrt host profile\"}}",
+    );
+    for (tid, t) in report.threads.iter().enumerate() {
+        let _ = write!(
+            out,
+            ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            esc(&t.label)
+        );
+        for s in &t.timeline {
+            let _ = write!(
+                out,
+                ",{{\"name\":\"{}\",\"cat\":\"host\",\"ph\":\"X\",\"ts\":{:.3},\
+                 \"dur\":{:.3},\"pid\":1,\"tid\":{tid}}}",
+                esc(s.name),
+                s.start_ns as f64 / 1e3,
+                (s.dur_ns as f64 / 1e3).max(0.001),
+            );
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
 /// A single JSON object with `counters`, `histograms` (count/mean/max and
 /// the non-empty log-2 buckets) and `breakdowns` (busy/sync/mem cycles).
 pub fn metrics_json(m: &MetricsRegistry) -> String {
@@ -442,6 +476,46 @@ mod tests {
     fn escaping_handles_quotes_and_controls() {
         assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn chrome_host_trace_names_worker_tracks() {
+        let report = specrt_prof::ProfReport {
+            threads: vec![
+                specrt_prof::ThreadProfile {
+                    label: "main".into(),
+                    spans: Vec::new(),
+                    timeline: vec![specrt_prof::TimelineSpan {
+                        name: "fuzz.case",
+                        start_ns: 1_500,
+                        dur_ns: 2_000,
+                        depth: 0,
+                    }],
+                    dropped: 0,
+                },
+                specrt_prof::ThreadProfile {
+                    label: "worker-0".into(),
+                    spans: Vec::new(),
+                    timeline: vec![specrt_prof::TimelineSpan {
+                        name: "par.worker",
+                        start_ns: 0,
+                        dur_ns: 10_000,
+                        depth: 0,
+                    }],
+                    dropped: 0,
+                },
+            ],
+        };
+        let out = chrome_host_trace(&report);
+        assert!(out.starts_with("{\"traceEvents\":["));
+        assert!(out.ends_with('}'));
+        assert!(out.contains("\"name\":\"thread_name\""));
+        assert!(out.contains("{\"name\":\"worker-0\"}"));
+        // ns become µs; host events live on pid 1, away from simulated pid 0.
+        assert!(out.contains("\"ts\":1.500"));
+        assert!(out.contains("\"dur\":2.000"));
+        assert!(out.contains("\"pid\":1"));
+        assert!(!out.contains("\"pid\":0,"));
     }
 
     #[test]

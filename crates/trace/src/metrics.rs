@@ -81,6 +81,24 @@ impl MetricsRegistry {
         }
     }
 
+    /// Absorbs worker-pool telemetry under `prefix` (conventionally `par`):
+    /// `prefix.workers`, `prefix.chunk`, `prefix.items`, `prefix.chunks`,
+    /// `prefix.claim_imbalance` and one `prefix.cases_claimed.w{N}` counter
+    /// per worker. All values are pure counts — no host timing — but the
+    /// per-worker claim split (and hence the imbalance) depends on thread
+    /// scheduling when `workers > 1`, so these counters belong to opt-in
+    /// observability output, never to gated deterministic artifacts.
+    pub fn absorb_pool_telemetry(&mut self, prefix: &str, t: &specrt_par::PoolTelemetry) {
+        self.incr(&format!("{prefix}.workers"), t.workers as u64);
+        self.incr(&format!("{prefix}.chunk"), t.chunk as u64);
+        self.incr(&format!("{prefix}.items"), t.items as u64);
+        self.incr(&format!("{prefix}.chunks"), t.chunks as u64);
+        self.incr(&format!("{prefix}.claim_imbalance"), t.imbalance());
+        for (w, n) in t.claimed.iter().enumerate() {
+            self.incr(&format!("{prefix}.cases_claimed.w{w}"), *n);
+        }
+    }
+
     /// Merges another registry into this one. Commutative and
     /// associative: merging per-processor registries in any order yields
     /// the same aggregate.
@@ -174,6 +192,73 @@ mod tests {
         );
         assert_eq!(ab.breakdown("t"), ba.breakdown("t"));
         assert_eq!(ab.breakdown("t").unwrap().total(), Cycles(21));
+    }
+
+    #[test]
+    fn pool_telemetry_absorbs_and_merges_order_independently() {
+        let t = specrt_par::PoolTelemetry {
+            workers: 3,
+            chunk: 2,
+            items: 10,
+            chunks: 5,
+            claimed: vec![5, 2, 3],
+        };
+        let mut a = MetricsRegistry::new();
+        a.absorb_pool_telemetry("par", &t);
+        assert_eq!(a.counter("par.workers"), 3);
+        assert_eq!(a.counter("par.chunks"), 5);
+        assert_eq!(a.counter("par.claim_imbalance"), 3);
+        assert_eq!(a.counter("par.cases_claimed.w0"), 5);
+        assert_eq!(a.counter("par.cases_claimed.w2"), 3);
+        assert_eq!(
+            a.counter("par.cases_claimed.w0")
+                + a.counter("par.cases_claimed.w1")
+                + a.counter("par.cases_claimed.w2"),
+            a.counter("par.items")
+        );
+
+        // Order-independent merging with prof.* counters mixed in.
+        let mut b = MetricsRegistry::new();
+        b.incr("prof.spans", 7);
+        b.incr("par.workers", 1);
+        let mut ab = MetricsRegistry::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = MetricsRegistry::new();
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab.counter("par.workers"), ba.counter("par.workers"));
+        assert_eq!(ab.counter("par.workers"), 4);
+        assert_eq!(ab.counter("prof.spans"), 7);
+        assert_eq!(
+            ab.counters().collect::<Vec<_>>(),
+            ba.counters().collect::<Vec<_>>(),
+            "merged registries must iterate identically regardless of order"
+        );
+    }
+
+    #[test]
+    fn metrics_json_renders_pool_histograms() {
+        let mut m = MetricsRegistry::new();
+        m.absorb_pool_telemetry(
+            "par",
+            &specrt_par::PoolTelemetry {
+                workers: 2,
+                chunk: 1,
+                items: 6,
+                chunks: 6,
+                claimed: vec![4, 2],
+            },
+        );
+        m.observe("par.claim_wait_ns", 300);
+        m.observe("par.claim_wait_ns", 3000);
+        let out = crate::export::metrics_json(&m);
+        assert!(out.contains("\"par.workers\":2"));
+        assert!(out.contains("\"par.cases_claimed.w1\":2"));
+        // Histogram block: count, sum and the two log-2 buckets hit.
+        assert!(out.contains("\"par.claim_wait_ns\":{\"count\":2,\"sum\":3300"));
+        assert!(out.contains("\"256\":1"));
+        assert!(out.contains("\"2048\":1"));
     }
 
     #[test]

@@ -1,0 +1,57 @@
+#!/usr/bin/env sh
+# Parallel-speedup gate over the BENCH_prof.json emitted by the
+# protocol_micro bench (check/fuzz_profile datapoint).
+#
+#   usage: speedup_gate.sh [BENCH_prof.json]
+#
+# Fails (exit 1) if the j=default fuzz throughput fell below 0.9x of the
+# j=1 run — parallelism must never make the harness slower. Emits a GitHub
+# warning annotation while the speedup sits below 1.5x, the open ROADMAP
+# target; the gate stops warning once the worker pool actually pays off.
+#
+# Plain POSIX sh + grep/awk so it runs anywhere CI does; the JSON is
+# machine-written with one "key": value per line, which is all the parsing
+# below assumes.
+
+set -eu
+
+FILE="${1:-crates/bench/BENCH_prof.json}"
+FAIL_BELOW="0.9"
+WARN_BELOW="1.5"
+
+if [ ! -f "$FILE" ]; then
+    echo "speedup gate: $FILE not found (run: cargo bench -p specrt-bench --bench protocol_micro)" >&2
+    exit 1
+fi
+
+field() {
+    grep "\"$1\"" "$FILE" | head -n 1 | awk -F: '{gsub(/[ ,]/, "", $2); print $2}'
+}
+
+SPEEDUP="$(field speedup)"
+JOBS="$(field jobs)"
+SERIAL="$(field serial_cases_per_sec)"
+PARALLEL="$(field parallel_cases_per_sec)"
+
+if [ -z "$SPEEDUP" ] || [ -z "$JOBS" ]; then
+    echo "speedup gate: could not parse speedup/jobs from $FILE" >&2
+    exit 1
+fi
+
+echo "speedup gate: ${SERIAL} cases/s at j=1 vs ${PARALLEL} cases/s at j=${JOBS} -> ${SPEEDUP}x"
+
+if [ "$JOBS" -le 1 ]; then
+    echo "speedup gate: single-core host (jobs=${JOBS}); floor check only"
+fi
+
+awk -v s="$SPEEDUP" -v floor="$FAIL_BELOW" 'BEGIN { exit !(s < floor) }' && {
+    echo "::error::fuzz throughput at j=${JOBS} is ${SPEEDUP}x of j=1 (< ${FAIL_BELOW}x): parallelism is a slowdown"
+    exit 1
+}
+
+if [ "$JOBS" -gt 1 ]; then
+    awk -v s="$SPEEDUP" -v warn="$WARN_BELOW" 'BEGIN { exit !(s < warn) }' && \
+        echo "::warning::fuzz speedup at j=${JOBS} is only ${SPEEDUP}x (< ${WARN_BELOW}x target); see ROADMAP open item 1 and BENCH_prof.json worker utilization"
+fi
+
+echo "speedup gate: pass"
