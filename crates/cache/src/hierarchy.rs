@@ -108,6 +108,11 @@ impl Level {
             false
         }
     }
+
+    /// Empties every slot, keeping the vector allocated.
+    fn reset(&mut self) {
+        self.slots.fill(None);
+    }
 }
 
 /// One node's two-level cache hierarchy with access-bit arrays.
@@ -372,6 +377,19 @@ impl CacheHierarchy {
     /// Number of resident lines.
     pub fn resident_lines(&self) -> usize {
         self.state.len()
+    }
+
+    /// Returns the hierarchy to its just-constructed state — slots empty,
+    /// no line state or tags, hit counters zeroed — while keeping the slot
+    /// vectors and map capacity allocated (machine reuse across requests).
+    pub fn reset(&mut self) {
+        self.l1.reset();
+        self.l2.reset();
+        self.state.clear();
+        self.tags.clear();
+        self.l1_hits = 0;
+        self.l2_hits = 0;
+        self.misses = 0;
     }
 }
 

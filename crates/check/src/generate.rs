@@ -37,7 +37,7 @@ pub enum Op {
 }
 
 /// A generated test case: the access pattern of one loop.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CaseSpec {
     /// Seed this case was generated from (0 after shrinking).
     pub seed: u64,

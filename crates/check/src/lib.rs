@@ -29,6 +29,7 @@
 //!   harness uses to prove it can catch real protocol regressions.
 
 pub mod campaign;
+pub mod canon;
 pub mod diff;
 pub mod fuzz;
 pub mod generate;
@@ -37,6 +38,11 @@ pub mod shrink;
 
 pub use campaign::{
     run_campaign, CampaignConfig, CampaignReport, CellReport, DELAY_CYCLES, FAULT_KINDS,
+};
+pub use canon::{
+    canonical_key, case_from_json, case_to_json, hash_case_into, hash_machine_config_into,
+    hash_protocol_into, hash_protocol_kind_into, write_json_string, CanonHasher, Json,
+    CANON_VERSION,
 };
 pub use diff::{run_case, CaseResult, Mismatch};
 pub use fuzz::{

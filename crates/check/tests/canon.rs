@@ -1,0 +1,269 @@
+//! Canonical-hash coverage: the serve result cache keys on
+//! `canonical_key(case, cfg, protocol)`, so (1) semantically equal requests
+//! must collide — however their specs were built — and (2) **every** field of
+//! `CaseSpec` and `MachineConfig` (nested configs included) must perturb the
+//! key. A field the hash ignores is silent cache aliasing: two different
+//! configurations would serve each other's cached results.
+
+use specrt_check::{canonical_key, CaseSpec, Op};
+use specrt_machine::{MachineConfig, RecoveryPolicy, ScheduleKind};
+use specrt_proto::{
+    CacheConfig, FaultConfig, LatencyConfig, MemSystemConfig, NetConfig, RetryConfig, Topology,
+};
+
+const PROTOCOL: &str = "hw-nonpriv";
+
+fn key(case: &CaseSpec, cfg: &MachineConfig) -> u64 {
+    canonical_key(case, cfg, PROTOCOL)
+}
+
+/// Two semantically equal specs, built in different orders, hash identically.
+///
+/// One comes straight out of the generator; the other is rebuilt by hand —
+/// fields assigned in a different order, `ops` grown back-to-front — and
+/// carries a different provenance seed. Only content may matter.
+#[test]
+fn equal_specs_built_differently_hash_identically() {
+    let generated = CaseSpec::generate(0x5eed);
+
+    // Rebuild from parts in reverse: ops rows pushed back-to-front into a
+    // pre-sized buffer, scalar fields filled afterwards.
+    let mut ops: Vec<Vec<Op>> = vec![Vec::new(); generated.ops.len()];
+    for (i, row) in generated.ops.iter().enumerate().rev() {
+        for op in row.iter() {
+            ops[i].push(*op);
+        }
+    }
+    let rebuilt = CaseSpec {
+        ops,
+        schedule: generated.schedule,
+        elems: generated.elems,
+        procs: generated.procs,
+        seed: 0, // a hand-entered spec has no generator seed
+    };
+
+    let cfg = MachineConfig::default();
+    assert_eq!(key(&generated, &cfg), key(&rebuilt, &cfg));
+}
+
+/// Every field of `CaseSpec` (except the provenance seed) perturbs the hash.
+#[test]
+fn every_case_field_perturbs_the_hash() {
+    let base = CaseSpec {
+        seed: 1,
+        procs: 4,
+        elems: 8,
+        schedule: ScheduleKind::Static,
+        ops: vec![vec![Op::Read(0), Op::Write(1)], vec![Op::Write(2)]],
+    };
+    // Compile-time guard: adding a CaseSpec field breaks this destructuring,
+    // pointing whoever adds it at hash_case_into + this test.
+    let CaseSpec {
+        seed: _,
+        procs: _,
+        elems: _,
+        schedule: _,
+        ops: _,
+    } = base.clone();
+
+    let cfg = MachineConfig::default();
+    let base_key = key(&base, &cfg);
+
+    let mut perturbed: Vec<(&str, CaseSpec)> = Vec::new();
+    let mut with = |name: &'static str, f: &dyn Fn(&mut CaseSpec)| {
+        let mut c = base.clone();
+        f(&mut c);
+        perturbed.push((name, c));
+    };
+    with("procs", &|c| c.procs = 5);
+    with("elems", &|c| c.elems = 9);
+    with("schedule/block_cyclic", &|c| {
+        c.schedule = ScheduleKind::BlockCyclic { block: 2 }
+    });
+    with("schedule/dynamic", &|c| {
+        c.schedule = ScheduleKind::Dynamic { block: 2 }
+    });
+    with("schedule/block value", &|c| {
+        c.schedule = ScheduleKind::BlockCyclic { block: 3 }
+    });
+    with("ops/element", &|c| c.ops[0][0] = Op::Read(3));
+    with("ops/kind", &|c| c.ops[0][0] = Op::Write(0));
+    with("ops/extra op", &|c| c.ops[1].push(Op::Read(1)));
+    with("ops/extra empty iter", &|c| c.ops.push(Vec::new()));
+    with("ops/dropped iter", &|c| {
+        c.ops.pop();
+    });
+
+    for (name, c) in &perturbed {
+        assert_ne!(key(c, &cfg), base_key, "CaseSpec field `{name}` ignored");
+    }
+    // The seed is provenance, not content: it must NOT perturb.
+    let mut reseeded = base.clone();
+    reseeded.seed = 999;
+    assert_eq!(key(&reseeded, &cfg), base_key);
+}
+
+/// Every field of `MachineConfig` — including every field of the nested
+/// `MemSystemConfig`, `CacheConfig`, `LatencyConfig`, `NetConfig`,
+/// `FaultConfig` and `RetryConfig` — perturbs the hash.
+#[test]
+fn every_machine_config_field_perturbs_the_hash() {
+    let base = MachineConfig::default();
+    // Compile-time guards: adding a field to any config struct breaks the
+    // matching destructuring below, pointing at hash_machine_config_into.
+    let MachineConfig {
+        mem,
+        write_buffer: _,
+        barrier_overhead: _,
+        sched_static_overhead: _,
+        sched_lock_hold: _,
+        abort_latency: _,
+        iter_reset_cost: _,
+        detailed_barrier: _,
+        trace_capacity: _,
+        trace_net: _,
+        recovery: _,
+    } = base;
+    let MemSystemConfig {
+        procs: _,
+        cache,
+        latency,
+        dir_banks: _,
+        net,
+        dirty_read_downgrades: _,
+        retry,
+    } = mem;
+    let CacheConfig {
+        l1_lines: _,
+        l2_lines: _,
+    } = cache;
+    let LatencyConfig {
+        l1_hit: _,
+        l2_hit: _,
+        local_mem: _,
+        remote_2hop: _,
+        remote_3hop: _,
+        owner_fetch_extra: _,
+        invalidate_extra: _,
+        net_oneway: _,
+        mem_service: _,
+        update_service: _,
+    } = latency;
+    let NetConfig {
+        topology: _,
+        hop_latency: _,
+        link_service: _,
+        faults,
+    } = net;
+    let FaultConfig {
+        seed: _,
+        drop_ppm: _,
+        dup_ppm: _,
+        delay_ppm: _,
+        delay_cycles: _,
+    } = faults;
+    let RetryConfig {
+        timeout: _,
+        max_retries: _,
+    } = retry;
+
+    let case = CaseSpec::generate(3);
+    let base_key = key(&case, &base);
+
+    let mut perturbed: Vec<(&str, MachineConfig)> = Vec::new();
+    let mut with = |name: &'static str, f: &dyn Fn(&mut MachineConfig)| {
+        let mut c = base;
+        f(&mut c);
+        perturbed.push((name, c));
+    };
+
+    with("mem.procs", &|c| c.mem.procs += 1);
+    with("mem.cache.l1_lines", &|c| c.mem.cache.l1_lines += 1);
+    with("mem.cache.l2_lines", &|c| c.mem.cache.l2_lines += 1);
+    with("mem.latency.l1_hit", &|c| c.mem.latency.l1_hit += 1);
+    with("mem.latency.l2_hit", &|c| c.mem.latency.l2_hit += 1);
+    with("mem.latency.local_mem", &|c| c.mem.latency.local_mem += 1);
+    with("mem.latency.remote_2hop", &|c| {
+        c.mem.latency.remote_2hop += 1
+    });
+    with("mem.latency.remote_3hop", &|c| {
+        c.mem.latency.remote_3hop += 1
+    });
+    with("mem.latency.owner_fetch_extra", &|c| {
+        c.mem.latency.owner_fetch_extra += 1
+    });
+    with("mem.latency.invalidate_extra", &|c| {
+        c.mem.latency.invalidate_extra += 1
+    });
+    with("mem.latency.net_oneway", &|c| c.mem.latency.net_oneway += 1);
+    with("mem.latency.mem_service", &|c| {
+        c.mem.latency.mem_service += 1
+    });
+    with("mem.latency.update_service", &|c| {
+        c.mem.latency.update_service += 1
+    });
+    with("mem.dir_banks", &|c| c.mem.dir_banks += 1);
+    with("mem.net.topology", &|c| {
+        c.mem.net.topology = Topology::Mesh2D { cols: 4, rows: 4 }
+    });
+    with("mem.net.topology shape", &|c| {
+        c.mem.net.topology = Topology::Mesh2D { cols: 2, rows: 8 }
+    });
+    with("mem.net.hop_latency", &|c| c.mem.net.hop_latency += 1);
+    with("mem.net.link_service", &|c| c.mem.net.link_service += 1);
+    with("mem.net.faults.seed", &|c| c.mem.net.faults.seed += 1);
+    with("mem.net.faults.drop_ppm", &|c| {
+        c.mem.net.faults.drop_ppm += 1
+    });
+    with("mem.net.faults.dup_ppm", &|c| c.mem.net.faults.dup_ppm += 1);
+    with("mem.net.faults.delay_ppm", &|c| {
+        c.mem.net.faults.delay_ppm += 1
+    });
+    with("mem.net.faults.delay_cycles", &|c| {
+        c.mem.net.faults.delay_cycles += 1
+    });
+    with("mem.dirty_read_downgrades", &|c| {
+        c.mem.dirty_read_downgrades = !c.mem.dirty_read_downgrades
+    });
+    with("mem.retry.timeout", &|c| c.mem.retry.timeout += 1);
+    with("mem.retry.max_retries", &|c| c.mem.retry.max_retries += 1);
+    with("write_buffer", &|c| c.write_buffer += 1);
+    with("barrier_overhead", &|c| c.barrier_overhead += 1);
+    with("sched_static_overhead", &|c| c.sched_static_overhead += 1);
+    with("sched_lock_hold", &|c| c.sched_lock_hold += 1);
+    with("abort_latency", &|c| c.abort_latency += 1);
+    with("iter_reset_cost", &|c| c.iter_reset_cost += 1);
+    with("detailed_barrier", &|c| {
+        c.detailed_barrier = !c.detailed_barrier
+    });
+    with("trace_capacity", &|c| c.trace_capacity += 1);
+    with("trace_net", &|c| c.trace_net = !c.trace_net);
+    with("recovery", &|c| {
+        c.recovery = RecoveryPolicy::RetrySpeculative { max_attempts: 1 }
+    });
+    with("recovery/max_attempts", &|c| {
+        c.recovery = RecoveryPolicy::RetrySpeculative { max_attempts: 2 }
+    });
+
+    // Every perturbation moves the key away from the base...
+    for (name, cfg) in &perturbed {
+        assert_ne!(
+            key(&case, cfg),
+            base_key,
+            "MachineConfig field `{name}` ignored by the canonical hash"
+        );
+    }
+    // ...and no two single-field perturbations collide with each other
+    // (cheap sanity that the mixing actually avalanches per field).
+    for i in 0..perturbed.len() {
+        for j in i + 1..perturbed.len() {
+            assert_ne!(
+                key(&case, &perturbed[i].1),
+                key(&case, &perturbed[j].1),
+                "`{}` and `{}` collide",
+                perturbed[i].0,
+                perturbed[j].0
+            );
+        }
+    }
+}

@@ -226,6 +226,35 @@ impl Histogram {
         self.sum
     }
 
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`) from the log-2 buckets.
+    ///
+    /// Walks the buckets until the cumulative count reaches `ceil(q *
+    /// count)` and returns that bucket's upper bound (`2^(i+1) - 1`),
+    /// clamped to the recorded maximum so outliers don't inflate the tail
+    /// beyond what was seen. Zero when empty. Bucket resolution means the
+    /// answer is exact only to within a factor of two — fine for the p50 /
+    /// p99 service-latency lines it feeds, where order of magnitude and
+    /// trend matter, not the exact microsecond.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
     /// Merges another histogram into this one (bucket-wise addition).
     pub fn merge(&mut self, other: &Histogram) {
         for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -400,6 +429,25 @@ mod tests {
         assert_eq!(h.bucket(6), 1); // 100 in [64,128)
         assert_eq!(h.max(), 100);
         assert!((h.mean() - (110.0 / 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles_walk_the_buckets() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0); // empty
+        for _ in 0..99 {
+            h.record(10); // bucket [8,16)
+        }
+        h.record(1000); // bucket [512,1024)
+        assert_eq!(h.quantile(0.5), 15); // within the [8,16) bucket
+        assert_eq!(h.quantile(0.99), 15);
+        assert_eq!(h.quantile(1.0), 1000); // upper bound clamped to max
+                                           // A single sample answers every quantile with itself (clamped).
+        let mut one = Histogram::new();
+        one.record(5);
+        assert_eq!(one.quantile(0.0), 5);
+        assert_eq!(one.quantile(0.5), 5);
+        assert_eq!(one.quantile(1.0), 5);
     }
 
     #[test]

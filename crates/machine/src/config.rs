@@ -36,7 +36,7 @@ impl RecoveryPolicy {
 }
 
 /// Constants governing processor and synchronization behaviour.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MachineConfig {
     /// Memory-system configuration (processors, caches, latencies).
     pub mem: MemSystemConfig,

@@ -19,17 +19,22 @@
 //! * [`scenario`] — the paper's four scenarios: `Serial`, `Ideal`
 //!   (doall without tests), `SW` (software LRPD with instrumented marking,
 //!   merging and analysis phases) and `HW` (the proposed hardware scheme),
-//!   including backup/restore and serial re-execution on failure.
+//!   including backup/restore and serial re-execution on failure;
+//! * [`pool`] — thread-local [`specrt_proto::MemSystem`] reuse: scenario
+//!   runs lease a reset machine instead of rebuilding one per case, the
+//!   `machine.setup` cost the host profile flagged.
 
 pub mod config;
 pub mod exec;
 pub mod loopspec;
+pub mod pool;
 pub mod scenario;
 pub mod sched;
 
 pub use config::{MachineConfig, RecoveryPolicy};
 pub use exec::{ExecEnd, ExecSummary, Executor, BARRIER_ARRAY};
 pub use loopspec::{ArrayDecl, LoopSpec, ScheduleKind};
+pub use pool::PooledMem;
 pub use scenario::{run_scenario, run_scenario_configured, RunResult, Scenario, SwVariant};
 pub use sched::{
     BlockCyclic, DynamicSelf, Replicated, SchedDecision, Scheduler, StaticChunked, Windowed,

@@ -1,0 +1,140 @@
+//! Thread-local [`MemSystem`] reuse pool.
+//!
+//! The host profile (DESIGN.md §13) charges a visible slice of every case to
+//! `machine.setup`: each scenario run used to construct a fresh [`MemSystem`]
+//! — caches, directories, network, speculative stores — only to throw it
+//! away a few thousand simulated cycles later. Under a long-running server
+//! (`specrt-serve`) or a fuzz sweep, consecutive requests overwhelmingly
+//! share one [`MemSystemConfig`], so the pool keeps recently-dropped systems
+//! per thread and hands them back after an in-place
+//! [`MemSystem::reset_for_reuse`], which keeps the big containers' allocated
+//! capacity.
+//!
+//! Correctness: a reset system must be observationally identical to a fresh
+//! one — the serving layer's byte-identity guarantee (cold = warm = any
+//! `--jobs`) rides on it, and `tests/pool.rs` pins it by running the same
+//! loop back-to-back on one pooled instance. The pool is thread-local, so
+//! parallel workers (`crates/par`) never contend and per-thread behaviour
+//! stays deterministic.
+//!
+//! Scenario runners lease through [`lease`]; the guard returns the system on
+//! drop. [`counters`] exposes global build/reuse totals for the serve
+//! metrics plane (telemetry only — never part of a deterministic payload).
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use specrt_proto::{MemSystem, MemSystemConfig};
+
+/// Systems kept per thread. Scenario runners hold at most two machines at
+/// once (a speculative run plus its serial re-execution uses them
+/// sequentially), so a small pool already captures the reuse; anything
+/// larger just holds memory hostage on wide sweeps with varied configs.
+const MAX_POOLED: usize = 4;
+
+thread_local! {
+    static POOL: RefCell<Vec<(MemSystemConfig, MemSystem)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+static BUILDS: AtomicU64 = AtomicU64::new(0);
+static REUSES: AtomicU64 = AtomicU64::new(0);
+
+/// A leased [`MemSystem`], returned to the thread's pool on drop.
+///
+/// Dereferences to [`MemSystem`]; scenario code uses it exactly like an
+/// owned system.
+pub struct PooledMem {
+    cfg: MemSystemConfig,
+    ms: Option<MemSystem>,
+}
+
+/// Leases a system for `cfg`: a pooled instance with the identical
+/// configuration (reset in place) when one is available on this thread, a
+/// freshly constructed one otherwise.
+pub fn lease(cfg: MemSystemConfig) -> PooledMem {
+    let pooled = POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.iter()
+            .position(|(c, _)| *c == cfg)
+            .map(|i| p.swap_remove(i).1)
+    });
+    let ms = match pooled {
+        Some(mut ms) => {
+            let _prof = specrt_prof::scope("machine.reset");
+            ms.reset_for_reuse();
+            REUSES.fetch_add(1, Ordering::Relaxed);
+            ms
+        }
+        None => {
+            BUILDS.fetch_add(1, Ordering::Relaxed);
+            MemSystem::new(cfg)
+        }
+    };
+    PooledMem { cfg, ms: Some(ms) }
+}
+
+/// Global `(builds, reuses)` totals across all threads since process start.
+/// Monotonic telemetry for the serve metrics plane; relaxed counters, never
+/// part of a deterministic result payload.
+pub fn counters() -> (u64, u64) {
+    (
+        BUILDS.load(Ordering::Relaxed),
+        REUSES.load(Ordering::Relaxed),
+    )
+}
+
+impl Deref for PooledMem {
+    type Target = MemSystem;
+
+    fn deref(&self) -> &MemSystem {
+        self.ms.as_ref().expect("leased system present until drop")
+    }
+}
+
+impl DerefMut for PooledMem {
+    fn deref_mut(&mut self) -> &mut MemSystem {
+        self.ms.as_mut().expect("leased system present until drop")
+    }
+}
+
+impl Drop for PooledMem {
+    fn drop(&mut self) {
+        let ms = self.ms.take().expect("dropped once");
+        POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            if p.len() < MAX_POOLED {
+                p.push((self.cfg, ms));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_reuses_matching_config_on_this_thread() {
+        let cfg = MemSystemConfig::default();
+        let (b0, r0) = counters();
+        drop(lease(cfg)); // seed the pool
+        let _m = lease(cfg); // must come back from the pool
+        let (b1, r1) = counters();
+        // Other tests on other threads may build concurrently, but *this*
+        // thread's second lease can only have been a reuse.
+        assert!(r1 > r0, "second lease should reuse ({r0} -> {r1})");
+        assert!(b1 > b0);
+    }
+
+    #[test]
+    fn different_config_builds_fresh() {
+        let a = MemSystemConfig::default();
+        let mut b = a;
+        b.procs = a.procs + 1;
+        drop(lease(a));
+        let leased = lease(b);
+        assert_eq!(leased.procs(), b.procs);
+    }
+}

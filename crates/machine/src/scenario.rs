@@ -246,7 +246,7 @@ fn single_proc(mut cfg: MachineConfig) -> MachineConfig {
 
 fn run_serial(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
     let cfg = single_proc(cfg);
-    let mut ms = MemSystem::new(cfg.mem);
+    let mut ms = crate::pool::lease(cfg.mem);
     if cfg.trace_capacity > 0 {
         ms.enable_event_trace(cfg.trace_capacity);
         ms.set_net_trace(cfg.trace_net);
@@ -293,7 +293,7 @@ fn serial_reexec(
 ) -> (Cycles, TimeBreakdown, MemoryImage) {
     let _prof = specrt_prof::scope("machine.serial_reexec");
     let cfg = single_proc(cfg);
-    let mut ms = MemSystem::new(cfg.mem);
+    let mut ms = crate::pool::lease(cfg.mem);
     let mut image = MemoryImage::new();
     for a in &spec.arrays {
         ms.alloc_array(a.id, a.len, a.elem, PlacementPolicy::Local(NodeId(0)));
@@ -326,7 +326,7 @@ fn serial_reexec(
 
 fn run_ideal(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
     let procs = cfg.procs();
-    let mut ms = MemSystem::new(cfg.mem);
+    let mut ms = crate::pool::lease(cfg.mem);
     if cfg.trace_capacity > 0 {
         ms.enable_event_trace(cfg.trace_capacity);
         ms.set_net_trace(cfg.trace_net);
@@ -604,7 +604,7 @@ fn setup_speculative_storage(
 
 fn run_hw(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
     let procs = cfg.procs();
-    let mut ms = MemSystem::new(cfg.mem);
+    let mut ms = crate::pool::lease(cfg.mem);
     if cfg.trace_capacity > 0 {
         ms.enable_event_trace(cfg.trace_capacity);
         ms.set_net_trace(cfg.trace_net);
@@ -842,7 +842,7 @@ fn run_hw(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
 
 fn run_sw(spec: &LoopSpec, cfg: MachineConfig, variant: SwVariant) -> RunResult {
     let procs = cfg.procs();
-    let mut ms = MemSystem::new(cfg.mem);
+    let mut ms = crate::pool::lease(cfg.mem);
     if cfg.trace_capacity > 0 {
         ms.enable_event_trace(cfg.trace_capacity);
         ms.set_net_trace(cfg.trace_net);

@@ -46,6 +46,10 @@
 //! telemetry rides the opt-in profile channel and never the gated
 //! deterministic outputs.
 
+pub mod pool;
+
+pub use pool::{Lane, QueueFull, WorkerPool};
+
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;

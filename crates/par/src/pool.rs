@@ -1,0 +1,328 @@
+//! A persistent worker pool with two priority lanes and a bounded queue.
+//!
+//! [`crate::par_map`] is fork-join: it spins workers up for one call and
+//! tears them down after. A long-running server cannot afford that — it
+//! needs threads that outlive any single request, a queue that *rejects*
+//! work when full (backpressure beats unbounded memory growth), and a way
+//! to keep short interactive queries responsive while a batch sweep is
+//! queued behind them. [`WorkerPool`] provides exactly that:
+//!
+//! * two FIFO lanes — [`Lane::Interactive`] is always drained before
+//!   [`Lane::Batch`]; within a lane, submission order is preserved;
+//! * each lane is bounded at `queue_depth`; a full lane fails the submit
+//!   with [`QueueFull`] immediately (the caller turns that into a `busy`
+//!   response — nothing blocks, nothing buffers unboundedly);
+//! * a panicking job is caught and counted; the worker survives. The
+//!   submitter observes the panic through whatever channel the job was
+//!   going to answer on (a dropped sender), keeping one poisoned request
+//!   from taking the whole service down.
+//!
+//! Dropping the pool shuts it down: queued-but-unstarted jobs are
+//! abandoned, workers finish their current job and exit, and the drop
+//! joins them all.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Scheduling class of one submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lane {
+    /// Latency-sensitive: drained strictly before any batch work.
+    Interactive,
+    /// Throughput work: runs when no interactive job is queued.
+    Batch,
+}
+
+impl Lane {
+    /// Stable lower-case name (wire protocol + metrics labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Lane::Interactive => "interactive",
+            Lane::Batch => "batch",
+        }
+    }
+
+    /// Parses [`Lane::name`] back. Unknown strings are `None`.
+    pub fn parse(s: &str) -> Option<Lane> {
+        match s {
+            "interactive" => Some(Lane::Interactive),
+            "batch" => Some(Lane::Batch),
+            _ => None,
+        }
+    }
+}
+
+/// Submission failed because the lane's queue is at capacity. Contains the
+/// rejected lane; the job itself is dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull(pub Lane);
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} queue full", self.0.name())
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queues {
+    interactive: VecDeque<Job>,
+    batch: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queues: Mutex<Queues>,
+    /// Signals workers: a job arrived or shutdown began.
+    ready: Condvar,
+    depth: usize,
+    executed: AtomicU64,
+    panicked: AtomicU64,
+}
+
+/// The persistent two-lane pool. See the module docs.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least 1) sharing two lanes bounded at
+    /// `queue_depth` jobs each (at least 1).
+    pub fn new(workers: usize, queue_depth: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let depth = queue_depth.max(1);
+        let shared = Arc::new(Shared {
+            queues: Mutex::new(Queues {
+                interactive: VecDeque::new(),
+                batch: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            depth,
+            executed: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("specrt-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Enqueues `job` on `lane`. Returns [`QueueFull`] without blocking if
+    /// the lane is at capacity or the pool is shutting down.
+    pub fn submit<F>(&self, lane: Lane, job: F) -> Result<(), QueueFull>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let mut q = self.shared.queues.lock().expect("pool lock");
+        if q.shutdown {
+            return Err(QueueFull(lane));
+        }
+        let queue = match lane {
+            Lane::Interactive => &mut q.interactive,
+            Lane::Batch => &mut q.batch,
+        };
+        if queue.len() >= self.shared.depth {
+            return Err(QueueFull(lane));
+        }
+        queue.push_back(Box::new(job));
+        drop(q);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+
+    /// Current `(interactive, batch)` queue depths (queued, not running).
+    pub fn queue_depths(&self) -> (usize, usize) {
+        let q = self.shared.queues.lock().expect("pool lock");
+        (q.interactive.len(), q.batch.len())
+    }
+
+    /// Per-lane capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.depth
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs completed (including panicked ones) since construction.
+    pub fn executed(&self) -> u64 {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs that panicked (worker survived) since construction.
+    pub fn panicked(&self) -> u64 {
+        self.shared.panicked.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queues.lock().expect("pool lock");
+            q.shutdown = true;
+            // Unstarted work is abandoned; in-flight responses surface the
+            // shutdown to their submitters via dropped channels.
+            q.interactive.clear();
+            q.batch.clear();
+        }
+        self.shared.ready.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queues.lock().expect("pool lock");
+            loop {
+                if let Some(job) = q.interactive.pop_front() {
+                    break job;
+                }
+                if let Some(job) = q.batch.pop_front() {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.ready.wait(q).expect("pool wait");
+            }
+        };
+        let _prof = specrt_prof::scope("pool.job");
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            shared.panicked.fetch_add(1, Ordering::Relaxed);
+        }
+        shared.executed.fetch_add(1, Ordering::Relaxed);
+        specrt_prof::flush_thread();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn lane_names_round_trip() {
+        for lane in [Lane::Interactive, Lane::Batch] {
+            assert_eq!(Lane::parse(lane.name()), Some(lane));
+        }
+        assert_eq!(Lane::parse("bulk"), None);
+    }
+
+    #[test]
+    fn executes_submitted_jobs() {
+        let pool = WorkerPool::new(2, 8);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..6u32 {
+            let tx = tx.clone();
+            pool.submit(Lane::Batch, move || tx.send(i).unwrap())
+                .unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(pool.executed(), 6);
+        assert_eq!(pool.panicked(), 0);
+    }
+
+    #[test]
+    fn full_lane_rejects_without_blocking() {
+        let pool = WorkerPool::new(1, 2);
+        // Wedge the single worker so queued jobs stay queued.
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.submit(Lane::Interactive, move || {
+            started_tx.send(()).unwrap();
+            gate_rx.recv().unwrap();
+        })
+        .unwrap();
+        started_rx.recv().unwrap(); // worker is now wedged
+        pool.submit(Lane::Batch, || {}).unwrap();
+        pool.submit(Lane::Batch, || {}).unwrap();
+        assert_eq!(pool.submit(Lane::Batch, || {}), Err(QueueFull(Lane::Batch)));
+        // The other lane still has room.
+        pool.submit(Lane::Interactive, || {}).unwrap();
+        assert_eq!(pool.queue_depths(), (1, 2));
+        gate_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn interactive_preempts_queued_batch_work() {
+        let pool = WorkerPool::new(1, 8);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.submit(Lane::Batch, move || {
+            started_tx.send(()).unwrap();
+            gate_rx.recv().unwrap();
+        })
+        .unwrap();
+        started_rx.recv().unwrap();
+        // Queue batch first, interactive second; the single worker must
+        // still run the interactive job first.
+        let (order_tx, order_rx) = mpsc::channel();
+        let t1 = order_tx.clone();
+        pool.submit(Lane::Batch, move || t1.send("batch").unwrap())
+            .unwrap();
+        let t2 = order_tx.clone();
+        pool.submit(Lane::Interactive, move || t2.send("interactive").unwrap())
+            .unwrap();
+        drop(order_tx);
+        gate_tx.send(()).unwrap();
+        assert_eq!(order_rx.recv().unwrap(), "interactive");
+        assert_eq!(order_rx.recv().unwrap(), "batch");
+    }
+
+    #[test]
+    fn panicking_job_leaves_worker_alive() {
+        let pool = WorkerPool::new(1, 8);
+        pool.submit(Lane::Batch, || panic!("job bug")).unwrap();
+        let (tx, rx) = mpsc::channel();
+        pool.submit(Lane::Batch, move || tx.send(7u32).unwrap())
+            .unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)), Ok(7));
+        assert_eq!(pool.panicked(), 1);
+    }
+
+    #[test]
+    fn drop_joins_and_abandons_queued_work() {
+        let pool = WorkerPool::new(1, 8);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.submit(Lane::Batch, move || {
+            started_tx.send(()).unwrap();
+            gate_rx.recv().unwrap();
+        })
+        .unwrap();
+        started_rx.recv().unwrap();
+        let (tx, rx) = mpsc::channel::<u32>();
+        pool.submit(Lane::Batch, move || tx.send(1).unwrap())
+            .unwrap();
+        gate_tx.send(()).unwrap();
+        drop(pool); // must not hang; the queued job may or may not run
+                    // Either the job ran before shutdown cleared the queue, or its
+                    // sender was dropped: both resolve the channel promptly.
+        let _ = rx.recv_timeout(Duration::from_secs(10));
+    }
+}

@@ -37,6 +37,7 @@ pub mod system;
 
 pub use directory::{DirLineState, DirectoryNode};
 pub use latency::LatencyConfig;
+pub use specrt_cache::CacheConfig;
 pub use specrt_net::{
     Delivery, FaultAction, FaultConfig, FaultStats, LinkStat, NetConfig, NetSummary, Network,
     Topology,

@@ -57,7 +57,7 @@ pub struct AccessOutcome {
 }
 
 /// Configuration of the memory system.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemSystemConfig {
     /// Number of processors (= nodes).
     pub procs: u32,
@@ -474,6 +474,65 @@ impl MemSystem {
         }
         self.msg_arrival.clear();
         self.stats.incr("retry.speculative_reruns");
+    }
+
+    /// Returns the system to the state of a fresh [`MemSystem::new`] with
+    /// the same configuration, while keeping the big containers' allocated
+    /// capacity (cache slot vectors, line/tag maps, directory maps). This
+    /// is the machine-reuse path: a pooled worker serving many requests
+    /// resets instead of reconstructing, eliminating the per-case
+    /// `machine.setup` rebuild named by the host profile.
+    ///
+    /// Everything observable must replay exactly as on a fresh system —
+    /// the serving layer's byte-identity guarantee (cold = warm = any job
+    /// count) rides on it:
+    /// * the NUMA allocator rewinds to page 1 / node 0, so array addresses
+    ///   and placements repeat;
+    /// * the fault plane rewinds to its configured seed, so fault-injected
+    ///   runs repeat;
+    /// * the speculative stores are **reconstructed**, not just cleared —
+    ///   their per-array registrations (keyed by `ArrayId`, sized at
+    ///   registration) would otherwise leak stale lengths into the next
+    ///   request;
+    /// * stats, traces and scratch all zero; the tracer is detached
+    ///   (re-enable per request via [`MemSystem::enable_event_trace`]).
+    ///
+    /// The env-derived `SPECRT_TRACE` filter survives: it is host
+    /// configuration, not per-run state.
+    pub fn reset_for_reuse(&mut self) {
+        let procs = self.cfg.procs as usize;
+        self.numa.reset();
+        self.plan = TestPlan::new();
+        self.numbering = IterationNumbering::iteration_wise();
+        for c in &mut self.caches {
+            c.reset();
+        }
+        for d in &mut self.dirs {
+            d.reset();
+        }
+        for b in &mut self.dir_banks {
+            b.reset();
+        }
+        self.net.reset();
+        self.net_trace = false;
+        self.nonpriv = NonPrivStore::new();
+        self.priv_shared = PrivSharedStore::new();
+        self.priv_private = PrivPrivateStore::new();
+        self.priv3_shared = Priv3SharedStore::new();
+        self.priv3_private = Priv3PrivateStore::new();
+        self.private_layouts.clear();
+        self.msgs.clear();
+        self.failure = None;
+        self.cur_eff_iter.clear();
+        self.cur_eff_iter.resize(procs, 0);
+        self.stats.reset();
+        self.test_enabled = true;
+        self.stamp_base = 0;
+        self.tracer = Tracer::off();
+        self.last_queue = Cycles(0);
+        self.last_case = None;
+        self.cur_ctx = None;
+        self.msg_arrival.clear();
     }
 
     /// The recorded speculation failure, if any.

@@ -1,0 +1,124 @@
+//! Command-line entry point for the simulation service.
+//!
+//! ```text
+//! specrt-serve [--stdio | --listen ADDR] [--jobs N] [--queue-depth N]
+//!              [--cache-capacity N] [--metrics-out FILE]
+//! ```
+//!
+//! `--stdio` serves one session on stdin/stdout (tests, CI, `echo | …`
+//! one-shots); the default is a TCP listener on `127.0.0.1:7487`
+//! (`nc 127.0.0.1 7487` and type requests). Either way the service stops
+//! on `{"op":"shutdown"}` (stdio also stops at EOF).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use specrt_serve::{run_stdio, ServeConfig, Server};
+
+const USAGE: &str = "\
+specrt-serve: persistent simulation service (JSON lines in, JSON lines out)
+
+USAGE:
+    specrt-serve [OPTIONS]
+
+OPTIONS:
+    --stdio                serve stdin/stdout instead of TCP
+    --listen ADDR          TCP listen address [default: 127.0.0.1:7487]
+    --jobs N               simulation worker threads [default: host cores]
+    --queue-depth N        per-lane queue bound before `busy` [default: 64]
+    --cache-capacity N     result-cache payloads, 0 disables [default: 1024]
+    --metrics-out FILE     rewrite FILE with a metrics snapshot after each
+                           request
+    -h, --help             this help
+
+REQUESTS (one JSON object per line):
+    {\"id\":1,\"op\":\"case\",\"seed\":42,\"protocol\":\"hw-nonpriv\"}
+    {\"id\":2,\"op\":\"case\",\"case\":{...},\"protocol\":\"check\",\"lane\":\"batch\"}
+    {\"id\":3,\"op\":\"workload\",\"name\":\"ocean\",\"invocation\":0,\"scenario\":\"hw\"}
+    {\"id\":4,\"op\":\"stats\"}
+    {\"id\":5,\"op\":\"ping\"}
+    {\"id\":6,\"op\":\"shutdown\"}
+";
+
+struct Args {
+    stdio: bool,
+    listen: String,
+    cfg: ServeConfig,
+    metrics_out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        stdio: false,
+        listen: "127.0.0.1:7487".to_string(),
+        cfg: ServeConfig::default(),
+        metrics_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match a.as_str() {
+            "--stdio" => args.stdio = true,
+            "--listen" => args.listen = value("--listen")?,
+            "--jobs" => {
+                args.cfg.workers = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs needs an integer".to_string())?
+            }
+            "--queue-depth" => {
+                args.cfg.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|_| "--queue-depth needs an integer".to_string())?
+            }
+            "--cache-capacity" => {
+                args.cfg.cache_capacity = value("--cache-capacity")?
+                    .parse()
+                    .map_err(|_| "--cache-capacity needs an integer".to_string())?
+            }
+            "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("specrt-serve: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let core = specrt_serve::ServeCore::new(args.cfg);
+    core.set_metrics_out(args.metrics_out);
+    let result = if args.stdio {
+        run_stdio(&core)
+    } else {
+        match Server::bind(Arc::clone(&core), &args.listen) {
+            Ok(server) => {
+                match server.local_addr() {
+                    Ok(addr) => eprintln!(
+                        "specrt-serve: listening on {addr} ({} workers, queue depth {}, cache {})",
+                        args.cfg.workers, args.cfg.queue_depth, args.cfg.cache_capacity
+                    ),
+                    Err(_) => eprintln!("specrt-serve: listening on {}", args.listen),
+                }
+                server.run()
+            }
+            Err(e) => Err(e),
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("specrt-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! The result cache: canonical key → rendered response payload.
+//!
+//! Sharded to keep lock hold times off the request path — a hit under one
+//! shard's mutex never waits for an insert in another. Each shard is a
+//! small LRU: entries carry a monotonically increasing *touch tick*; a
+//! full shard evicts the entry with the oldest tick. Capacity is fixed at
+//! construction and `0` disables caching entirely (every lookup misses,
+//! inserts are dropped) — useful for A/B-ing the cache in the load
+//! driver.
+//!
+//! Values are `Arc<str>` because one payload may be concurrently handed
+//! to many clients; the cache never clones the bytes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const SHARDS: usize = 16;
+
+struct Shard {
+    entries: HashMap<u64, (u64, Arc<str>)>,
+    tick: u64,
+}
+
+/// A sharded LRU map from canonical request key to response payload.
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// Creates a cache holding about `capacity` payloads in total
+    /// (distributed over the shards). `0` disables caching.
+    pub fn new(capacity: usize) -> ResultCache {
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(SHARDS)
+        };
+        ResultCache {
+            shards: (0..SHARDS)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: HashMap::new(),
+                        tick: 0,
+                    })
+                })
+                .collect(),
+            per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        // The canonical key is already well-mixed; the low bits pick the
+        // shard and the full key indexes within it.
+        &self.shards[(key % SHARDS as u64) as usize]
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&self, key: u64) -> Option<Arc<str>> {
+        if self.per_shard == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut s = self.shard(key).lock().expect("cache lock");
+        s.tick += 1;
+        let tick = s.tick;
+        match s.entries.get_mut(&key) {
+            Some((touched, payload)) => {
+                *touched = tick;
+                let payload = Arc::clone(payload);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(payload)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the shard's least recently
+    /// touched entry if it is full.
+    pub fn insert(&self, key: u64, payload: Arc<str>) {
+        if self.per_shard == 0 {
+            return;
+        }
+        let mut s = self.shard(key).lock().expect("cache lock");
+        s.tick += 1;
+        let tick = s.tick;
+        if !s.entries.contains_key(&key) && s.entries.len() >= self.per_shard {
+            if let Some(&oldest) = s
+                .entries
+                .iter()
+                .min_by_key(|(_, (touched, _))| *touched)
+                .map(|(k, _)| k)
+            {
+                s.entries.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        s.entries.insert(key, (tick, payload));
+    }
+
+    /// Number of cached payloads.
+    pub fn entries(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache lock").entries.len())
+            .sum()
+    }
+
+    /// `(hits, misses, evictions)` since construction.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arc(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    #[test]
+    fn hit_after_insert_returns_same_bytes() {
+        let c = ResultCache::new(64);
+        assert!(c.get(1).is_none());
+        c.insert(1, arc("payload-one"));
+        assert_eq!(c.get(1).as_deref(), Some("payload-one"));
+        assert_eq!(c.counters().0, 1);
+        assert_eq!(c.counters().1, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let c = ResultCache::new(0);
+        c.insert(1, arc("x"));
+        assert!(c.get(1).is_none());
+        assert_eq!(c.entries(), 0);
+    }
+
+    #[test]
+    fn full_shard_evicts_least_recently_touched() {
+        // Capacity 16 over 16 shards = 1 entry per shard; keys 0 and 16
+        // share shard 0.
+        let c = ResultCache::new(16);
+        c.insert(0, arc("a"));
+        c.insert(16, arc("b"));
+        assert!(c.get(0).is_none(), "older entry evicted");
+        assert_eq!(c.get(16).as_deref(), Some("b"));
+        assert_eq!(c.counters().2, 1);
+    }
+
+    #[test]
+    fn touching_refreshes_recency() {
+        // Two entries per shard: capacity 32, keys 0/16/32 on shard 0.
+        let c = ResultCache::new(32);
+        c.insert(0, arc("a"));
+        c.insert(16, arc("b"));
+        assert!(c.get(0).is_some()); // 0 is now newer than 16
+        c.insert(32, arc("c"));
+        assert!(c.get(16).is_none(), "stale entry evicted");
+        assert!(c.get(0).is_some());
+        assert!(c.get(32).is_some());
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # specrt-serve
+//!
+//! A persistent simulation service over the full machine stack: clients
+//! send newline-delimited JSON requests (an explicit [`CaseSpec`] or
+//! generator seed, or a named paper workload, plus machine-configuration
+//! overrides and a protocol variant) and receive one JSON response line
+//! per request, in order.
+//!
+//! Sweeps re-run the same configurations constantly — fuzz replays,
+//! CI gates, parameter studies that overlap on their base points — and a
+//! `Machine` build-and-run is the expensive part. The service therefore
+//! memoizes **completed results** in a sharded LRU keyed by the canonical
+//! content hash of (case, machine config, protocol) from
+//! [`specrt_check::canonical_key`]: a repeated request is answered from
+//! the cache byte-for-byte identically without touching a Machine.
+//!
+//! * [`request`] — strict wire-request parsing and canonical cache keys;
+//! * [`cache`] — the sharded LRU result cache;
+//! * [`service`] — [`ServeCore`]: admission, the two-lane
+//!   [`specrt_par::WorkerPool`] (interactive before batch), backpressure
+//!   (`busy` responses when a lane is full), metrics, and deterministic
+//!   result rendering;
+//! * [`server`] — stdio and TCP transports with ordered pipelining.
+//!
+//! The `specrt-serve` binary wires these to the command line; the bench
+//! load driver (`crates/bench/benches/serve_load.rs`) drives [`ServeCore`]
+//! in-process.
+//!
+//! [`CaseSpec`]: specrt_check::CaseSpec
+
+pub mod cache;
+pub mod request;
+pub mod server;
+pub mod service;
+
+pub use cache::ResultCache;
+pub use request::{apply_overrides, parse_request, Parsed, Protocol, Request, SimJob, Work};
+pub use server::{run_stdio, serve_connection, Server};
+pub use service::{execute_job, image_hash, Outcome, ServeConfig, ServeCore};

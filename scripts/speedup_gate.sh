@@ -4,10 +4,15 @@
 #
 #   usage: speedup_gate.sh [BENCH_prof.json]
 #
-# Fails (exit 1) if the j=default fuzz throughput fell below 0.9x of the
-# j=1 run — parallelism must never make the harness slower. Emits a GitHub
-# warning annotation while the speedup sits below 1.5x, the open ROADMAP
-# target; the gate stops warning once the worker pool actually pays off.
+# Fails if the j=default fuzz throughput fell below 0.9x of the j=1 run —
+# parallelism must never make the harness slower. Emits a GitHub warning
+# annotation while the speedup sits below 1.5x, the open ROADMAP target;
+# the gate stops warning once the worker pool actually pays off.
+#
+# Exit codes distinguish a perf regression from broken plumbing:
+#   0  pass
+#   1  speedup below the floor (a real regression)
+#   2  bench file missing or unparseable (the bench did not run)
 #
 # Plain POSIX sh + grep/awk so it runs anywhere CI does; the JSON is
 # machine-written with one "key": value per line, which is all the parsing
@@ -21,7 +26,7 @@ WARN_BELOW="1.5"
 
 if [ ! -f "$FILE" ]; then
     echo "speedup gate: $FILE not found (run: cargo bench -p specrt-bench --bench protocol_micro)" >&2
-    exit 1
+    exit 2
 fi
 
 field() {
@@ -35,7 +40,7 @@ PARALLEL="$(field parallel_cases_per_sec)"
 
 if [ -z "$SPEEDUP" ] || [ -z "$JOBS" ]; then
     echo "speedup gate: could not parse speedup/jobs from $FILE" >&2
-    exit 1
+    exit 2
 fi
 
 echo "speedup gate: ${SERIAL} cases/s at j=1 vs ${PARALLEL} cases/s at j=${JOBS} -> ${SPEEDUP}x"
@@ -45,7 +50,7 @@ if [ "$JOBS" -le 1 ]; then
 fi
 
 awk -v s="$SPEEDUP" -v floor="$FAIL_BELOW" 'BEGIN { exit !(s < floor) }' && {
-    echo "::error::fuzz throughput at j=${JOBS} is ${SPEEDUP}x of j=1 (< ${FAIL_BELOW}x): parallelism is a slowdown"
+    echo "::error::speedup gate FAIL: measured speedup ${SPEEDUP}x at j=${JOBS} is below the ${FAIL_BELOW}x floor — parallelism is a slowdown"
     exit 1
 }
 
