@@ -3,7 +3,9 @@
 //! ```text
 //! specrt-check fuzz --cases 500 --seed 0x5eed [--jobs N] [--inject drop-ronly]
 //! specrt-check replay <seed>
-//! specrt-check interleave [--jobs N]
+//! specrt-check interleave [--jobs N] [--lines L --elems E --procs P]
+//! specrt-check model [--lines L] [--elems E] [--procs P] [--max-ops N]
+//!                    [--variant nonpriv|priv|priv3] [--jobs N] [--inject BUG]
 //! specrt-check coverage [--cases N] [--seed S] [--jobs N]
 //! specrt-check campaign [--cases N] [--fault-seeds N] [--rates ppm,ppm,..]
 //!                       [--jobs N] [--out FILE]
@@ -14,9 +16,21 @@
 //!   on and the exit code inverts: the fuzzer must *find* (and shrink) a
 //!   counterexample, proving the harness catches real regressions.
 //! * `replay` re-runs one case seed and, if it disagrees, shrinks it.
-//! * `interleave` runs the small-scope message-ordering enumeration.
-//! * `coverage` runs both and fails unless every race case (a)–(h) of the
-//!   paper's Figs. 6–7 was reached.
+//! * `interleave` runs the small-scope message-ordering enumeration at its
+//!   legacy hardcoded scope; any `--lines/--elems/--procs/--max-ops/
+//!   --variant` flag switches it to the bounded model checker (shared flag
+//!   set with `model`). Unsupported scope combinations are rejected with
+//!   the valid ranges.
+//! * `model` runs the bounded model checker over the pure `ProtocolSpec`
+//!   transition function: per-variant exhaustive small-scope exploration
+//!   (default 2 lines × 3 elems × 4 procs, all of nonpriv/priv/priv3) with
+//!   hashed-state dedup, reporting states explored, dedup hit rate and
+//!   race-case coverage; exits non-zero on any violation or missing race
+//!   case. With `--inject <bug>` the exit code inverts: the checker must
+//!   find the planted protocol bug and print a minimal counterexample.
+//! * `coverage` runs the fuzzer, the legacy enumeration and a per-variant
+//!   model-checker pass, and fails unless every race case (a)–(h) of the
+//!   paper's Figs. 6–9 was reached by each.
 //! * `campaign` sweeps the interconnect fault plane (drop / duplicate /
 //!   delay × rate × fault seed) over generated loops, asserts every run
 //!   still reproduces the serial oracle's memory image, and emits a
@@ -40,10 +54,10 @@
 use std::process::ExitCode;
 
 use specrt_check::{
-    enumerate_small_scope_jobs, fuzz_jobs, render_case, replay, run_campaign, CampaignConfig,
-    CaseSpec, Coverage, FuzzFailure,
+    enumerate_small_scope_jobs, fuzz_jobs, render_case, replay, run_campaign, run_model,
+    CampaignConfig, CaseSpec, Coverage, FuzzFailure, ModelConfig, DEFAULT_MAX_OPS,
 };
-use specrt_spec::fault;
+use specrt_spec::{fault, SpecScope, SpecVariant};
 
 fn parse_u64(s: &str) -> Option<u64> {
     if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
@@ -66,7 +80,40 @@ struct Args {
     out: Option<String>,
     profile: bool,
     profile_out: Option<String>,
+    lines: Option<u16>,
+    elems: Option<u16>,
+    procs: Option<u16>,
+    max_ops: Option<usize>,
+    variant: Option<String>,
     positional: Vec<String>,
+}
+
+impl Args {
+    /// Whether any model-scope flag was given (switches `interleave` from
+    /// its legacy hardcoded scope to the model checker).
+    fn scope_given(&self) -> bool {
+        self.lines.is_some() || self.elems.is_some() || self.procs.is_some()
+    }
+
+    /// The requested scope, validated; defaults to the full 2x3x4 target.
+    fn scope(&self) -> Result<SpecScope, String> {
+        SpecScope {
+            lines: self.lines.unwrap_or(2),
+            elems: self.elems.unwrap_or(3),
+            procs: self.procs.unwrap_or(4),
+        }
+        .validate()
+    }
+
+    /// The requested variants (default: all three).
+    fn variants(&self) -> Result<Vec<SpecVariant>, String> {
+        match &self.variant {
+            None => Ok(SpecVariant::ALL.to_vec()),
+            Some(v) => SpecVariant::parse(v).map(|v| vec![v]).ok_or(format!(
+                "unknown variant: {v} (valid: nonpriv, priv, priv3)"
+            )),
+        }
+    }
 }
 
 fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
@@ -83,6 +130,11 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         out: None,
         profile: false,
         profile_out: None,
+        lines: None,
+        elems: None,
+        procs: None,
+        max_ops: None,
+        variant: None,
         positional: Vec::new(),
     };
     while let Some(a) = argv.next() {
@@ -123,6 +175,41 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
             "--out" => {
                 args.out = Some(argv.next().ok_or("--out needs a value")?);
             }
+            "--lines" => {
+                let v = argv.next().ok_or("--lines needs a value")?;
+                args.lines = Some(
+                    parse_u64(&v)
+                        .and_then(|n| u16::try_from(n).ok())
+                        .ok_or(format!("bad --lines value: {v}"))?,
+                );
+            }
+            "--elems" => {
+                let v = argv.next().ok_or("--elems needs a value")?;
+                args.elems = Some(
+                    parse_u64(&v)
+                        .and_then(|n| u16::try_from(n).ok())
+                        .ok_or(format!("bad --elems value: {v}"))?,
+                );
+            }
+            "--procs" => {
+                let v = argv.next().ok_or("--procs needs a value")?;
+                args.procs = Some(
+                    parse_u64(&v)
+                        .and_then(|n| u16::try_from(n).ok())
+                        .ok_or(format!("bad --procs value: {v}"))?,
+                );
+            }
+            "--max-ops" => {
+                let v = argv.next().ok_or("--max-ops needs a value")?;
+                args.max_ops = Some(
+                    parse_u64(&v)
+                        .and_then(|n| usize::try_from(n).ok())
+                        .ok_or(format!("bad --max-ops value: {v}"))?,
+                );
+            }
+            "--variant" => {
+                args.variant = Some(argv.next().ok_or("--variant needs a value")?);
+            }
             "--profile" => args.profile = true,
             other if other.starts_with("--profile=") => {
                 args.profile = true;
@@ -140,8 +227,9 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
 }
 
 fn usage() -> String {
-    "usage: specrt-check <fuzz|replay|interleave|coverage|campaign> \
+    "usage: specrt-check <fuzz|replay|interleave|model|coverage|campaign> \
      [--cases N] [--seed S] [--jobs N] [--inject drop-ronly] \
+     [--lines N] [--elems N] [--procs N] [--max-ops N] [--variant nonpriv|priv|priv3] \
      [--fault-seeds N] [--rates ppm,ppm,..] [--out FILE] [--profile[=FILE]] [seed]"
         .to_string()
 }
@@ -227,6 +315,11 @@ fn cmd_replay(args: &Args) -> ExitCode {
 }
 
 fn cmd_interleave(args: &Args) -> ExitCode {
+    if args.scope_given() || args.variant.is_some() || args.max_ops.is_some() {
+        // The enumerator grew into the model checker; an explicit scope
+        // selects it (the flag set is shared with `model`).
+        return cmd_model(args);
+    }
     let mut cov = Coverage::new();
     let summary = enumerate_small_scope_jobs(&mut cov, args.jobs);
     println!(
@@ -238,6 +331,59 @@ fn cmd_interleave(args: &Args) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+fn cmd_model(args: &Args) -> ExitCode {
+    let (scope, variants) = match (args.scope(), args.variants()) {
+        (Ok(s), Ok(v)) => (s, v),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _guard = args.inject.map(fault::Injected::new);
+    let mut all_ok = true;
+    let mut all_covered = true;
+    for variant in &variants {
+        let report = run_model(&ModelConfig {
+            variant: *variant,
+            scope,
+            max_ops: args.max_ops.unwrap_or(DEFAULT_MAX_OPS),
+            jobs: args.jobs,
+        });
+        print!("{}", report.render());
+        all_ok &= report.ok();
+        if !report.coverage.complete() {
+            all_covered = false;
+            println!(
+                "model {}: race cases NOT visited: {:?}",
+                variant.name(),
+                report.coverage.unvisited()
+            );
+        }
+    }
+    match args.inject {
+        // A deliberately broken protocol must be caught by the checker.
+        Some(k) => {
+            if all_ok {
+                println!(
+                    "injected bug '{}' was NOT caught by the model checker",
+                    k.name()
+                );
+                ExitCode::FAILURE
+            } else {
+                println!("injected bug '{}' caught (counterexample above)", k.name());
+                ExitCode::SUCCESS
+            }
+        }
+        None => {
+            if all_ok && all_covered {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
     }
 }
 
@@ -267,12 +413,47 @@ fn cmd_coverage(args: &Args) -> ExitCode {
     if summary.violations > 0 || !report.ok() {
         return ExitCode::FAILURE;
     }
+    // The model checker must also reach every race site, per protocol
+    // variant (the scope flags widen this; the default smoke scope is the
+    // smallest that covers all eight letters everywhere).
+    let mut model_ok = true;
+    for variant in SpecVariant::ALL {
+        let mut cfg = ModelConfig::smoke(variant);
+        if args.scope_given() || args.max_ops.is_some() {
+            match args.scope() {
+                Ok(scope) => cfg.scope = scope,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            cfg.max_ops = args.max_ops.unwrap_or(DEFAULT_MAX_OPS);
+        }
+        cfg.jobs = args.jobs;
+        let model = run_model(&cfg);
+        print!("model {} coverage:", variant.name());
+        for (i, n) in model.coverage.counts.iter().enumerate() {
+            print!(" {}={}", (b'a' + i as u8) as char, n);
+        }
+        println!();
+        if !model.ok() || !model.coverage.complete() {
+            model_ok = false;
+            println!(
+                "model {}: violations {} / race cases NOT visited: {:?}",
+                variant.name(),
+                model.violations + model.invariant_violations,
+                model.coverage.unvisited()
+            );
+        }
+    }
     let missing = cov.unvisited();
-    if missing.is_empty() {
+    if missing.is_empty() && model_ok {
         println!("all race cases (a)-(h) visited");
         ExitCode::SUCCESS
     } else {
-        println!("race cases NOT visited: {missing:?}");
+        if !missing.is_empty() {
+            println!("race cases NOT visited: {missing:?}");
+        }
         ExitCode::FAILURE
     }
 }
@@ -343,6 +524,7 @@ fn main() -> ExitCode {
                 "fuzz" => cmd_fuzz(&args),
                 "replay" => cmd_replay(&args),
                 "interleave" => cmd_interleave(&args),
+                "model" => cmd_model(&args),
                 "coverage" => cmd_coverage(&args),
                 "campaign" => cmd_campaign(&args),
                 other => {

@@ -22,6 +22,12 @@
 //!   deliveries and evictions for one cache line under the
 //!   non-privatization protocol, proving no ordering lets a non-envelope
 //!   access pattern pass, with coverage accounting for race cases (a)–(h).
+//! * [`model`] — a **bounded model checker** over the pure
+//!   [`specrt_spec::ProtocolSpec`] transition function: explicit-frontier
+//!   BFS with canonical hashed-state dedup ([`canon::spec_state_key`]) and
+//!   processor-symmetry reduction, covering all three protocol variants at
+//!   up to 2 lines × 3 elems × 4 procs, parallelized per script with
+//!   byte-identical reports at any worker count.
 //! * invariant hooks — the `debug_assertions` checks this crate leans on
 //!   live in `specrt-proto` ([`specrt_proto::MemSystem::assert_invariants`],
 //!   per-path in-order delivery) and `specrt-spec` (stamp monotonicity);
@@ -34,6 +40,7 @@ pub mod diff;
 pub mod fuzz;
 pub mod generate;
 pub mod interleave;
+pub mod model;
 pub mod shrink;
 
 pub use campaign::{
@@ -41,8 +48,8 @@ pub use campaign::{
 };
 pub use canon::{
     canonical_key, case_from_json, case_to_json, hash_case_into, hash_machine_config_into,
-    hash_protocol_into, hash_protocol_kind_into, write_json_string, CanonHasher, Json,
-    CANON_VERSION,
+    hash_protocol_into, hash_protocol_kind_into, hash_spec_state_into, spec_state_key,
+    write_json_string, CanonHasher, Json, CANON_VERSION,
 };
 pub use diff::{run_case, CaseResult, Mismatch};
 pub use fuzz::{
@@ -53,5 +60,9 @@ pub use generate::{CaseSpec, Op, ARR_A, ARR_OUT, TEMPLATE_SEEDS};
 pub use interleave::{
     enumerate_small_scope, enumerate_small_scope_jobs, explore_script, script_envelope_holds,
     Coverage, EnumerationSummary, ExploreResult,
+};
+pub use model::{
+    enumerate_scripts, envelope_holds, run_model, Counterexample, ModelConfig, ModelReport, Script,
+    DEFAULT_MAX_OPS, MAX_OPS_PER_PROC,
 };
 pub use shrink::shrink;

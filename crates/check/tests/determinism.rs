@@ -4,7 +4,8 @@
 //! verdicts — CI additionally cross-checks the CLI output of
 //! `specrt-check fuzz --jobs 2` against a `-j1` run.
 
-use specrt_check::{enumerate_small_scope_jobs, fuzz_jobs, Coverage};
+use specrt_check::{enumerate_small_scope_jobs, fuzz_jobs, run_model, Coverage, ModelConfig};
+use specrt_spec::{SpecScope, SpecVariant};
 
 /// The CI smoke-run configuration: 500 cases from the documented seed.
 const CASES: u64 = 500;
@@ -92,4 +93,38 @@ fn interleave_enumeration_is_identical_across_job_counts() {
     assert_eq!(s1.conservative, s4.conservative);
     assert_eq!(cov1.counts, cov4.counts, "coverage counters must match");
     assert_eq!(s1.violations, 0, "no ordering may break the envelope");
+}
+
+#[test]
+fn model_report_is_byte_identical_across_job_counts() {
+    // Same contract as the fuzzer, one layer up: the bounded model
+    // checker partitions scripts over the worker pool, and the merged
+    // report (counters, dedup rate, coverage, counterexample) must not
+    // depend on how many workers there were. CI additionally `cmp`s the
+    // CLI output of `specrt-check model --jobs 2` against a `--jobs 1`
+    // run. A 1x2x3 scope keeps this under a second while still crossing
+    // the multiset-enumeration / per-script-partitioning seams.
+    for variant in SpecVariant::ALL {
+        let cfg = ModelConfig {
+            scope: SpecScope {
+                lines: 1,
+                elems: 2,
+                procs: 3,
+            },
+            max_ops: 4,
+            ..ModelConfig::smoke(variant)
+        };
+        let serial = run_model(&ModelConfig { jobs: 1, ..cfg });
+        let parallel = run_model(&ModelConfig { jobs: 4, ..cfg });
+        assert_eq!(
+            serial.render(),
+            parallel.render(),
+            "{}: rendered model report must not depend on the worker count",
+            variant.name()
+        );
+        assert_eq!(serial.states, parallel.states);
+        assert_eq!(serial.dedup_hits, parallel.dedup_hits);
+        assert_eq!(serial.coverage.counts, parallel.coverage.counts);
+        assert!(serial.ok(), "{}: clean run must pass", variant.name());
+    }
 }

@@ -1,0 +1,131 @@
+//! Property test: [`specrt_spec::ProtocolSpec::step`] is a *pure,
+//! deterministic* function of `(state, message)`.
+//!
+//! Two angles, mirroring how `MemSystem::assert_invariants` is exercised:
+//!
+//! * **Shadow execution through the fuzz corpus.** Under
+//!   `debug_assertions`, `MemSystem` keeps a `spec_shadow` directory image
+//!   and double-evaluates every `ProtocolSpec` element transition it
+//!   executes, `debug_assert!`-ing that the pure function reproduces the
+//!   imperative machine's state and emissions at every message. Replaying
+//!   the fuzz corpus here (this test binary is built with
+//!   `debug_assertions` on) drives those hooks across every protocol
+//!   variant, schedule kind and race case the templates cover — a mismatch
+//!   panics the replay.
+//! * **Direct double-evaluation over the explored state space.** We walk
+//!   every state the bounded model checker can reach at the smoke scope
+//!   and call `step` twice on cloned inputs, asserting identical results
+//!   and untouched inputs. This catches interior mutability or
+//!   hash-ordering nondeterminism that a single shadow evaluation could
+//!   mask.
+
+use std::collections::HashSet;
+
+use specrt_check::{
+    enumerate_scripts, run_case, spec_state_key, CaseSpec, ModelConfig, Op, TEMPLATE_SEEDS,
+};
+use specrt_spec::{ProtocolSpec, SpecMessage, SpecVariant};
+
+/// Seeds beyond the hand-written templates, for generator variety.
+const RANDOM_SEEDS: u64 = 24;
+
+#[test]
+fn fuzz_corpus_replays_clean_through_the_spec_shadow() {
+    // Each case runs the full machine (all three hardware protocols plus
+    // the software baseline); with debug_assertions on, every directory
+    // and cache-tag transition inside is double-checked against the pure
+    // spec. A spec/machine divergence panics here rather than failing an
+    // assert_eq below — the point of the replay is reaching those hooks.
+    for seed in 0..TEMPLATE_SEEDS + RANDOM_SEEDS {
+        let case = CaseSpec::generate(seed);
+        let result = run_case(&case);
+        assert!(
+            result.ok(),
+            "seed {seed}: machine/oracle mismatch during shadow replay: {:?}",
+            result.mismatches
+        );
+    }
+    // The shadow hooks only exist in debug builds; this test binary is
+    // compiled with debug_assertions on (cargo's default test profile), so
+    // the replay above really did double-check every transition.
+    #[cfg(not(debug_assertions))]
+    panic!("this replay only exercises the spec shadow with debug_assertions on");
+}
+
+#[test]
+fn step_is_pure_and_deterministic_over_the_reachable_state_space() {
+    for variant in SpecVariant::ALL {
+        let cfg = ModelConfig::smoke(variant);
+        let spec = ProtocolSpec::new(variant, cfg.scope);
+        // Walk the whole symmetry-reduced script universe the smoke model
+        // run explores, double-evaluating every transition on the way.
+        // Unlike the model checker proper we do NOT prune failed states —
+        // step must be pure on those too.
+        let mut checked = 0u64;
+        for script in enumerate_scripts(variant, cfg.scope, cfg.max_ops) {
+            let mut seen = HashSet::new();
+            let mut frontier = vec![(spec.init(), vec![0usize; script.len()])];
+            while let Some((s, pcs)) = frontier.pop() {
+                let pcs16: Vec<u16> = pcs.iter().map(|&p| p as u16).collect();
+                if !seen.insert(spec_state_key(&s, &pcs16)) {
+                    continue;
+                }
+                for m in enabled(&s, &pcs, &script) {
+                    let before = s.clone();
+                    let (n1, e1) = spec.step(&s, &m);
+                    let (n2, e2) = spec.step(&s, &m);
+                    assert_eq!(s, before, "step must not mutate its input state");
+                    assert_eq!(
+                        (&n1, &e1),
+                        (&n2, &e2),
+                        "{}: step nondeterministic on {m:?}",
+                        variant.name()
+                    );
+                    checked += 1;
+                    let mut npcs = pcs.clone();
+                    if let SpecMessage::Access { proc, .. } = m {
+                        npcs[proc as usize] += 1;
+                    }
+                    frontier.push((n1, npcs));
+                }
+            }
+        }
+        assert!(
+            checked > 1_000,
+            "{}: expected a substantial state space, checked only {checked} transitions",
+            variant.name()
+        );
+    }
+}
+
+/// Every message enabled in `s`: next script ops, pending deliveries, and
+/// evictions of resident lines.
+fn enabled(s: &specrt_spec::SpecState, pcs: &[usize], script: &[Vec<Op>]) -> Vec<SpecMessage> {
+    let mut out = Vec::new();
+    for (p, seq) in script.iter().enumerate() {
+        if let Some(op) = seq.get(pcs[p]) {
+            let (write, elem) = match *op {
+                Op::Read(e) => (false, e as u16),
+                Op::Write(e) => (true, e as u16),
+            };
+            out.push(SpecMessage::Access {
+                proc: p as u16,
+                write,
+                elem,
+            });
+        }
+    }
+    for i in 0..s.inflight.len() {
+        out.push(SpecMessage::Deliver { index: i });
+    }
+    for (i, c) in s.copies.iter().enumerate() {
+        if c.is_some() {
+            // Smoke scope is 1 line x 2 procs: copies[p] is proc p, line 0.
+            out.push(SpecMessage::Evict {
+                proc: i as u16,
+                line: 0,
+            });
+        }
+    }
+    out
+}

@@ -13,16 +13,14 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::ops::Range;
 
-use specrt_cache::{CacheConfig, CacheHierarchy, HitLevel, LineState, LineTags, Victim};
+use specrt_cache::{CacheConfig, CacheHierarchy, ElemTag, HitLevel, LineState, LineTags, Victim};
 use specrt_engine::{BankedResource, Cycles, EventQueue, StatSet};
 use specrt_ir::ArrayId;
 use specrt_mem::{ArrayLayout, ElemSize, LineAddr, NodeId, NumaAllocator, PlacementPolicy, ProcId};
 use specrt_net::{Delivery, FaultAction, FaultStats, NetConfig, NetSummary, Network};
 use specrt_spec::{
-    nonpriv_cache_read, nonpriv_cache_write, nonpriv_complete_write, nonpriv_on_first_update_fail,
-    priv_cache_read, priv_cache_write, FailReason, FirstUpdateOutcome, IterationNumbering,
-    NoReadInOutcome, NonPrivReadAction, NonPrivWriteAction, PrivateReadMissOutcome,
-    PrivateReadOutcome, PrivateWriteMissOutcome, PrivateWriteOutcome, ProtocolKind, TestPlan,
+    CacheEmission, CacheEvent, DirElem, DirEmission, DirEvent, FailReason, IterationNumbering,
+    NoReadInOutcome, PrivateEffect, PrivateEvent, ProtocolKind, ProtocolSpec, TestPlan,
 };
 use specrt_trace::{HitKind, TraceEvent, Tracer};
 
@@ -41,6 +39,42 @@ pub fn private_copy_id(arr: ArrayId, proc: ProcId) -> ArrayId {
     assert!(arr.0 < (1 << 23), "array id {arr} too large to privatize");
     assert!(proc.0 < 256, "processor id {proc} too large");
     ArrayId(PRIVATE_ID_BASE | (arr.0 << 8) | proc.0)
+}
+
+/// Executes the pure non-privatization cache-tag transition in place,
+/// double-evaluating under `debug_assertions` to enforce
+/// [`ProtocolSpec`]'s determinism contract at the tag layer (free function
+/// because callers hold a tag borrow into the cache hierarchy).
+fn spec_cache_step(tag: &mut ElemTag, dirty: bool, ev: CacheEvent) -> Option<CacheEmission> {
+    let (next, em) = ProtocolSpec::cache_step(*tag, dirty, ev);
+    debug_assert_eq!(
+        (next, em),
+        ProtocolSpec::cache_step(*tag, dirty, ev),
+        "ProtocolSpec::cache_step must be deterministic"
+    );
+    *tag = next;
+    em
+}
+
+/// Executes the pure privatization cache-tag transition in place,
+/// returning whether a first-access signal must be raised.
+fn spec_private_cache(tag: &mut ElemTag, write: bool) -> bool {
+    let (next, signal) = if write {
+        ProtocolSpec::private_cache_write(*tag)
+    } else {
+        ProtocolSpec::private_cache_read(*tag)
+    };
+    debug_assert_eq!(
+        (next, signal),
+        if write {
+            ProtocolSpec::private_cache_write(*tag)
+        } else {
+            ProtocolSpec::private_cache_read(*tag)
+        },
+        "ProtocolSpec private cache steps must be deterministic"
+    );
+    *tag = next;
+    signal
 }
 
 /// Result of one simulated memory access.
@@ -199,6 +233,16 @@ pub struct MemSystem {
     /// Scratch: abort context `(proc, arr, idx, iter)` of the access or
     /// message currently being processed, consumed by [`Self::fail`].
     cur_ctx: Option<(Option<u32>, u32, u64, Option<u64>)>,
+    /// Debug-only shadow of the shared-directory stores, advanced through
+    /// [`ProtocolSpec::dir_step`] in lock-step with the real state. Every
+    /// spec step first checks the store still matches the shadow (nothing
+    /// mutated protocol state behind the spec's back) and then records the
+    /// successor the spec computed (the executor wrote back exactly that).
+    /// Together with the double evaluation in the choke points below this
+    /// enforces the spec's purity/determinism contract on every message of
+    /// every debug run — the `assert_invariants` pattern.
+    #[cfg(debug_assertions)]
+    spec_shadow: BTreeMap<(ArrayId, u64), DirElem>,
     /// Latest scheduled delivery time per `(src, dst)` node pair. On a
     /// fault-free network this only *asserts* (debug builds) the
     /// interconnect's in-order per-path guarantee — the computed arrival is
@@ -242,6 +286,8 @@ impl MemSystem {
             last_queue: Cycles(0),
             last_case: None,
             cur_ctx: None,
+            #[cfg(debug_assertions)]
+            spec_shadow: BTreeMap::new(),
             msg_arrival: BTreeMap::new(),
             trace_filter: std::env::var("SPECRT_TRACE").ok().and_then(|v| {
                 let parts: Vec<u64> = v.split(',').filter_map(|x| x.parse().ok()).collect();
@@ -338,6 +384,8 @@ impl MemSystem {
         self.priv_private.clear();
         self.priv3_shared.clear();
         self.priv3_private.clear();
+        #[cfg(debug_assertions)]
+        self.spec_shadow.clear();
         // Hardware tag reset at loop start: every resident line gets fresh
         // access bits sized for the protocol it now runs under (lines may
         // have been cached by pre-loop phases under a different plan).
@@ -439,6 +487,8 @@ impl MemSystem {
         self.stamp_base = base;
         self.priv_shared.clear();
         self.priv_private.clear_stamps();
+        #[cfg(debug_assertions)]
+        self.spec_shadow.clear();
         for e in &mut self.cur_eff_iter {
             *e = 0;
         }
@@ -466,6 +516,8 @@ impl MemSystem {
         self.priv_private.clear();
         self.priv3_shared.clear();
         self.priv3_private.clear();
+        #[cfg(debug_assertions)]
+        self.spec_shadow.clear();
         for e in &mut self.cur_eff_iter {
             *e = 0;
         }
@@ -520,6 +572,8 @@ impl MemSystem {
         self.priv_private = PrivPrivateStore::new();
         self.priv3_shared = Priv3SharedStore::new();
         self.priv3_private = Priv3PrivateStore::new();
+        #[cfg(debug_assertions)]
+        self.spec_shadow.clear();
         self.private_layouts.clear();
         self.msgs.clear();
         self.failure = None;
@@ -904,6 +958,110 @@ impl MemSystem {
     }
 
     // ------------------------------------------------------------------
+    // ProtocolSpec execution
+    // ------------------------------------------------------------------
+    //
+    // Every protocol state transition — directory entries, cache access
+    // bits, private-copy stamps — funnels through the pure
+    // [`ProtocolSpec`] element-layer steps via the choke points below.
+    // The memory system contributes only the *executor* concerns (timing,
+    // NUMA homes, cache geometry, message transport); the race-case logic
+    // itself is the same transition function `specrt-check model`
+    // enumerates. Debug builds evaluate every step twice and compare
+    // (determinism) and reconcile a shadow directory (no mutation bypasses
+    // the spec).
+
+    /// Runs [`ProtocolSpec::dir_step`] at one shared-directory element,
+    /// writing the successor back into the owning store.
+    fn spec_dir_step(&mut self, arr: ArrayId, idx: u64, ev: DirEvent) -> Option<DirEmission> {
+        let cur = match ev {
+            DirEvent::ReadFirst { .. } | DirEvent::FirstWrite { .. } => {
+                if self.priv3_shared.contains(arr) {
+                    DirElem::Priv3(*self.priv3_shared.elem(arr, idx))
+                } else {
+                    DirElem::Priv(*self.priv_shared.elem(arr, idx))
+                }
+            }
+            _ => DirElem::NonPriv(*self.nonpriv.elem(arr, idx)),
+        };
+        #[cfg(debug_assertions)]
+        if let Some(shadow) = self.spec_shadow.get(&(arr, idx)) {
+            debug_assert_eq!(
+                *shadow, cur,
+                "directory state of {arr}[{idx}] mutated outside ProtocolSpec"
+            );
+        }
+        let (next, em) = ProtocolSpec::dir_step(cur, ev);
+        #[cfg(debug_assertions)]
+        {
+            debug_assert_eq!(
+                (next, em),
+                ProtocolSpec::dir_step(cur, ev),
+                "ProtocolSpec::dir_step must be deterministic"
+            );
+            self.spec_shadow.insert((arr, idx), next);
+        }
+        match next {
+            DirElem::NonPriv(e) => *self.nonpriv.elem_mut(arr, idx) = e,
+            DirElem::Priv(e) => *self.priv_shared.elem_mut(arr, idx) = e,
+            DirElem::Priv3(e) => *self.priv3_shared.elem_mut(arr, idx) = e,
+        }
+        em
+    }
+
+    /// [`Self::spec_dir_step`] for events whose only possible emission is
+    /// a FAIL (every directory event except `First_update`).
+    fn spec_dir_test(&mut self, arr: ArrayId, idx: u64, ev: DirEvent) -> Result<(), FailReason> {
+        match self.spec_dir_step(arr, idx, ev) {
+            None => Ok(()),
+            Some(DirEmission::Fail(reason)) => Err(reason),
+            Some(em) => unreachable!("directory event {ev:?} emitted {em:?}"),
+        }
+    }
+
+    /// Runs [`ProtocolSpec::private_step`] at one element of `proc`'s
+    /// stamped private directory (which also marks it touched, feeding the
+    /// line-granularity read-in test).
+    fn spec_private_step(
+        &mut self,
+        arr: ArrayId,
+        proc: ProcId,
+        idx: u64,
+        ev: PrivateEvent,
+    ) -> PrivateEffect {
+        let cur = *self.priv_private.elem(arr, proc, idx);
+        let (next, effect) = ProtocolSpec::private_step(cur, ev);
+        debug_assert_eq!(
+            (next, effect),
+            ProtocolSpec::private_step(cur, ev),
+            "ProtocolSpec::private_step must be deterministic"
+        );
+        *self.priv_private.elem_mut(arr, proc, idx) = next;
+        self.priv_private.mark_touched(arr, proc, idx);
+        effect
+    }
+
+    /// Runs [`ProtocolSpec::private3_step`] at one element of `proc`'s
+    /// no-read-in private directory.
+    fn spec_priv3_step(
+        &mut self,
+        arr: ArrayId,
+        proc: ProcId,
+        idx: u64,
+        write: bool,
+    ) -> Result<NoReadInOutcome, FailReason> {
+        let cur = *self.priv3_private.elem(arr, proc, idx);
+        let (next, r) = ProtocolSpec::private3_step(cur, write);
+        debug_assert_eq!(
+            (next, r),
+            ProtocolSpec::private3_step(cur, write),
+            "ProtocolSpec::private3_step must be deterministic"
+        );
+        *self.priv3_private.elem_mut(arr, proc, idx) = next;
+        r
+    }
+
+    // ------------------------------------------------------------------
     // Non-privatization protocol
     // ------------------------------------------------------------------
 
@@ -927,9 +1085,9 @@ impl MemSystem {
                 .tags_mut(line)
                 .expect("resident line has tags");
             let tag = tags.get_mut(offset);
-            match nonpriv_cache_read(tag, dirty, proc) {
-                Ok(NonPrivReadAction::NoMessage) => {}
-                Ok(NonPrivReadAction::SendFirstUpdate) => {
+            match spec_cache_step(tag, dirty, CacheEvent::Read { reader: proc }) {
+                None => {}
+                Some(CacheEmission::SendFirstUpdate) => {
                     self.stats.incr("nonpriv_first_updates");
                     self.send(
                         now,
@@ -942,7 +1100,7 @@ impl MemSystem {
                         },
                     );
                 }
-                Ok(NonPrivReadAction::SendROnlyUpdate) => {
+                Some(CacheEmission::SendROnlyUpdate) => {
                     self.stats.incr("nonpriv_r_only_updates");
                     self.send(
                         now,
@@ -955,7 +1113,8 @@ impl MemSystem {
                         },
                     );
                 }
-                Err(reason) => self.fail(reason, done),
+                Some(CacheEmission::Fail(reason)) => self.fail(reason, done),
+                Some(CacheEmission::NeedWriteReq) => unreachable!("read emitted a write request"),
             }
             done
         } else {
@@ -967,7 +1126,7 @@ impl MemSystem {
             self.stats.incr("race_case_b");
             self.drain_before_transaction(proc.node(), home, now);
             let done = self.coherence_fetch(proc, line, false, now);
-            if let Err(reason) = self.nonpriv.elem_mut(arr, idx).on_read_req(proc) {
+            if let Err(reason) = self.spec_dir_test(arr, idx, DirEvent::ReadReq { from: proc }) {
                 self.fail(reason, now);
             }
             let tags = self.project_nonpriv_tags(&layout, line, proc);
@@ -1005,27 +1164,30 @@ impl MemSystem {
                 .tags_mut(line)
                 .expect("resident line has tags");
             let tag = tags.get_mut(offset);
-            match nonpriv_cache_write(tag, dirty, proc) {
-                Ok(NonPrivWriteAction::WriteNow) => now + Cycles(hit_latency),
-                Ok(NonPrivWriteAction::NeedWriteReq) => {
+            match spec_cache_step(tag, dirty, CacheEvent::Write { writer: proc }) {
+                None => now + Cycles(hit_latency),
+                Some(CacheEmission::NeedWriteReq) => {
                     // Upgrade: the directory runs the authoritative test and
                     // the grant refreshes the whole line's tags.
                     self.last_case = Some("d");
                     self.stats.incr("race_case_d");
                     self.drain_before_transaction(proc.node(), home, now);
-                    if let Err(reason) = self.nonpriv.elem_mut(arr, idx).on_write_req(proc) {
+                    if let Err(reason) =
+                        self.spec_dir_test(arr, idx, DirEvent::WriteReq { from: proc })
+                    {
                         self.fail(reason, now);
                     }
                     let mut tags = self.project_nonpriv_tags(&layout, line, proc);
                     if tags.is_tracked() {
-                        nonpriv_complete_write(tags.get_mut(offset));
+                        spec_cache_step(tags.get_mut(offset), true, CacheEvent::CompleteWrite);
                     }
                     self.upgrade_line(proc, line, tags, now)
                 }
-                Err(reason) => {
+                Some(CacheEmission::Fail(reason)) => {
                     self.fail(reason, now + Cycles(hit_latency));
                     now + Cycles(hit_latency)
                 }
+                Some(em) => unreachable!("write emitted {em:?}"),
             }
         } else {
             // Algorithm (d): writeback+invalidate the owner and merge its
@@ -1034,13 +1196,13 @@ impl MemSystem {
             self.stats.incr("race_case_d");
             self.drain_before_transaction(proc.node(), home, now);
             let done = self.coherence_fetch(proc, line, true, now);
-            if let Err(reason) = self.nonpriv.elem_mut(arr, idx).on_write_req(proc) {
+            if let Err(reason) = self.spec_dir_test(arr, idx, DirEvent::WriteReq { from: proc }) {
                 self.fail(reason, now);
             }
             let offset = self.elem_offset(&layout, line, idx);
             let mut tags = self.project_nonpriv_tags(&layout, line, proc);
             if tags.is_tracked() {
-                nonpriv_complete_write(tags.get_mut(offset));
+                spec_cache_step(tags.get_mut(offset), true, CacheEvent::CompleteWrite);
             }
             self.install_line(proc, line, LineState::Dirty, tags, now);
             done
@@ -1090,14 +1252,17 @@ impl MemSystem {
             let tags = self.caches[proc.0 as usize]
                 .tags_mut(line)
                 .expect("resident private line has tags");
-            if priv_cache_read(tags.get_mut(offset)) == PrivateReadOutcome::ReadFirstSignal {
+            if spec_private_cache(tags.get_mut(offset), false) {
                 self.stats.incr("priv_read_first_signals");
                 // Private directory is local: update synchronously, then
                 // forward the read-first signal to the shared home.
-                self.priv_private
-                    .elem_mut(arr, proc, idx)
-                    .on_read_first_signal(eff);
-                self.priv_private.mark_touched(arr, proc, idx);
+                let effect = self.spec_private_step(
+                    arr,
+                    proc,
+                    idx,
+                    PrivateEvent::ReadFirstSignal { iter: eff },
+                );
+                debug_assert_eq!(effect, PrivateEffect::SignalReadFirst);
                 self.forward_read_first(proc, arr, idx, eff, now);
             }
             return AccessOutcome {
@@ -1110,31 +1275,38 @@ impl MemSystem {
         self.last_case = Some("c");
         let range = playout.elems_on_line(line).expect("line within array");
         let untouched = self.priv_private.line_untouched(arr, proc, range.clone());
-        let outcome = self
-            .priv_private
-            .elem_mut(arr, proc, idx)
-            .on_read_miss(eff, untouched);
-        self.priv_private.mark_touched(arr, proc, idx);
+        let effect = self.spec_private_step(
+            arr,
+            proc,
+            idx,
+            PrivateEvent::ReadMiss {
+                iter: eff,
+                line_untouched: untouched,
+            },
+        );
         let mut read_in = None;
         let mut complete_at = self.fill_private_line(proc, arr, &playout, line, false, now);
-        match outcome {
-            PrivateReadMissOutcome::ReadIn => {
+        match effect {
+            PrivateEffect::TestReadFirst => {
                 self.stats.incr("priv_read_ins");
                 if self.test_enabled {
                     let home = self.shared_elem_home(arr, idx);
                     self.drain_before_transaction(proc.node(), home, now);
-                    if let Err(reason) = self.priv_shared.elem_mut(arr, idx).on_read_first(eff) {
+                    if let Err(reason) =
+                        self.spec_dir_test(arr, idx, DirEvent::ReadFirst { iter: eff })
+                    {
                         self.fail(reason, now);
                     }
                 }
                 complete_at += self.shared_fetch_latency(proc, arr, idx, now);
                 read_in = Some(range);
             }
-            PrivateReadMissOutcome::ReadFirst => {
+            PrivateEffect::SignalReadFirst => {
                 self.stats.incr("priv_read_first_signals");
                 self.forward_read_first(proc, arr, idx, eff, now);
             }
-            PrivateReadMissOutcome::Plain => {}
+            PrivateEffect::None => {}
+            effect => unreachable!("read miss produced {effect:?}"),
         }
         AccessOutcome {
             complete_at,
@@ -1158,14 +1330,15 @@ impl MemSystem {
             let tags = self.caches[proc.0 as usize]
                 .tags_mut(line)
                 .expect("resident private line has tags");
-            if priv_cache_write(tags.get_mut(offset)) == PrivateWriteOutcome::FirstWriteSignal {
+            if spec_private_cache(tags.get_mut(offset), true) {
                 self.stats.incr("priv_first_write_signals");
-                let notify = self
-                    .priv_private
-                    .elem_mut(arr, proc, idx)
-                    .on_first_write_signal(eff);
-                self.priv_private.mark_touched(arr, proc, idx);
-                if notify {
+                let effect = self.spec_private_step(
+                    arr,
+                    proc,
+                    idx,
+                    PrivateEvent::FirstWriteSignal { iter: eff },
+                );
+                if effect == PrivateEffect::SignalFirstWrite {
                     self.forward_first_write(proc, arr, idx, eff, now);
                 }
             }
@@ -1186,30 +1359,37 @@ impl MemSystem {
         self.last_case = Some("h");
         let range = playout.elems_on_line(line).expect("line within array");
         let untouched = self.priv_private.line_untouched(arr, proc, range.clone());
-        let outcome = self
-            .priv_private
-            .elem_mut(arr, proc, idx)
-            .on_write_miss(eff, untouched);
-        self.priv_private.mark_touched(arr, proc, idx);
+        let effect = self.spec_private_step(
+            arr,
+            proc,
+            idx,
+            PrivateEvent::WriteMiss {
+                iter: eff,
+                line_untouched: untouched,
+            },
+        );
         let mut read_in = None;
         let mut complete_at = self.fill_private_line(proc, arr, &playout, line, true, now);
-        match outcome {
-            PrivateWriteMissOutcome::ReadInForWrite => {
+        match effect {
+            PrivateEffect::TestFirstWrite => {
                 self.stats.incr("priv_read_ins");
                 if self.test_enabled {
                     let home = self.shared_elem_home(arr, idx);
                     self.drain_before_transaction(proc.node(), home, now);
-                    if let Err(reason) = self.priv_shared.elem_mut(arr, idx).on_first_write(eff) {
+                    if let Err(reason) =
+                        self.spec_dir_test(arr, idx, DirEvent::FirstWrite { iter: eff })
+                    {
                         self.fail(reason, now);
                     }
                 }
                 complete_at += self.shared_fetch_latency(proc, arr, idx, now);
                 read_in = Some(range);
             }
-            PrivateWriteMissOutcome::NotifyShared => {
+            PrivateEffect::SignalFirstWrite => {
                 self.forward_first_write(proc, arr, idx, eff, now);
             }
-            PrivateWriteMissOutcome::Local => {}
+            PrivateEffect::None => {}
+            effect => unreachable!("write miss produced {effect:?}"),
         }
         AccessOutcome {
             complete_at,
@@ -1237,7 +1417,7 @@ impl MemSystem {
             let tags = self.caches[proc.0 as usize]
                 .tags_mut(line)
                 .expect("resident private line has tags");
-            priv_cache_read(tags.get_mut(offset)) == PrivateReadOutcome::ReadFirstSignal
+            spec_private_cache(tags.get_mut(offset), false)
         } else {
             true // the private directory decides below
         };
@@ -1247,7 +1427,7 @@ impl MemSystem {
             complete_at = self.fetch_line_with_state(proc, line, LineState::Clean, tags, now);
         }
         if signal {
-            match self.priv3_private.elem_mut(arr, proc, idx).on_read() {
+            match self.spec_priv3_step(arr, proc, idx, false) {
                 Ok(NoReadInOutcome::NotifyShared) => {
                     self.stats.incr("priv_read_first_signals");
                     self.forward_read_first(proc, arr, idx, 1, now);
@@ -1273,7 +1453,7 @@ impl MemSystem {
             let tags = self.caches[proc.0 as usize]
                 .tags_mut(line)
                 .expect("resident private line has tags");
-            priv_cache_write(tags.get_mut(offset)) == PrivateWriteOutcome::FirstWriteSignal
+            spec_private_cache(tags.get_mut(offset), true)
         } else {
             true
         };
@@ -1299,7 +1479,7 @@ impl MemSystem {
             self.fetch_line_with_state(proc, line, LineState::Dirty, tags, now)
         };
         if signal {
-            match self.priv3_private.elem_mut(arr, proc, idx).on_write() {
+            match self.spec_priv3_step(arr, proc, idx, true) {
                 Ok(NoReadInOutcome::NotifyShared) => {
                     self.stats.incr("priv_first_write_signals");
                     self.forward_first_write(proc, arr, idx, 1, now);
@@ -1742,11 +1922,14 @@ impl MemSystem {
             if i >= tags.len() {
                 break;
             }
-            if let Err(reason) = self
-                .nonpriv
-                .elem_mut(arr, idx)
-                .merge_writeback(tags.get(i), owner)
-            {
+            if let Err(reason) = self.spec_dir_test(
+                arr,
+                idx,
+                DirEvent::Writeback {
+                    tag: tags.get(i),
+                    owner,
+                },
+            ) {
                 self.fail(reason, now);
             }
         }
@@ -1895,29 +2078,26 @@ impl MemSystem {
             Msg::FirstUpdate { arr, idx, sender } => {
                 self.stats.incr("race_case_f");
                 self.charge_update_service(arr, idx, at);
-                match self.nonpriv.elem_mut(arr, idx).on_first_update(sender) {
-                    Ok(FirstUpdateOutcome::Accepted) | Ok(FirstUpdateOutcome::Redundant) => {}
-                    Ok(FirstUpdateOutcome::Bounced) => {
+                match self.spec_dir_step(arr, idx, DirEvent::FirstUpdate { sender }) {
+                    None => {}
+                    Some(DirEmission::SendFirstUpdateFail { target }) => {
                         self.stats.incr("first_update_bounces");
                         let home = self.shared_elem_home(arr, idx);
                         self.send(
                             at,
                             home,
-                            sender.node(),
-                            Msg::FirstUpdateFail {
-                                arr,
-                                idx,
-                                target: sender,
-                            },
+                            target.node(),
+                            Msg::FirstUpdateFail { arr, idx, target },
                         );
                     }
-                    Err(reason) => self.fail(reason, at),
+                    Some(DirEmission::Fail(reason)) => self.fail(reason, at),
                 }
             }
             Msg::ROnlyUpdate { arr, idx, sender } => {
                 self.stats.incr("race_case_h");
                 self.charge_update_service(arr, idx, at);
-                if let Err(reason) = self.nonpriv.elem_mut(arr, idx).on_r_only_update(sender) {
+                if let Err(reason) = self.spec_dir_test(arr, idx, DirEvent::ROnlyUpdate { sender })
+                {
                     self.fail(reason, at);
                 }
             }
@@ -1926,13 +2106,16 @@ impl MemSystem {
                 let layout = self.layout(arr);
                 let line = layout.addr_of(idx).line();
                 let offset = self.elem_offset(&layout, line, idx);
+                let dirty = self.caches[target.0 as usize].state_of(line) == Some(LineState::Dirty);
                 let cache = &mut self.caches[target.0 as usize];
                 if cache.probe(line) != HitLevel::Miss {
                     if let Some(tags) = cache.tags_mut(line) {
                         if tags.is_tracked() {
-                            if let Err(reason) =
-                                nonpriv_on_first_update_fail(tags.get_mut(offset), target)
-                            {
+                            if let Some(CacheEmission::Fail(reason)) = spec_cache_step(
+                                tags.get_mut(offset),
+                                dirty,
+                                CacheEvent::FirstUpdateFail { target },
+                            ) {
                                 self.fail(reason, at);
                             }
                         }
@@ -1943,23 +2126,13 @@ impl MemSystem {
             }
             Msg::PrivReadFirst { arr, idx, iter } => {
                 self.charge_update_service(arr, idx, at);
-                let r = if self.priv3_shared.contains(arr) {
-                    self.priv3_shared.elem_mut(arr, idx).on_read_first()
-                } else {
-                    self.priv_shared.elem_mut(arr, idx).on_read_first(iter)
-                };
-                if let Err(reason) = r {
+                if let Err(reason) = self.spec_dir_test(arr, idx, DirEvent::ReadFirst { iter }) {
                     self.fail(reason, at);
                 }
             }
             Msg::PrivFirstWrite { arr, idx, iter } => {
                 self.charge_update_service(arr, idx, at);
-                let r = if self.priv3_shared.contains(arr) {
-                    self.priv3_shared.elem_mut(arr, idx).on_first_write()
-                } else {
-                    self.priv_shared.elem_mut(arr, idx).on_first_write(iter)
-                };
-                if let Err(reason) = r {
+                if let Err(reason) = self.spec_dir_test(arr, idx, DirEvent::FirstWrite { iter }) {
                     self.fail(reason, at);
                 }
             }

@@ -40,6 +40,7 @@ pub mod nonpriv;
 pub mod plan;
 pub mod privat;
 pub mod privat3;
+pub mod protospec;
 pub mod state_cost;
 
 pub use chunking::IterationNumbering;
@@ -55,4 +56,9 @@ pub use privat::{
     PrivateReadOutcome, PrivateWriteMissOutcome, PrivateWriteOutcome,
 };
 pub use privat3::{NoReadInOutcome, PrivNoReadInPrivate, PrivNoReadInShared};
+pub use protospec::{
+    CacheEmission, CacheEvent, DirElem, DirEmission, DirEvent, Flight, FlightMsg, LineCopy,
+    PrivateDirElem, PrivateEffect, PrivateEvent, ProtocolSpec, SpecEmission, SpecMessage,
+    SpecScope, SpecState, SpecVariant,
+};
 pub use state_cost::StateCost;
