@@ -108,11 +108,6 @@ impl Level {
             false
         }
     }
-
-    /// Empties every slot, keeping the vector allocated.
-    fn reset(&mut self) {
-        self.slots.fill(None);
-    }
 }
 
 /// One node's two-level cache hierarchy with access-bit arrays.
@@ -382,9 +377,21 @@ impl CacheHierarchy {
     /// Returns the hierarchy to its just-constructed state — slots empty,
     /// no line state or tags, hit counters zeroed — while keeping the slot
     /// vectors and map capacity allocated (machine reuse across requests).
+    ///
+    /// Clears only the occupied slots: every occupant is a `state` key
+    /// (fill/displace/invalidate keep them in lockstep), so walking the
+    /// resident set beats memsetting the paper-sized slot vectors
+    /// (512 L1 + 8192 L2 entries) when only a handful of lines are live —
+    /// which is the dominant reset cost under pooled machine reuse.
     pub fn reset(&mut self) {
-        self.l1.reset();
-        self.l2.reset();
+        for &line in self.state.keys() {
+            self.l1.remove(line);
+            self.l2.remove(line);
+        }
+        debug_assert!(
+            self.l1.slots.iter().all(Option::is_none) && self.l2.slots.iter().all(Option::is_none),
+            "slot occupied by a line absent from `state`"
+        );
         self.state.clear();
         self.tags.clear();
         self.l1_hits = 0;
@@ -446,7 +453,7 @@ mod tests {
         let mut c = small();
         let mut tags = LineTags::cleared(8);
         tags.get_mut(2).set_no_shr(true);
-        c.fill(LineAddr(0), LineState::Dirty, tags.clone());
+        c.fill(LineAddr(0), LineState::Dirty, tags);
         let v = c
             .fill(LineAddr(16), LineState::Clean, LineTags::empty())
             .expect("victim");

@@ -167,9 +167,14 @@ impl fmt::Display for ElemTag {
 /// wasting no storage — mirroring the paper's §4.1 decision to keep access
 /// bits in "a dedicated memory … so we do not waste bits in the directory
 /// tags for data that uses the plain cache coherence protocol".
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// Stored inline as a fixed `[ElemTag; MAX_ELEMS_PER_LINE]` (a line holds at
+/// most 16 one-byte tags) so fills, write-backs, and merges never touch the
+/// heap — tag traffic is the hottest allocation site in the access path.
+#[derive(Clone, Copy, Default)]
 pub struct LineTags {
-    elems: Vec<ElemTag>,
+    elems: [ElemTag; MAX_ELEMS_PER_LINE],
+    len: u8,
 }
 
 impl LineTags {
@@ -184,57 +189,86 @@ impl LineTags {
             "{n} elements exceed a 64-byte line"
         );
         LineTags {
-            elems: vec![ElemTag::CLEAR; n],
+            elems: [ElemTag::CLEAR; MAX_ELEMS_PER_LINE],
+            len: n as u8,
         }
     }
 
     /// Tags for a line of a non-tested array (no state).
     pub fn empty() -> Self {
-        LineTags { elems: Vec::new() }
+        LineTags::default()
     }
 
     /// Whether this line carries any speculation state.
     pub fn is_tracked(&self) -> bool {
-        !self.elems.is_empty()
+        self.len != 0
     }
 
     /// Number of tagged elements.
     pub fn len(&self) -> usize {
-        self.elems.len()
+        self.len as usize
     }
 
     /// Whether there are no tagged elements.
     pub fn is_empty(&self) -> bool {
-        self.elems.is_empty()
+        self.len == 0
+    }
+
+    fn as_slice(&self) -> &[ElemTag] {
+        &self.elems[..self.len as usize]
     }
 
     /// Tag of element `i` within the line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
     pub fn get(&self, i: usize) -> ElemTag {
-        self.elems[i]
+        self.as_slice()[i]
     }
 
     /// Mutable tag of element `i` within the line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
     pub fn get_mut(&mut self, i: usize) -> &mut ElemTag {
-        &mut self.elems[i]
+        &mut self.elems[..self.len as usize][i]
     }
 
     /// Iterates over `(index, tag)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (usize, ElemTag)> + '_ {
-        self.elems.iter().copied().enumerate()
+        self.as_slice().iter().copied().enumerate()
     }
 
     /// Clears the per-iteration bits of every element (start of iteration).
     pub fn clear_iteration_bits(&mut self) {
-        for t in &mut self.elems {
+        for t in &mut self.elems[..self.len as usize] {
             t.clear_iteration_bits();
         }
     }
 
     /// Clears every bit of every element (start of loop).
     pub fn clear(&mut self) {
-        for t in &mut self.elems {
+        for t in &mut self.elems[..self.len as usize] {
             t.clear();
         }
+    }
+}
+
+impl PartialEq for LineTags {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for LineTags {}
+
+impl fmt::Debug for LineTags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LineTags")
+            .field("elems", &self.as_slice())
+            .finish()
     }
 }
 

@@ -25,7 +25,7 @@ pub const ARR_A: ArrayId = ArrayId(0);
 pub const ARR_OUT: ArrayId = ArrayId(1);
 
 /// Number of hand-written template seeds preceding the random ones.
-pub const TEMPLATE_SEEDS: u64 = 8;
+pub const TEMPLATE_SEEDS: u64 = 9;
 
 /// One access to the array under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -232,6 +232,28 @@ fn template(seed: u64) -> CaseSpec {
             2,
             ScheduleKind::BlockCyclic { block: 1 },
             vec![vec![Write(1)], vec![], vec![], vec![Read(1)]],
+        ),
+        // Hide-a-conflict window (ROADMAP item 5). The array's home is
+        // cpu0's node, so cpu1's update messages are the slow leg: cpu1
+        // misses line 0 via element 1, then hit-reads element 0 on the
+        // clean resident line — that element's First_update is now in
+        // flight for a cross-network delay. cpu0, delayed past the fill by
+        // four read misses on far lines, exclusive-upgrades line 0 through
+        // the untouched element 2 while the update is still traveling (the
+        // granted tags show element 0 untouched), then silently
+        // dirty-hit-writes element 0 — no message, because the line is
+        // dirty. The update lands afterwards and is accepted: directory
+        // says First(cpu1), cpu0's cache says Own+NoShr, and no prompt
+        // check ever sees both. Only merging the dirty line's tags into
+        // the directory before the verdict is read exposes the conflict.
+        8 => (
+            2,
+            64,
+            ScheduleKind::Static,
+            vec![
+                vec![Read(32), Read(40), Read(48), Read(56), Write(2), Write(0)],
+                vec![Read(1), Read(0)],
+            ],
         ),
         _ => unreachable!("template seeds are 0..TEMPLATE_SEEDS"),
     };

@@ -69,9 +69,80 @@ fn assert_witness_catches(file: &str, fault: FaultKind) {
     );
 }
 
+/// The drop-ronly mutant is no longer visible to the *fuzzer*: since the
+/// flushed-verdict fix, every dirty line's tags are merged into the
+/// directory before the verdict is read, and `merge_writeback`'s own
+/// `NoShr && ROnly` envelope check — which the mutation does not disable —
+/// re-detects the conflict the dropped directory-side check would have
+/// caught promptly. The final verdict is FAIL either way, so the oracle
+/// sees no disagreement (confirmed empirically over 40k+ injected cases).
+/// The mutant stays caught by the model checker's per-step conformance
+/// (`tests/model.rs::model_catches_drop_ronly`), which sees the wrongly
+/// *granted* write request, not just the final verdict.
+///
+/// This test pins the backstop behavior on the original witness: under
+/// injection the machine must still FAIL the case — late, at the verdict
+/// merge — and must therefore keep agreeing with the oracle.
 #[test]
-fn drop_ronly_witness_still_catches_the_injected_bug() {
-    assert_witness_catches("drop-ronly-witness.seed", FaultKind::DropROnlyCheck);
+fn drop_ronly_witness_is_caught_late_by_the_verdict_merge() {
+    use specrt_machine::{run_scenario, Scenario};
+    use specrt_spec::ProtocolKind;
+
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let text = std::fs::read_to_string(dir.join("drop-ronly-witness.seed")).unwrap();
+    let seed = parse_seed(&text).unwrap();
+    let case = CaseSpec::generate(seed);
+
+    let _guard = Injected::new(FaultKind::DropROnlyCheck);
+    assert!(
+        replay(seed).is_none(),
+        "verdict-merge backstop must keep the witness oracle-clean under injection"
+    );
+    let np = run_scenario(
+        &case.loop_spec(ProtocolKind::NonPriv, true),
+        Scenario::Hw,
+        case.procs,
+    );
+    assert_eq!(
+        np.passed,
+        Some(false),
+        "the conflict the dropped check misses must still FAIL at the verdict merge"
+    );
+}
+
+/// The hide-a-conflict witness (template seed 8) must fail *at the
+/// verdict merge*: the speculative loop runs to quiescence with no prompt
+/// failure — a drain-point-only verdict read would wrongly PASS — and
+/// only merging the writer's dirty line tags into the directory exposes
+/// the write conflict. `verdict_merges` is only incremented on completed
+/// (promptly-unfailed) loops, so observing it alongside the FAIL verdict
+/// pins exactly that late-detection path.
+#[test]
+fn hide_a_conflict_witness_fails_only_at_the_verdict_merge() {
+    use specrt_machine::{run_scenario, Scenario};
+    use specrt_spec::ProtocolKind;
+
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let text = std::fs::read_to_string(dir.join("hide-a-conflict-witness.seed")).unwrap();
+    let seed = parse_seed(&text).unwrap();
+    let case = CaseSpec::generate(seed);
+
+    assert!(run_case(&case).ok(), "witness must agree with the oracle");
+    let np = run_scenario(
+        &case.loop_spec(ProtocolKind::NonPriv, true),
+        Scenario::Hw,
+        case.procs,
+    );
+    assert_eq!(np.passed, Some(false), "hidden conflict must FAIL");
+    assert!(
+        np.stats.get("verdict_merges") >= 1,
+        "failure must come from the verdict merge, not a prompt check"
+    );
+    let failure = np.failure.expect("failed run reports a reason");
+    assert!(
+        failure.contains("wrote an element first accessed"),
+        "expected a write conflict, got: {failure}"
+    );
 }
 
 #[test]

@@ -15,7 +15,7 @@
 //! speculative runs — the abort broadcast after a FAIL.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use specrt_engine::{Cycles, EventQueue, TimeBreakdown};
 use specrt_ir::{ArrayId, Instr, Operand, Program, Reg, Scalar};
@@ -59,8 +59,11 @@ pub struct ExecSummary {
     /// Iterations that ran to completion.
     pub iterations: u64,
     /// For arrays registered for copy-out tracking: last write per element
-    /// as `(logical array, element) → (iteration+1, value)`.
-    pub winners: HashMap<(ArrayId, u64), (u64, Scalar)>,
+    /// as `(logical array, element) → (iteration+1, value)`. Ordered so
+    /// that every consumer (window merge, copy-out, written counts)
+    /// iterates deterministically — host hash state cannot leak into
+    /// verdicts, stats, or traces at any `--jobs`.
+    pub winners: BTreeMap<(ArrayId, u64), (u64, Scalar)>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -97,6 +100,50 @@ struct PState {
     status: Status,
 }
 
+/// The executor's ready queue. Multi-processor runs interleave through the
+/// time-ordered event queue; a single-processor run holds at most one
+/// pending self-event at any moment (each dispatch re-enqueues only
+/// itself), so the heap, tie-break sequence numbers, and per-push
+/// profiling spans all collapse to an `Option` — same pop order and
+/// timestamps, fewer host cycles on the `machine.exec` hot path that every
+/// serial scenario and serial re-execution runs.
+enum ReadyQueue {
+    Heap(EventQueue<u32>),
+    Single(Option<Cycles>),
+}
+
+impl ReadyQueue {
+    fn push(&mut self, at: Cycles, p: u32) {
+        match self {
+            ReadyQueue::Heap(q) => q.push(at, p),
+            ReadyQueue::Single(slot) => {
+                debug_assert!(slot.is_none(), "single-proc executor double-scheduled");
+                *slot = Some(at);
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<(Cycles, u32)> {
+        match self {
+            ReadyQueue::Heap(q) => q.pop(),
+            ReadyQueue::Single(slot) => slot.take().map(|t| (t, 0)),
+        }
+    }
+
+    /// Whether no queued event is due at or before `t` — i.e. an event
+    /// pushed at `t` would be the unique strict minimum and pop next.
+    /// When true, the executor dispatches the action inline instead of
+    /// round-tripping it through the queue: same order, same timestamps,
+    /// no heap traffic. Ties (`== t`) take the queue so the FIFO
+    /// sequence-number tie-break keeps its byte-exact order.
+    fn none_before(&self, t: Cycles) -> bool {
+        match self {
+            ReadyQueue::Heap(q) => q.peek_time().is_none_or(|pt| pt > t),
+            ReadyQueue::Single(slot) => slot.is_none_or(|pt| pt > t),
+        }
+    }
+}
+
 /// Runs one loop (or phase loop) on the machine.
 pub struct Executor<'a> {
     cfg: &'a MachineConfig,
@@ -107,7 +154,10 @@ pub struct Executor<'a> {
     sched: &'a mut dyn Scheduler,
     route_priv: bool,
     speculative: bool,
-    copy_out_track: HashMap<ArrayId, ArrayId>,
+    /// `(physical, logical)` pairs, scanned linearly on the store path: a
+    /// run tracks at most a handful of arrays, so the scan beats hashing
+    /// and keeps the dispatch allocation-free.
+    copy_out_track: Vec<(ArrayId, ArrayId)>,
     start: Cycles,
 }
 
@@ -152,7 +202,7 @@ impl<'a> Executor<'a> {
             sched,
             route_priv: false,
             speculative: false,
-            copy_out_track: HashMap::new(),
+            copy_out_track: Vec::new(),
             start: Cycles::ZERO,
         }
     }
@@ -172,7 +222,10 @@ impl<'a> Executor<'a> {
     /// Tracks last-writer values for `physical` writes, attributing them to
     /// `logical` for copy-out.
     pub fn track_copy_out(mut self, physical: ArrayId, logical: ArrayId) -> Self {
-        self.copy_out_track.insert(physical, logical);
+        match self.copy_out_track.iter_mut().find(|(p, _)| *p == physical) {
+            Some((_, l)) => *l = logical,
+            None => self.copy_out_track.push((physical, logical)),
+        }
         self
     }
 
@@ -186,9 +239,12 @@ impl<'a> Executor<'a> {
     pub fn run(mut self) -> ExecSummary {
         let _prof = specrt_prof::scope("machine.exec");
         let procs = self.ms.procs() as usize;
+        // Move the programs out of `self` so `run_local` can hold a program
+        // reference across `&mut self` calls (inline memory dispatch).
+        let programs = std::mem::take(&mut self.programs);
         let mut states: Vec<PState> = (0..procs)
             .map(|p| PState {
-                regs: vec![Scalar::ZERO; self.programs[p].reg_count() as usize],
+                regs: vec![Scalar::ZERO; programs[p].reg_count() as usize],
                 pc: 0,
                 iter: None,
                 time: self.start,
@@ -198,13 +254,16 @@ impl<'a> Executor<'a> {
                 status: Status::Running,
             })
             .collect();
-        let mut events: EventQueue<u32> = EventQueue::new();
-        for p in 0..procs {
-            events.push(self.start, p as u32);
-        }
+        let mut events: ReadyQueue = if procs == 1 {
+            ReadyQueue::Single(Some(self.start))
+        } else {
+            let mut q = EventQueue::new();
+            q.push_batch(self.start, (0..procs).map(|p| p as u32));
+            ReadyQueue::Heap(q)
+        };
         let mut exec_failure: Option<(FailReason, Cycles)> = None;
         let mut iterations = 0u64;
-        let mut winners: HashMap<(ArrayId, u64), (u64, Scalar)> = HashMap::new();
+        let mut winners: BTreeMap<(ArrayId, u64), (u64, Scalar)> = BTreeMap::new();
         let mut barrier_arrivals = 0usize;
         let mut arrival_order: Vec<usize> = Vec::new();
         let mut finish_time = self.start;
@@ -321,8 +380,10 @@ impl<'a> Executor<'a> {
                         }
                         self.run_local(
                             p,
+                            &programs,
                             &mut states,
                             &mut events,
+                            &mut winners,
                             &mut exec_failure,
                             &mut iterations,
                         );
@@ -333,8 +394,10 @@ impl<'a> Executor<'a> {
                     if states[p].status == Status::Running {
                         self.run_local(
                             p,
+                            &programs,
                             &mut states,
                             &mut events,
+                            &mut winners,
                             &mut exec_failure,
                             &mut iterations,
                         );
@@ -382,20 +445,27 @@ impl<'a> Executor<'a> {
         }
     }
 
-    /// Executes local instructions for `p` until the next shared action,
-    /// which is left as `pending` with an event scheduled at its time.
+    /// Executes local instructions for `p` until the next shared action.
+    /// A memory op whose issue time precedes every queued event is
+    /// dispatched inline (the queued event would pop next anyway — same
+    /// order, same timestamps, no heap round-trip); otherwise, and at
+    /// iteration boundaries, the action parks as `pending` with an event
+    /// scheduled at its time.
+    #[allow(clippy::too_many_arguments)]
     fn run_local(
         &mut self,
         p: usize,
+        programs: &[Program],
         states: &mut [PState],
-        events: &mut EventQueue<u32>,
+        events: &mut ReadyQueue,
+        winners: &mut BTreeMap<(ArrayId, u64), (u64, Scalar)>,
         exec_failure: &mut Option<(FailReason, Cycles)>,
         iterations: &mut u64,
     ) {
-        let program = &self.programs[p];
-        let st = &mut states[p];
-        let iter = st.iter.expect("run_local outside an iteration");
+        let program = &programs[p];
+        let iter = states[p].iter.expect("run_local outside an iteration");
         loop {
+            let st = &mut states[p];
             if st.pc >= program.len() {
                 *iterations += 1;
                 st.iter = None;
@@ -455,16 +525,18 @@ impl<'a> Executor<'a> {
                             return;
                         }
                     };
-                    st.pending = Pending::Mem(MemOp {
+                    let op = MemOp {
                         write: false,
                         arr,
                         idx,
                         dst: Some(dst),
                         value: None,
-                    });
+                    };
+                    st.pending = Pending::Mem(op);
                     st.pc += 1;
-                    events.push(st.time, p as u32);
-                    return;
+                    if !self.dispatch_inline(p, op, states, events, winners, exec_failure) {
+                        return;
+                    }
                 }
                 Instr::Store { arr, idx, src } => {
                     let i = eval(&st.regs, idx, iter, p as u32);
@@ -476,19 +548,53 @@ impl<'a> Executor<'a> {
                         }
                     };
                     let value = eval(&st.regs, src, iter, p as u32);
-                    st.pending = Pending::Mem(MemOp {
+                    let op = MemOp {
                         write: true,
                         arr,
                         idx,
                         dst: None,
                         value: Some(value),
-                    });
+                    };
+                    st.pending = Pending::Mem(op);
                     st.pc += 1;
-                    events.push(st.time, p as u32);
-                    return;
+                    if !self.dispatch_inline(p, op, states, events, winners, exec_failure) {
+                        return;
+                    }
                 }
             }
         }
+    }
+
+    /// Issues a just-parked memory op inline when its event would be the
+    /// queue's unique strict minimum, mirroring the main loop's dispatch
+    /// (abort check first, then issue). Returns whether local execution may
+    /// continue; `false` means the op was queued instead, or the processor
+    /// stopped running.
+    fn dispatch_inline(
+        &mut self,
+        p: usize,
+        op: MemOp,
+        states: &mut [PState],
+        events: &mut ReadyQueue,
+        winners: &mut BTreeMap<(ArrayId, u64), (u64, Scalar)>,
+        exec_failure: &mut Option<(FailReason, Cycles)>,
+    ) -> bool {
+        let t = states[p].time;
+        if !events.none_before(t) {
+            events.push(t, p as u32);
+            return false;
+        }
+        if self.speculative {
+            if let Some((_, tf)) = earliest_failure(self.ms.failure(), *exec_failure) {
+                if t >= tf {
+                    let stop = (tf + Cycles(self.cfg.abort_latency)).max(t);
+                    states[p].status = Status::Aborted(stop);
+                    return false;
+                }
+            }
+        }
+        self.issue_mem(p, op, states, winners, exec_failure);
+        states[p].status == Status::Running
     }
 
     fn issue_mem(
@@ -496,7 +602,7 @@ impl<'a> Executor<'a> {
         p: usize,
         op: MemOp,
         states: &mut [PState],
-        winners: &mut HashMap<(ArrayId, u64), (u64, Scalar)>,
+        winners: &mut BTreeMap<(ArrayId, u64), (u64, Scalar)>,
         exec_failure: &mut Option<(FailReason, Cycles)>,
     ) {
         let proc = ProcId(p as u32);
@@ -514,7 +620,7 @@ impl<'a> Executor<'a> {
             }
             let value = op.value.expect("store carries a value");
             self.image.write(phys, op.idx, value);
-            if let Some(&logical) = self.copy_out_track.get(&phys) {
+            if let Some(&(_, logical)) = self.copy_out_track.iter().find(|(p, _)| *p == phys) {
                 let entry = winners.entry((logical, op.idx)).or_insert((0, value));
                 if iter + 1 >= entry.0 {
                     *entry = (iter + 1, value);

@@ -518,10 +518,31 @@ fn restore_phase(
 
 /// Elements of `arr` recorded as written in the executor's tracking map.
 fn written_count(
-    winners: &std::collections::HashMap<(ArrayId, u64), (u64, Scalar)>,
+    winners: &std::collections::BTreeMap<(ArrayId, u64), (u64, Scalar)>,
     arr: ArrayId,
 ) -> u64 {
     winners.keys().filter(|(a, _)| *a == arr).count() as u64
+}
+
+/// Merges one window's last-writer map into the run's accumulated one:
+/// the higher stamp (`iteration + 1`) wins. Windows partition the
+/// iteration space, so two windows can never record the *same* stamp for
+/// the same `(array, element)` — the `>=` tiebreak only fires when a map
+/// is merged over itself (idempotence), never to pick between distinct
+/// writes. Together with `BTreeMap`'s fixed iteration order this makes
+/// the merge order-independent: no window arrival order, host hash seed,
+/// or `--jobs` schedule can leak into verdicts, stats, or images (pinned
+/// by `winner_merge_tests`).
+fn merge_winners(
+    into: &mut std::collections::BTreeMap<(ArrayId, u64), (u64, Scalar)>,
+    from: &std::collections::BTreeMap<(ArrayId, u64), (u64, Scalar)>,
+) {
+    for (k, v) in from {
+        let e = into.entry(*k).or_insert(*v);
+        if v.0 >= e.0 {
+            *e = *v;
+        }
+    }
 }
 
 /// The copy-out phase: timed as a parallel copy of each live privatized
@@ -534,7 +555,7 @@ fn copy_out_phase(
     image: &mut MemoryImage,
     accum: &mut Accum,
     live_priv: &[ArrayId],
-    winners: &std::collections::HashMap<(ArrayId, u64), (u64, Scalar)>,
+    winners: &std::collections::BTreeMap<(ArrayId, u64), (u64, Scalar)>,
     hw_private_src: bool,
 ) {
     let _prof = specrt_prof::scope("machine.copy_out");
@@ -645,8 +666,8 @@ fn run_hw(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
         // Phase 2: the speculative loop under the protocol extensions.
         ms.configure_loop(spec.plan.clone(), spec.numbering);
         let mut iterations = 0u64;
-        let mut winners: std::collections::HashMap<(ArrayId, u64), (u64, Scalar)> =
-            std::collections::HashMap::new();
+        let mut winners: std::collections::BTreeMap<(ArrayId, u64), (u64, Scalar)> =
+            std::collections::BTreeMap::new();
         let mut loop_end = ExecEnd::Completed;
         let mut start = 0u64;
         while start < spec.iters {
@@ -686,12 +707,7 @@ fn run_hw(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
             let summary = exec.run();
             accum.absorb(&summary);
             iterations += summary.iterations;
-            for (k, v) in &summary.winners {
-                let e = winners.entry(*k).or_insert(*v);
-                if v.0 >= e.0 {
-                    *e = *v;
-                }
-            }
+            merge_winners(&mut winners, &summary.winners);
             if let ExecEnd::Failed { reason, at } = summary.end {
                 loop_end = ExecEnd::Failed { reason, at };
                 break;
@@ -703,6 +719,16 @@ fn run_hw(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
         // and cache views must agree before the verdict is read.
         #[cfg(debug_assertions)]
         ms.assert_invariants();
+        // Flushed-verdict semantics (paper §4, flush-after-every-loop): a
+        // dirty line's locally accumulated access bits never reached the
+        // directory, so a conflict hidden by a silent dirty-hit write could
+        // escape a drain-point-only verdict. Merge them (state-only, no
+        // eviction, no timing charge) before reading the verdict. A run
+        // that already failed promptly skips the merge — its verdict is
+        // settled and the failure state must not be perturbed.
+        if matches!(loop_end, ExecEnd::Completed) {
+            ms.merge_dirty_tags(accum.now);
+        }
 
         let late_failure = match (&loop_end, ms.failure()) {
             (ExecEnd::Completed, Some((reason, at))) => Some((reason, at.max(accum.now))),
@@ -1114,6 +1140,72 @@ mod tests {
 
     const A: ArrayId = ArrayId(0);
     const K: ArrayId = ArrayId(1);
+
+    /// Pins the determinism contract of [`merge_winners`]: the
+    /// accumulated last-writer map must not depend on the order windows
+    /// are merged in, and merging a window over itself must be a no-op —
+    /// so no arrival order, host hash seed, or `--jobs` schedule can
+    /// leak into verdicts, stats, or final images.
+    mod winner_merge_tests {
+        use super::super::merge_winners;
+        use specrt_ir::ArrayId;
+        use specrt_ir::Scalar;
+        use std::collections::BTreeMap;
+
+        type Winners = BTreeMap<(ArrayId, u64), (u64, Scalar)>;
+        type Entry = ((u32, u64), (u64, i64));
+
+        fn window(entries: &[Entry]) -> Winners {
+            entries
+                .iter()
+                .map(|&((a, e), (stamp, v))| ((ArrayId(a), e), (stamp, Scalar::Int(v))))
+                .collect()
+        }
+
+        #[test]
+        fn merge_is_order_independent() {
+            // Three windows over disjoint stamp ranges (as real windows
+            // are), with overlapping element sets.
+            let w1 = window(&[((0, 0), (1, 10)), ((0, 1), (2, 11))]);
+            let w2 = window(&[((0, 0), (4, 20)), ((1, 3), (3, 21))]);
+            let w3 = window(&[((0, 1), (6, 30)), ((1, 3), (5, 31))]);
+            let windows = [&w1, &w2, &w3];
+            let orders: &[[usize; 3]] = &[
+                [0, 1, 2],
+                [0, 2, 1],
+                [1, 0, 2],
+                [1, 2, 0],
+                [2, 0, 1],
+                [2, 1, 0],
+            ];
+            let mut results = orders.iter().map(|order| {
+                let mut acc = Winners::new();
+                for &i in order {
+                    merge_winners(&mut acc, windows[i]);
+                }
+                acc
+            });
+            let first = results.next().unwrap();
+            assert!(
+                results.all(|r| r == first),
+                "winner merge must not depend on window order"
+            );
+            // Highest stamp won everywhere.
+            assert_eq!(first[&(ArrayId(0), 0)], (4, Scalar::Int(20)));
+            assert_eq!(first[&(ArrayId(0), 1)], (6, Scalar::Int(30)));
+            assert_eq!(first[&(ArrayId(1), 3)], (5, Scalar::Int(31)));
+        }
+
+        #[test]
+        fn merge_is_idempotent() {
+            let w = window(&[((0, 0), (3, 7)), ((2, 9), (8, 1))]);
+            let mut acc = Winners::new();
+            merge_winners(&mut acc, &w);
+            let once = acc.clone();
+            merge_winners(&mut acc, &w);
+            assert_eq!(acc, once, "self-merge must be a no-op");
+        }
+    }
 
     /// `A[K[i]] += 1` with K a permutation: parallel without privatization.
     fn permutation_loop(n: u64) -> LoopSpec {

@@ -7,27 +7,143 @@
 //! is what the paper's protocol extensions lean on to keep their data races
 //! resolvable.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
+use std::fmt;
 
 use specrt_mem::{LineAddr, ProcId};
 
+/// Full-map presence bits: the set of processors holding a clean copy.
+///
+/// The paper's directory is a DASH-style full bit-vector — one presence bit
+/// per processor — so the model stores exactly that: a `u64` mask, bounded
+/// to [`SharerSet::MAX_PROCS`] processors (asserted at insertion). Compared
+/// to a heap-allocated set this keeps [`DirLineState`] `Copy`, which matters
+/// because the directory is consulted on every coherence transaction — the
+/// hottest path in the simulator.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct SharerSet(u64);
+
+impl SharerSet {
+    /// Hard bound on processor ids representable in the presence mask.
+    pub const MAX_PROCS: u32 = 64;
+
+    /// No sharers.
+    pub const EMPTY: SharerSet = SharerSet(0);
+
+    /// The set containing exactly `proc`.
+    pub fn single(proc: ProcId) -> SharerSet {
+        let mut s = SharerSet::EMPTY;
+        s.insert(proc);
+        s
+    }
+
+    /// Adds `proc` to the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is outside the presence mask (`>= MAX_PROCS`).
+    pub fn insert(&mut self, proc: ProcId) {
+        assert!(
+            proc.0 < Self::MAX_PROCS,
+            "proc {proc} exceeds the {}-bit directory presence mask",
+            Self::MAX_PROCS
+        );
+        self.0 |= 1 << proc.0;
+    }
+
+    /// Removes `proc` from the set (no-op if absent).
+    pub fn remove(&mut self, proc: ProcId) {
+        if proc.0 < Self::MAX_PROCS {
+            self.0 &= !(1 << proc.0);
+        }
+    }
+
+    /// Whether `proc` holds a copy.
+    pub fn contains(self, proc: ProcId) -> bool {
+        proc.0 < Self::MAX_PROCS && self.0 & (1 << proc.0) != 0
+    }
+
+    /// Number of sharers.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over the sharers in ascending processor order.
+    pub fn iter(self) -> SharerIter {
+        SharerIter(self.0)
+    }
+}
+
+/// Iterator over a [`SharerSet`]'s processors, ascending.
+pub struct SharerIter(u64);
+
+impl Iterator for SharerIter {
+    type Item = ProcId;
+
+    fn next(&mut self) -> Option<ProcId> {
+        if self.0 == 0 {
+            return None;
+        }
+        let p = self.0.trailing_zeros();
+        self.0 &= self.0 - 1;
+        Some(ProcId(p))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl FromIterator<ProcId> for SharerSet {
+    fn from_iter<I: IntoIterator<Item = ProcId>>(iter: I) -> SharerSet {
+        let mut s = SharerSet::EMPTY;
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl IntoIterator for SharerSet {
+    type Item = ProcId;
+    type IntoIter = SharerIter;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl fmt::Debug for SharerSet {
+    /// Renders like the set it replaced (`{ProcId(0), ProcId(2)}`) so dumps
+    /// and debug output stay byte-stable across the representation change.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
 /// Coherence state of one line at its home directory.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DirLineState {
     /// No cached copies.
     Uncached,
     /// Clean copies at the given processors (never empty).
-    Shared(BTreeSet<ProcId>),
+    Shared(SharerSet),
     /// Modified copy owned by one processor.
     Dirty(ProcId),
 }
 
 impl DirLineState {
     /// The sharers if `Shared`, empty otherwise.
-    pub fn sharers(&self) -> BTreeSet<ProcId> {
+    pub fn sharers(&self) -> SharerSet {
         match self {
-            DirLineState::Shared(s) => s.clone(),
-            _ => BTreeSet::new(),
+            DirLineState::Shared(s) => *s,
+            _ => SharerSet::EMPTY,
         }
     }
 
@@ -63,7 +179,7 @@ impl DirectoryNode {
     pub fn state(&self, line: LineAddr) -> DirLineState {
         self.lines
             .get(&line)
-            .cloned()
+            .copied()
             .unwrap_or(DirLineState::Uncached)
     }
 
@@ -73,7 +189,7 @@ impl DirectoryNode {
         let state = self.lines.entry(line).or_insert(DirLineState::Uncached);
         match state {
             DirLineState::Uncached => {
-                *state = DirLineState::Shared(BTreeSet::from([proc]));
+                *state = DirLineState::Shared(SharerSet::single(proc));
             }
             DirLineState::Shared(s) => {
                 s.insert(proc);
@@ -97,7 +213,7 @@ impl DirectoryNode {
     /// # Panics
     ///
     /// Panics if the line was not dirty.
-    pub fn downgrade_to_shared(&mut self, line: LineAddr, procs: BTreeSet<ProcId>) {
+    pub fn downgrade_to_shared(&mut self, line: LineAddr, procs: SharerSet) {
         assert!(
             matches!(self.state(line), DirLineState::Dirty(_)),
             "downgrade of non-dirty {line}"
@@ -114,7 +230,7 @@ impl DirectoryNode {
     /// `Uncached`.
     pub fn remove_sharer(&mut self, line: LineAddr, proc: ProcId) {
         if let Some(DirLineState::Shared(s)) = self.lines.get_mut(&line) {
-            s.remove(&proc);
+            s.remove(proc);
             if s.is_empty() {
                 self.lines.insert(line, DirLineState::Uncached);
             }
@@ -172,9 +288,9 @@ mod tests {
         let mut d = DirectoryNode::new();
         d.add_sharer(L, P0);
         d.add_sharer(L, P1);
-        assert_eq!(d.state(L).sharers(), BTreeSet::from([P0, P1]));
+        assert_eq!(d.state(L).sharers(), SharerSet::from_iter([P0, P1]));
         d.remove_sharer(L, P0);
-        assert_eq!(d.state(L).sharers(), BTreeSet::from([P1]));
+        assert_eq!(d.state(L).sharers(), SharerSet::single(P1));
         d.remove_sharer(L, P1);
         assert_eq!(d.state(L), DirLineState::Uncached);
     }
@@ -184,7 +300,7 @@ mod tests {
         let mut d = DirectoryNode::new();
         d.set_dirty(L, P0);
         assert_eq!(d.state(L).owner(), Some(P0));
-        d.downgrade_to_shared(L, BTreeSet::from([P0, P1]));
+        d.downgrade_to_shared(L, SharerSet::from_iter([P0, P1]));
         assert_eq!(d.state(L).sharers().len(), 2);
     }
 
@@ -219,5 +335,29 @@ mod tests {
         d.clear();
         assert_eq!(d.tracked_lines(), 0);
         assert_eq!(d.state(L), DirLineState::Uncached);
+    }
+
+    #[test]
+    fn sharer_set_iterates_in_ascending_proc_order() {
+        let s = SharerSet::from_iter([ProcId(5), ProcId(0), ProcId(63)]);
+        let procs: Vec<ProcId> = s.iter().collect();
+        assert_eq!(procs, vec![ProcId(0), ProcId(5), ProcId(63)]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(ProcId(5)));
+        assert!(!s.contains(ProcId(6)));
+    }
+
+    #[test]
+    fn sharer_set_debug_matches_set_notation() {
+        let s = SharerSet::from_iter([ProcId(2), ProcId(0)]);
+        assert_eq!(format!("{s:?}"), "{ProcId(0), ProcId(2)}");
+        assert_eq!(format!("{:?}", SharerSet::EMPTY), "{}");
+    }
+
+    #[test]
+    #[should_panic(expected = "presence mask")]
+    fn sharer_set_rejects_out_of_range_proc() {
+        let mut s = SharerSet::EMPTY;
+        s.insert(ProcId(64));
     }
 }

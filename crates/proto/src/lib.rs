@@ -35,7 +35,7 @@ pub mod directory;
 pub mod latency;
 pub mod system;
 
-pub use directory::{DirLineState, DirectoryNode};
+pub use directory::{DirLineState, DirectoryNode, SharerSet};
 pub use latency::LatencyConfig;
 pub use specrt_cache::CacheConfig;
 pub use specrt_net::{

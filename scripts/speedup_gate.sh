@@ -4,10 +4,13 @@
 #
 #   usage: speedup_gate.sh [BENCH_prof.json]
 #
-# Fails if the j=default fuzz throughput fell below 0.9x of the j=1 run —
-# parallelism must never make the harness slower. Emits a GitHub warning
-# annotation while the speedup sits below 1.5x, the open ROADMAP target;
-# the gate stops warning once the worker pool actually pays off.
+# On a multi-core host (jobs > 1) the worker pool must actually pay off:
+# the gate FAILS below 1.5x (the former warn-only ROADMAP target, now the
+# floor) and emits a GitHub warning annotation while the speedup sits
+# below 0.5x the job count — the scaling target for the parallel runner.
+# On a single-core host (jobs <= 1) no speedup is physically available, so
+# only the 0.9x floor applies: parallel dispatch must never make the
+# harness materially slower than the in-thread run.
 #
 # Exit codes distinguish a perf regression from broken plumbing:
 #   0  pass
@@ -21,8 +24,9 @@
 set -eu
 
 FILE="${1:-crates/bench/BENCH_prof.json}"
-FAIL_BELOW="0.9"
-WARN_BELOW="1.5"
+SINGLE_CORE_FAIL_BELOW="0.9"
+MULTI_CORE_FAIL_BELOW="1.5"
+SCALING_FRACTION="0.5"
 
 if [ ! -f "$FILE" ]; then
     echo "speedup gate: $FILE not found (run: cargo bench -p specrt-bench --bench protocol_micro)" >&2
@@ -47,16 +51,21 @@ echo "speedup gate: ${SERIAL} cases/s at j=1 vs ${PARALLEL} cases/s at j=${JOBS}
 
 if [ "$JOBS" -le 1 ]; then
     echo "speedup gate: single-core host (jobs=${JOBS}); floor check only"
+    awk -v s="$SPEEDUP" -v floor="$SINGLE_CORE_FAIL_BELOW" 'BEGIN { exit !(s < floor) }' && {
+        echo "::error::speedup gate FAIL: measured speedup ${SPEEDUP}x at j=${JOBS} is below the ${SINGLE_CORE_FAIL_BELOW}x floor — parallel dispatch is a slowdown"
+        exit 1
+    }
+    echo "speedup gate: pass"
+    exit 0
 fi
 
-awk -v s="$SPEEDUP" -v floor="$FAIL_BELOW" 'BEGIN { exit !(s < floor) }' && {
-    echo "::error::speedup gate FAIL: measured speedup ${SPEEDUP}x at j=${JOBS} is below the ${FAIL_BELOW}x floor — parallelism is a slowdown"
+awk -v s="$SPEEDUP" -v floor="$MULTI_CORE_FAIL_BELOW" 'BEGIN { exit !(s < floor) }' && {
+    echo "::error::speedup gate FAIL: measured speedup ${SPEEDUP}x at j=${JOBS} is below the ${MULTI_CORE_FAIL_BELOW}x floor — the worker pool is not paying off"
     exit 1
 }
 
-if [ "$JOBS" -gt 1 ]; then
-    awk -v s="$SPEEDUP" -v warn="$WARN_BELOW" 'BEGIN { exit !(s < warn) }' && \
-        echo "::warning::fuzz speedup at j=${JOBS} is only ${SPEEDUP}x (< ${WARN_BELOW}x target); see ROADMAP open item 1 and BENCH_prof.json worker utilization"
-fi
+TARGET="$(awk -v j="$JOBS" -v f="$SCALING_FRACTION" 'BEGIN { printf "%.1f", j * f }')"
+awk -v s="$SPEEDUP" -v t="$TARGET" 'BEGIN { exit !(s < t) }' && \
+    echo "::warning::fuzz speedup at j=${JOBS} is ${SPEEDUP}x, below the ${SCALING_FRACTION}xN scaling target (${TARGET}x); see BENCH_prof.json worker utilization"
 
 echo "speedup gate: pass"
