@@ -447,6 +447,7 @@ fn shift_events(events: &mut [TraceEvent], by: Cycles) {
             | TraceEvent::Net { at, .. }
             | TraceEvent::Sched { at, .. }
             | TraceEvent::Fault { at, .. }
+            | TraceEvent::NodeFault { at, .. }
             | TraceEvent::Recovery { at, .. }
             | TraceEvent::Abort { at, .. } => *at += by,
         }

@@ -8,7 +8,8 @@
 //!                    [--variant nonpriv|priv|priv3] [--jobs N] [--inject BUG]
 //! specrt-check coverage [--cases N] [--seed S] [--jobs N]
 //! specrt-check campaign [--cases N] [--fault-seeds N] [--rates ppm,ppm,..]
-//!                       [--jobs N] [--out FILE]
+//!                       [--nodes n,n,..] [--node-at c,c,..|never] [--ckpt-every N]
+//!                       [--jobs N] [--out FILE] [--inject ckpt-skip-dirty]
 //! ```
 //!
 //! * `fuzz` runs the differential fuzzer; exits non-zero on any oracle
@@ -35,7 +36,13 @@
 //!   delay × rate × fault seed) over generated loops, asserts every run
 //!   still reproduces the serial oracle's memory image, and emits a
 //!   deterministic degradation report (JSON) — to stdout, or to `--out
-//!   FILE` (the `BENCH_faults.json` artifact).
+//!   FILE` (the `BENCH_faults.json` artifact). `--nodes`/`--node-at`/
+//!   `--ckpt-every` add the node-level grid (crash / pause / partition ×
+//!   node × activation cycle) run under checkpoint-restart recovery;
+//!   `--node-at` accepts the token `never` for the armed-but-inert gate
+//!   cell. With `--inject ckpt-skip-dirty` the exit code inverts: the
+//!   planted checkpoint bug (snapshots skip the dirty image state) must be
+//!   caught by the serial-oracle image check.
 //!
 //! `--jobs N` distributes independent cases (fuzz) or script-prefix
 //! partitions (interleave) over `N` worker threads; `--jobs 0` means "all
@@ -55,8 +62,11 @@ use std::process::ExitCode;
 
 use specrt_check::{
     enumerate_small_scope_jobs, fuzz_jobs, render_case, replay, run_campaign, run_model,
-    CampaignConfig, CaseSpec, Coverage, FuzzFailure, ModelConfig, DEFAULT_MAX_OPS,
+    CampaignConfig, CaseSpec, Coverage, FuzzFailure, ModelConfig, NodeGridConfig, DEFAULT_MAX_OPS,
+    NODE_FAULT_NEVER,
 };
+use specrt_machine::{CheckpointConfig, RecoveryPolicy};
+use specrt_proto::FaultConfig;
 use specrt_spec::{fault, SpecScope, SpecVariant};
 
 fn parse_u64(s: &str) -> Option<u64> {
@@ -77,6 +87,9 @@ struct Args {
     inject: Option<fault::FaultKind>,
     fault_seeds: Option<u64>,
     rates_ppm: Option<Vec<u32>>,
+    nodes: Option<Vec<u32>>,
+    node_at: Option<Vec<u64>>,
+    ckpt_every: Option<u64>,
     out: Option<String>,
     profile: bool,
     profile_out: Option<String>,
@@ -127,6 +140,9 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         inject: None,
         fault_seeds: None,
         rates_ppm: None,
+        nodes: None,
+        node_at: None,
+        ckpt_every: None,
         out: None,
         profile: false,
         profile_out: None,
@@ -171,6 +187,33 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
                     .map(|r| parse_u64(r.trim()).and_then(|n| u32::try_from(n).ok()))
                     .collect();
                 args.rates_ppm = Some(rates.ok_or(format!("bad --rates value: {v}"))?);
+            }
+            "--nodes" => {
+                let v = argv.next().ok_or("--nodes needs a value")?;
+                let nodes: Option<Vec<u32>> = v
+                    .split(',')
+                    .map(|n| parse_u64(n.trim()).and_then(|n| u32::try_from(n).ok()))
+                    .collect();
+                args.nodes = Some(nodes.ok_or(format!("bad --nodes value: {v}"))?);
+            }
+            "--node-at" => {
+                let v = argv.next().ok_or("--node-at needs a value")?;
+                let ats: Option<Vec<u64>> = v
+                    .split(',')
+                    .map(|c| match c.trim() {
+                        "never" => Some(NODE_FAULT_NEVER),
+                        c => parse_u64(c),
+                    })
+                    .collect();
+                args.node_at = Some(ats.ok_or(format!("bad --node-at value: {v}"))?);
+            }
+            "--ckpt-every" => {
+                let v = argv.next().ok_or("--ckpt-every needs a value")?;
+                args.ckpt_every = Some(
+                    parse_u64(&v)
+                        .filter(|&n| n >= 1)
+                        .ok_or(format!("bad --ckpt-every value: {v} (must be >= 1)"))?,
+                );
             }
             "--out" => {
                 args.out = Some(argv.next().ok_or("--out needs a value")?);
@@ -230,7 +273,8 @@ fn usage() -> String {
     "usage: specrt-check <fuzz|replay|interleave|model|coverage|campaign> \
      [--cases N] [--seed S] [--jobs N] [--inject drop-ronly] \
      [--lines N] [--elems N] [--procs N] [--max-ops N] [--variant nonpriv|priv|priv3] \
-     [--fault-seeds N] [--rates ppm,ppm,..] [--out FILE] [--profile[=FILE]] [seed]"
+     [--fault-seeds N] [--rates ppm,ppm,..] [--nodes n,n,..] [--node-at c,c,..|never] \
+     [--ckpt-every N] [--out FILE] [--profile[=FILE]] [seed]"
         .to_string()
 }
 
@@ -469,10 +513,42 @@ fn cmd_campaign(args: &Args) -> ExitCode {
     if let Some(rates) = &args.rates_ppm {
         cfg.rates_ppm = rates.clone();
     }
+    // Surface out-of-range rates here, with the accepted range, instead of
+    // panicking deep inside the fault plane mid-campaign.
+    for &rate in &cfg.rates_ppm {
+        let probe = FaultConfig {
+            drop_ppm: rate,
+            ..FaultConfig::none()
+        };
+        if let Err(e) = probe.validate() {
+            eprintln!("bad --rates value: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if args.nodes.is_some() || args.node_at.is_some() || args.ckpt_every.is_some() {
+        let mut ng = NodeGridConfig::default();
+        if let Some(nodes) = &args.nodes {
+            ng.nodes = nodes.clone();
+        }
+        if let Some(ats) = &args.node_at {
+            ng.at_cycles = ats.clone();
+        }
+        if let Some(every) = args.ckpt_every {
+            ng.recovery = RecoveryPolicy::CheckpointRestart {
+                checkpoint: CheckpointConfig { every_iters: every },
+            };
+        }
+        if ng.nodes.is_empty() || ng.at_cycles.is_empty() {
+            eprintln!("the node grid needs at least one node and one at-cycle");
+            return ExitCode::FAILURE;
+        }
+        cfg.node_grid = Some(ng);
+    }
     if cfg.cases == 0 || cfg.fault_seeds == 0 || cfg.rates_ppm.is_empty() {
         eprintln!("campaign needs at least one case, fault seed and rate");
         return ExitCode::FAILURE;
     }
+    let _guard = args.inject.map(fault::Injected::new);
     let report = run_campaign(&cfg, args.jobs);
     let json = report.render_json();
     match &args.out {
@@ -487,14 +563,29 @@ fn cmd_campaign(args: &Args) -> ExitCode {
     }
     println!(
         "campaign: {} cells x {} runs, {} image mismatch(es)",
-        report.cells.len(),
+        report.cells.len() + report.node_cells.len(),
         report.runs_per_cell,
         report.image_mismatches()
     );
-    if report.ok() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
+    match args.inject {
+        // A deliberately broken recovery path must be caught by the
+        // serial-oracle image check (exit code inverts, as for fuzz/model).
+        Some(k) => {
+            if report.ok() {
+                println!("injected bug '{}' was NOT caught by the campaign", k.name());
+                ExitCode::FAILURE
+            } else {
+                println!("injected bug '{}' caught by the image check", k.name());
+                ExitCode::SUCCESS
+            }
+        }
+        None => {
+            if report.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
     }
 }
 

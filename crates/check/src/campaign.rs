@@ -19,10 +19,12 @@
 //! pool and merge in grid order, so the rendering is byte-identical for
 //! every `--jobs` value (a CI cross-check pins this).
 
-use specrt_machine::{run_scenario_configured, MachineConfig, RecoveryPolicy, RunResult, Scenario};
+use specrt_machine::{
+    run_scenario_configured, CheckpointConfig, MachineConfig, RecoveryPolicy, RunResult, Scenario,
+};
 use specrt_mem::MemoryImage;
-use specrt_proto::{FaultConfig, NetConfig};
-use specrt_spec::ProtocolKind;
+use specrt_proto::{FaultConfig, NetConfig, NodeFaultConfig, NodeFaultKind};
+use specrt_spec::{fault, ProtocolKind};
 
 use crate::generate::{CaseSpec, ARR_A, ARR_OUT};
 
@@ -31,6 +33,17 @@ pub const FAULT_KINDS: [&str; 3] = ["drop", "duplicate", "delay"];
 
 /// Extra in-flight cycles the `delay` kind adds to an affected message.
 pub const DELAY_CYCLES: u64 = 2_000;
+
+/// The node-fault kinds the node grid sweeps, in report order.
+pub const NODE_FAULT_KINDS: [&str; 3] = ["crash", "pause", "partition"];
+
+/// Outage length of `pause` and `partition` node-grid cells.
+pub const NODE_OUTAGE_CYCLES: u64 = 60_000;
+
+/// An `at_cycle` far beyond any run's length: the configured fault never
+/// strikes, and the cell doubles as the inertness gate — it must be
+/// cycle-exact against the fault-free baseline of the same recovery policy.
+pub const NODE_FAULT_NEVER: u64 = u64::MAX / 2;
 
 /// Campaign grid parameters.
 #[derive(Debug, Clone)]
@@ -46,6 +59,9 @@ pub struct CampaignConfig {
     /// Failure-recovery policy of every hardware run (and of the fault-free
     /// baseline, so latency ratios compare like with like).
     pub recovery: RecoveryPolicy,
+    /// Optional node-level fault grid (crash / pause / partition), run in
+    /// addition to the message-level grid and reported as `node_cells`.
+    pub node_grid: Option<NodeGridConfig>,
 }
 
 impl Default for CampaignConfig {
@@ -55,6 +71,47 @@ impl Default for CampaignConfig {
             fault_seeds: 2,
             rates_ppm: vec![0, 50_000, 200_000],
             recovery: RecoveryPolicy::RetrySpeculative { max_attempts: 1 },
+            node_grid: None,
+        }
+    }
+}
+
+/// The node-fault grid: `kind × node × at_cycle` cells, each running every
+/// case seed under both protocols with a single node crashed, paused, or
+/// partitioned off at `at_cycle`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeGridConfig {
+    /// Node ids struck by the fault (clamped per case to `procs - 1` so a
+    /// grid spanning large machines stays meaningful on small ones).
+    pub nodes: Vec<u32>,
+    /// Cycle offsets the fault activates at. Include [`NODE_FAULT_NEVER`]
+    /// to pin the inertness gate.
+    pub at_cycles: Vec<u64>,
+    /// Recovery policy of the node runs (and of their fault-free baseline).
+    pub recovery: RecoveryPolicy,
+}
+
+impl Default for NodeGridConfig {
+    fn default() -> Self {
+        NodeGridConfig {
+            nodes: vec![1],
+            at_cycles: vec![0, 2_000, NODE_FAULT_NEVER],
+            recovery: RecoveryPolicy::CheckpointRestart {
+                checkpoint: CheckpointConfig { every_iters: 4 },
+            },
+        }
+    }
+}
+
+/// Stable single-token rendering of a recovery policy for the JSON report.
+fn recovery_label(r: RecoveryPolicy) -> String {
+    match r {
+        RecoveryPolicy::SerialReexec => "serial-reexec".to_string(),
+        RecoveryPolicy::RetrySpeculative { max_attempts } => {
+            format!("retry-speculative({max_attempts})")
+        }
+        RecoveryPolicy::CheckpointRestart { checkpoint } => {
+            format!("checkpoint-restart({})", checkpoint.every_iters)
         }
     }
 }
@@ -103,6 +160,40 @@ pub struct CellReport {
     pub baseline_cycles: u64,
 }
 
+/// Aggregate outcome of one node-fault cell (kind × node × at_cycle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeCellReport {
+    /// Node-fault kind (one of [`NODE_FAULT_KINDS`]).
+    pub kind: &'static str,
+    /// Node struck (before per-case clamping).
+    pub node: u32,
+    /// Cycle the fault activates at.
+    pub at_cycle: u64,
+    /// Hardware runs executed (cases × protocols).
+    pub runs: u64,
+    /// Runs whose speculation passed without any recovery.
+    pub speculative_passes: u64,
+    /// Runs that recovered through a checkpoint restart.
+    pub checkpoint_restores: u64,
+    /// Runs that ended in a serial re-execution (whole loop or suffix).
+    pub serial_fallbacks: u64,
+    /// Runs whose final image differed from the serial oracle (must be 0).
+    pub image_mismatches: u64,
+    /// Messages the node fault swallowed across all runs.
+    pub swallowed: u64,
+    /// Watchdog escalations to `NodeUnreachable`.
+    pub unreachable: u64,
+    /// Checkpoint snapshots taken.
+    pub snapshots: u64,
+    /// Watchdog retransmissions across all runs.
+    pub resends: u64,
+    /// Summed machine cycles of the cell's runs.
+    pub total_cycles: u64,
+    /// Summed cycles of the same runs on the fault-free interconnect
+    /// (under the node grid's recovery policy).
+    pub baseline_cycles: u64,
+}
+
 /// Outcome of a whole campaign.
 #[derive(Debug)]
 pub struct CampaignReport {
@@ -110,6 +201,9 @@ pub struct CampaignReport {
     pub cfg: CampaignConfig,
     /// Per-cell outcomes in grid order (kind, then rate, then fault seed).
     pub cells: Vec<CellReport>,
+    /// Node-fault cells in grid order (kind, then node, then at_cycle);
+    /// empty when the campaign ran without a node grid.
+    pub node_cells: Vec<NodeCellReport>,
     /// Speculative passes of the fault-free baseline (same cases,
     /// protocols and recovery policy — the completion rate faults are
     /// judged against).
@@ -122,11 +216,17 @@ impl CampaignReport {
     /// Whether every run of every cell reproduced the serial oracle image.
     pub fn ok(&self) -> bool {
         self.cells.iter().all(|c| c.image_mismatches == 0)
+            && self.node_cells.iter().all(|c| c.image_mismatches == 0)
     }
 
     /// Total image mismatches (must be zero).
     pub fn image_mismatches(&self) -> u64 {
-        self.cells.iter().map(|c| c.image_mismatches).sum()
+        self.cells.iter().map(|c| c.image_mismatches).sum::<u64>()
+            + self
+                .node_cells
+                .iter()
+                .map(|c| c.image_mismatches)
+                .sum::<u64>()
     }
 
     /// Deterministic JSON rendering — the `BENCH_faults.json` artifact.
@@ -146,14 +246,20 @@ impl CampaignReport {
             self.cfg.cases,
             self.cfg.fault_seeds,
             self.cfg.rates_ppm,
-            match self.cfg.recovery {
-                RecoveryPolicy::SerialReexec => "serial-reexec".to_string(),
-                RecoveryPolicy::RetrySpeculative { max_attempts } =>
-                    format!("retry-speculative({max_attempts})"),
-            },
+            recovery_label(self.cfg.recovery),
             self.runs_per_cell,
             self.baseline_passes,
         );
+        if let Some(ng) = &self.cfg.node_grid {
+            let _ = write!(
+                out,
+                ", \"node_grid\": {{\"kinds\": [\"crash\", \"pause\", \"partition\"], \
+                 \"nodes\": {:?}, \"at_cycles\": {:?}, \"recovery\": \"{}\"}}",
+                ng.nodes,
+                ng.at_cycles,
+                recovery_label(ng.recovery),
+            );
+        }
         out.push_str("},\n  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
             let added_pct = if c.baseline_cycles > 0 {
@@ -190,6 +296,44 @@ impl CampaignReport {
                 "\n"
             });
         }
+        out.push_str("  ],\n  \"node_cells\": [\n");
+        for (i, c) in self.node_cells.iter().enumerate() {
+            let added_pct = if c.baseline_cycles > 0 {
+                (c.total_cycles as f64 - c.baseline_cycles as f64) * 100.0
+                    / c.baseline_cycles as f64
+            } else {
+                0.0
+            };
+            let _ = write!(
+                out,
+                "    {{\"kind\": \"{}\", \"node\": {}, \"at_cycle\": {}, \"runs\": {}, \
+                 \"speculative_passes\": {}, \"checkpoint_restores\": {}, \
+                 \"serial_fallbacks\": {}, \"image_mismatches\": {}, \"swallowed\": {}, \
+                 \"unreachable\": {}, \"snapshots\": {}, \"resends\": {}, \
+                 \"total_cycles\": {}, \"baseline_cycles\": {}, \
+                 \"added_latency_pct\": {:.2}}}",
+                c.kind,
+                c.node,
+                c.at_cycle,
+                c.runs,
+                c.speculative_passes,
+                c.checkpoint_restores,
+                c.serial_fallbacks,
+                c.image_mismatches,
+                c.swallowed,
+                c.unreachable,
+                c.snapshots,
+                c.resends,
+                c.total_cycles,
+                c.baseline_cycles,
+                added_pct,
+            );
+            out.push_str(if i + 1 < self.node_cells.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
         out.push_str("  ],\n  \"summary\": {");
         let runs: u64 = self.cells.iter().map(|c| c.runs).sum();
         let passes: u64 = self.cells.iter().map(|c| c.speculative_passes).sum();
@@ -204,14 +348,21 @@ impl CampaignReport {
         } else {
             0.0
         };
+        let node_runs: u64 = self.node_cells.iter().map(|c| c.runs).sum();
+        let node_restores: u64 = self.node_cells.iter().map(|c| c.checkpoint_restores).sum();
+        let node_unreachable: u64 = self.node_cells.iter().map(|c| c.unreachable).sum();
         let _ = write!(
             out,
             "\"runs\": {}, \"image_mismatches\": {}, \"completion_rate_pct\": {:.2}, \
-             \"mean_resends_per_run\": {:.4}",
+             \"mean_resends_per_run\": {:.4}, \"node_runs\": {}, \
+             \"node_checkpoint_restores\": {}, \"node_unreachable\": {}",
             runs,
             self.image_mismatches(),
             completion,
             mean_resends,
+            node_runs,
+            node_restores,
+            node_unreachable,
         );
         out.push_str("}\n}\n");
         out
@@ -247,6 +398,30 @@ fn cell_faults(kind: &'static str, rate_ppm: u32, fault_seed: u64, case_seed: u6
     }
 }
 
+/// The fault plane of one node-grid cell: a single node-level fault, no
+/// message-level rates (node faults are pure functions of the topology and
+/// the clock, so these cells draw no randomness at all).
+fn node_cell_faults(kind: &'static str, node: u32, at_cycle: u64) -> FaultConfig {
+    let kind = match kind {
+        "crash" => NodeFaultKind::Crash,
+        "pause" => NodeFaultKind::Pause {
+            for_cycles: NODE_OUTAGE_CYCLES,
+        },
+        "partition" => NodeFaultKind::Partition {
+            for_cycles: NODE_OUTAGE_CYCLES,
+        },
+        other => unreachable!("unknown node fault kind {other}"),
+    };
+    FaultConfig {
+        node_fault: Some(NodeFaultConfig {
+            kind,
+            node,
+            at_cycle,
+        }),
+        ..FaultConfig::none()
+    }
+}
+
 fn machine_cfg(procs: u32, recovery: RecoveryPolicy, faults: FaultConfig) -> MachineConfig {
     MachineConfig::with_procs(procs)
         .with_net(NetConfig::flat().with_faults(faults))
@@ -273,8 +448,12 @@ pub fn run_campaign(cfg: &CampaignConfig, jobs: usize) -> CampaignReport {
     // timing per case, computed once and shared by every cell.
     let case_seeds: Vec<u64> = (0..cfg.cases).collect();
     let recovery = cfg.recovery;
+    // Replicate the caller's active fault injection onto every worker
+    // thread (it is thread-local), as the fuzzer does.
+    let injected = fault::current();
     let baselines: Vec<Baseline> = specrt_par::par_map(jobs, &case_seeds, |_, &seed| {
         let _prof = specrt_prof::scope("campaign.baseline");
+        let _guard = injected.map(fault::Injected::new);
         let case = CaseSpec::generate(seed);
         let serial = run_scenario_configured(
             &case.loop_spec(ProtocolKind::NonPriv, true),
@@ -317,6 +496,7 @@ pub fn run_campaign(cfg: &CampaignConfig, jobs: usize) -> CampaignReport {
 
     let cells = specrt_par::par_map(jobs, &grid, |_, &(kind, rate_ppm, fault_seed)| {
         let _prof = specrt_prof::scope("campaign.cell");
+        let _guard = injected.map(fault::Injected::new);
         let mut cell = CellReport {
             kind,
             rate_ppm,
@@ -361,9 +541,110 @@ pub fn run_campaign(cfg: &CampaignConfig, jobs: usize) -> CampaignReport {
         cell
     });
 
+    // The node-fault grid, when configured. It has its own fault-free
+    // baseline: the node recovery policy (checkpoint restart by default)
+    // clamps stamp windows and pays snapshot barriers, so its cycles differ
+    // from the message grid's baseline even with no fault in sight.
+    let node_cells = match &cfg.node_grid {
+        None => Vec::new(),
+        Some(ng) => {
+            let node_recovery = ng.recovery;
+            let node_baselines: Vec<Baseline> =
+                specrt_par::par_map(jobs, &case_seeds, |_, &seed| {
+                    let _prof = specrt_prof::scope("campaign.node_baseline");
+                    let _guard = injected.map(fault::Injected::new);
+                    let case = CaseSpec::generate(seed);
+                    let serial = run_scenario_configured(
+                        &case.loop_spec(ProtocolKind::NonPriv, true),
+                        Scenario::Serial,
+                        machine_cfg(case.procs, node_recovery, FaultConfig::none()),
+                    )
+                    .final_image;
+                    let fault_free = PROTOCOLS
+                        .iter()
+                        .map(|&(_, protocol)| {
+                            let r = hw_run(
+                                &case,
+                                protocol,
+                                machine_cfg(case.procs, node_recovery, FaultConfig::none()),
+                            );
+                            (r.passed == Some(true), r.total_cycles.raw())
+                        })
+                        .collect();
+                    Baseline {
+                        case,
+                        serial,
+                        fault_free,
+                    }
+                });
+
+            let mut node_grid: Vec<(&'static str, u32, u64)> = Vec::new();
+            for kind in NODE_FAULT_KINDS {
+                for &node in &ng.nodes {
+                    for &at_cycle in &ng.at_cycles {
+                        node_grid.push((kind, node, at_cycle));
+                    }
+                }
+            }
+
+            specrt_par::par_map(jobs, &node_grid, |_, &(kind, node, at_cycle)| {
+                let _prof = specrt_prof::scope("campaign.node_cell");
+                let _guard = injected.map(fault::Injected::new);
+                let mut cell = NodeCellReport {
+                    kind,
+                    node,
+                    at_cycle,
+                    runs: 0,
+                    speculative_passes: 0,
+                    checkpoint_restores: 0,
+                    serial_fallbacks: 0,
+                    image_mismatches: 0,
+                    swallowed: 0,
+                    unreachable: 0,
+                    snapshots: 0,
+                    resends: 0,
+                    total_cycles: 0,
+                    baseline_cycles: 0,
+                };
+                for b in &node_baselines {
+                    // Keep the struck node on the machine: a grid written
+                    // for 4 processors still means something on a 2-proc
+                    // case.
+                    let node = node.min(b.case.procs - 1);
+                    let faults = node_cell_faults(kind, node, at_cycle);
+                    for (pi, &(_, protocol)) in PROTOCOLS.iter().enumerate() {
+                        let r = hw_run(
+                            &b.case,
+                            protocol,
+                            machine_cfg(b.case.procs, node_recovery, faults),
+                        );
+                        cell.runs += 1;
+                        let restores = r.stats.get("checkpoint.restores");
+                        match r.passed {
+                            Some(true) if restores == 0 => cell.speculative_passes += 1,
+                            Some(true) => cell.checkpoint_restores += 1,
+                            _ => cell.serial_fallbacks += 1,
+                        }
+                        if !r.final_image.same_contents(&b.serial, &[ARR_A, ARR_OUT]) {
+                            cell.image_mismatches += 1;
+                        }
+                        cell.swallowed += r.stats.get("fault.node.dropped");
+                        cell.unreachable += r.stats.get("fault.node.unreachable");
+                        cell.snapshots += r.stats.get("checkpoint.snapshots");
+                        cell.resends += r.stats.get("retry.resends");
+                        cell.total_cycles += r.total_cycles.raw();
+                        cell.baseline_cycles += b.fault_free[pi].1;
+                    }
+                }
+                cell
+            })
+        }
+    };
+
     CampaignReport {
         cfg: cfg.clone(),
         cells,
+        node_cells,
         baseline_passes,
         runs_per_cell: cfg.cases * PROTOCOLS.len() as u64,
     }
@@ -429,6 +710,100 @@ mod tests {
         let one = run_campaign(&cfg, 1).render_json();
         for jobs in [2, 4] {
             assert_eq!(run_campaign(&cfg, jobs).render_json(), one, "jobs={jobs}");
+        }
+    }
+
+    /// A campaign with a node grid: enough cases to include template 8
+    /// (whose cross-node clean-line reads generate the asynchronous update
+    /// traffic node faults swallow), small message grid.
+    fn small_nodes() -> CampaignConfig {
+        CampaignConfig {
+            cases: 9,
+            fault_seeds: 1,
+            rates_ppm: vec![0],
+            node_grid: Some(NodeGridConfig::default()),
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn node_grid_runs_reproduce_the_serial_oracle() {
+        let r = run_campaign(&small_nodes(), 1);
+        assert!(r.ok(), "node-fault image mismatches:\n{}", r.render_json());
+        // kinds (3) × nodes (1) × at_cycles (3).
+        assert_eq!(r.node_cells.len(), 9);
+        assert!(r.node_cells.iter().all(|c| c.runs == r.runs_per_cell));
+        // At least one cell actually swallowed traffic and escalated.
+        let unreachable: u64 = r.node_cells.iter().map(|c| c.unreachable).sum();
+        assert!(
+            unreachable > 0,
+            "no cell escalated to NodeUnreachable:\n{}",
+            r.render_json()
+        );
+    }
+
+    #[test]
+    fn never_firing_node_cells_are_cycle_exact() {
+        let r = run_campaign(&small_nodes(), 1);
+        for c in r
+            .node_cells
+            .iter()
+            .filter(|c| c.at_cycle == NODE_FAULT_NEVER)
+        {
+            assert_eq!(c.swallowed, 0, "{c:?}");
+            assert_eq!(c.unreachable, 0, "{c:?}");
+            assert_eq!(
+                c.total_cycles, c.baseline_cycles,
+                "an armed-but-never-firing node fault must be inert: {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn node_report_is_byte_identical_across_worker_counts() {
+        let cfg = small_nodes();
+        let one = run_campaign(&cfg, 1).render_json();
+        assert_eq!(run_campaign(&cfg, 3).render_json(), one);
+    }
+    #[test]
+    fn checkpoint_restart_alone_never_corrupts_the_image() {
+        // Regression: forcing stamp windows (checkpoint snapshots) with no
+        // fault armed used to let stamped-priv private copies survive the
+        // window barrier, serving stale data in the next window while the
+        // cleared stamps erased the conflict evidence — a silently wrong
+        // image.  Every template must match the serial oracle even when
+        // the run is chopped into tiny checkpoint windows.
+        use specrt_spec::ProtocolKind;
+        for seed in 9u64..12 {
+            let case = CaseSpec::generate(seed);
+            let recovery = RecoveryPolicy::CheckpointRestart {
+                checkpoint: CheckpointConfig { every_iters: 4 },
+            };
+            let serial = run_scenario_configured(
+                &case.loop_spec(ProtocolKind::NonPriv, true),
+                Scenario::Serial,
+                machine_cfg(case.procs, recovery, FaultConfig::none()),
+            );
+            for protocol in [
+                ProtocolKind::NonPriv,
+                ProtocolKind::Priv {
+                    read_in: true,
+                    copy_out: true,
+                },
+            ] {
+                let r = hw_run(
+                    &case,
+                    protocol,
+                    machine_cfg(case.procs, recovery, FaultConfig::none()),
+                );
+                assert!(
+                    r.final_image.same_contents(
+                        &serial.final_image,
+                        &[crate::generate::ARR_A, crate::generate::ARR_OUT]
+                    ),
+                    "seed {seed} {protocol:?}: checkpointed run diverged from serial"
+                );
+            }
         }
     }
 }

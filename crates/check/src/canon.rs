@@ -32,7 +32,7 @@
 
 use specrt_cache::{ElemTag, FirstTag};
 use specrt_machine::{MachineConfig, RecoveryPolicy, ScheduleKind};
-use specrt_proto::Topology;
+use specrt_proto::{NodeFaultKind, Topology};
 use specrt_spec::{DirElem, FlightMsg, PrivateDirElem, ProtocolKind, SpecState};
 
 use crate::generate::{CaseSpec, Op};
@@ -619,6 +619,29 @@ pub fn hash_machine_config_into(h: &mut CanonHasher, cfg: &MachineConfig) {
     h.write_u64(f.dup_ppm as u64);
     h.write_u64(f.delay_ppm as u64);
     h.write_u64(f.delay_cycles);
+    match f.node_fault {
+        None => {
+            h.write_u64(0);
+        }
+        Some(nf) => {
+            h.write_u64(1);
+            match nf.kind {
+                NodeFaultKind::Crash => {
+                    h.write_u64(0);
+                }
+                NodeFaultKind::Pause { for_cycles } => {
+                    h.write_u64(1);
+                    h.write_u64(for_cycles);
+                }
+                NodeFaultKind::Partition { for_cycles } => {
+                    h.write_u64(2);
+                    h.write_u64(for_cycles);
+                }
+            }
+            h.write_u64(nf.node as u64);
+            h.write_u64(nf.at_cycle);
+        }
+    }
     h.write_bool(cfg.mem.dirty_read_downgrades);
     h.write_u64(cfg.mem.retry.timeout);
     h.write_u64(cfg.mem.retry.max_retries as u64);
@@ -640,6 +663,10 @@ pub fn hash_machine_config_into(h: &mut CanonHasher, cfg: &MachineConfig) {
         RecoveryPolicy::RetrySpeculative { max_attempts } => {
             h.write_u64(1);
             h.write_u64(max_attempts as u64);
+        }
+        RecoveryPolicy::CheckpointRestart { checkpoint } => {
+            h.write_u64(2);
+            h.write_u64(checkpoint.every_iters);
         }
     }
 }

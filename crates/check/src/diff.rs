@@ -24,9 +24,14 @@ use specrt_engine::StatSet;
 use specrt_ir::{trace_iteration, AccessKind, MapMemory};
 use specrt_lrpd::oracle::nonpriv_envelope_holds;
 use specrt_lrpd::{analyze_iteration_traces, LrpdShadow};
-use specrt_machine::{run_scenario, RunResult, Scenario, SwVariant};
+use specrt_machine::{
+    run_scenario, run_scenario_configured, CheckpointConfig, MachineConfig, RecoveryPolicy,
+    RunResult, Scenario, SwVariant,
+};
+use specrt_proto::{FaultConfig, NetConfig, NodeFaultConfig, NodeFaultKind};
 use specrt_spec::ProtocolKind;
 
+use crate::campaign::NODE_OUTAGE_CYCLES;
 use crate::generate::{CaseSpec, ARR_A, ARR_OUT};
 
 /// One disagreement between a machine run and the oracle.
@@ -274,6 +279,64 @@ pub fn run_case(case: &CaseSpec) -> CaseResult {
     CaseResult { mismatches, stats }
 }
 
+/// Differentially checks the node-fault legs of one case: every node-level
+/// fault kind is fired *mid-loop* — halfway through the fault-free cycle
+/// count of the same configuration — against node 1, under
+/// checkpoint-restart recovery. Whatever path the machine takes (checkpoint
+/// restore with a partial re-run, or whole-loop serial re-execution when no
+/// checkpoint precedes the failure), the final memory image must be the
+/// serial one. Verdicts are not asserted: a node fault may legitimately
+/// turn a would-pass run into a recovered `Some(false)`.
+pub fn node_fault_legs(case: &CaseSpec) -> Vec<Mismatch> {
+    let _prof = specrt_prof::scope("fuzz.node_legs");
+    let recovery = RecoveryPolicy::CheckpointRestart {
+        checkpoint: CheckpointConfig { every_iters: 2 },
+    };
+    let cfg = |faults: FaultConfig| {
+        MachineConfig::with_procs(case.procs)
+            .with_net(NetConfig::flat().with_faults(faults))
+            .with_recovery(recovery)
+    };
+    let spec = case.loop_spec(ProtocolKind::NonPriv, true);
+    let serial = run_scenario_configured(&spec, Scenario::Serial, cfg(FaultConfig::none()));
+    let fault_free = run_scenario_configured(&spec, Scenario::Hw, cfg(FaultConfig::none()));
+    let at_cycle = fault_free.total_cycles.raw() / 2;
+    let node = 1u32.min(case.procs - 1);
+    let mut out = Vec::new();
+    for (label, kind) in [
+        ("hw-node-crash", NodeFaultKind::Crash),
+        (
+            "hw-node-pause",
+            NodeFaultKind::Pause {
+                for_cycles: NODE_OUTAGE_CYCLES,
+            },
+        ),
+        (
+            "hw-node-partition",
+            NodeFaultKind::Partition {
+                for_cycles: NODE_OUTAGE_CYCLES,
+            },
+        ),
+    ] {
+        let faults = FaultConfig {
+            node_fault: Some(NodeFaultConfig {
+                kind,
+                node,
+                at_cycle,
+            }),
+            ..FaultConfig::none()
+        };
+        let r = run_scenario_configured(&spec, Scenario::Hw, cfg(faults));
+        if !r
+            .final_image
+            .same_contents(&serial.final_image, &[ARR_A, ARR_OUT])
+        {
+            out.push(Mismatch::Image { scenario: label });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +348,15 @@ mod tests {
             let case = CaseSpec::generate(seed);
             let r = run_case(&case);
             assert!(r.ok(), "template seed {seed} disagrees: {:?}", r.mismatches);
+        }
+    }
+
+    #[test]
+    fn all_templates_survive_node_faults_mid_loop() {
+        for seed in 0..TEMPLATE_SEEDS {
+            let case = CaseSpec::generate(seed);
+            let legs = node_fault_legs(&case);
+            assert!(legs.is_empty(), "template seed {seed} lost data: {legs:?}");
         }
     }
 

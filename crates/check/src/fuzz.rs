@@ -1,5 +1,11 @@
 //! The fuzzing loop: generate → differentially check → shrink failures.
 //!
+//! Every case is checked twice over: once against the protocol oracles on
+//! a healthy interconnect ([`run_case`]), and once with each node-level
+//! fault kind fired mid-loop under checkpoint-restart recovery
+//! ([`node_fault_legs`]) — the recovered image must still be the serial
+//! one. Both legs feed the same failure list and the same shrinker.
+//!
 //! Case execution fans out over a [`specrt_par`] worker pool: every case is
 //! an independent, deterministic simulation, so the only ordering that
 //! matters is the *merge* order of the results — which [`fuzz_jobs`] keeps
@@ -10,7 +16,7 @@
 use specrt_engine::{SplitMix64, StatSet};
 use specrt_spec::fault;
 
-use crate::diff::{run_case, Mismatch};
+use crate::diff::{node_fault_legs, run_case, CaseResult, Mismatch};
 use crate::generate::{CaseSpec, TEMPLATE_SEEDS};
 use crate::shrink::shrink;
 
@@ -128,9 +134,20 @@ pub fn render_case(case: &CaseSpec) -> String {
     out
 }
 
-/// Whether `case` disagrees with the oracle (the shrinking predicate).
+/// Runs the full differential check of one case: every protocol against
+/// the oracle ([`run_case`]), then the node-fault legs — each node-level
+/// fault kind fired mid-loop under checkpoint-restart recovery, image-
+/// checked against serial ([`node_fault_legs`]).
+pub fn run_case_full(case: &CaseSpec) -> CaseResult {
+    let mut r = run_case(case);
+    r.mismatches.extend(node_fault_legs(case));
+    r
+}
+
+/// Whether `case` disagrees with the oracle on any leg (the shrinking
+/// predicate).
 pub fn case_fails(case: &CaseSpec) -> bool {
-    !run_case(case).ok()
+    !run_case_full(case).ok()
 }
 
 /// The case seeds of a `(cases, seed)` run: the first [`TEMPLATE_SEEDS`]
@@ -174,7 +191,7 @@ pub fn fuzz_jobs(cases: u64, seed: u64, jobs: usize) -> FuzzReport {
             CaseSpec::generate(case_seed)
         };
         let _prof = specrt_prof::scope("fuzz.case");
-        run_case(&case)
+        run_case_full(&case)
     });
 
     let mut stats = StatSet::new();
@@ -208,7 +225,7 @@ pub fn fuzz_jobs(cases: u64, seed: u64, jobs: usize) -> FuzzReport {
 /// Replays one case seed; returns the shrunk failure if it disagrees.
 pub fn replay(seed: u64) -> Option<FuzzFailure> {
     let case = CaseSpec::generate(seed);
-    let r = run_case(&case);
+    let r = run_case_full(&case);
     if r.ok() {
         return None;
     }

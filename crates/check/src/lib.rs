@@ -44,17 +44,18 @@ pub mod model;
 pub mod shrink;
 
 pub use campaign::{
-    run_campaign, CampaignConfig, CampaignReport, CellReport, DELAY_CYCLES, FAULT_KINDS,
+    run_campaign, CampaignConfig, CampaignReport, CellReport, NodeCellReport, NodeGridConfig,
+    DELAY_CYCLES, FAULT_KINDS, NODE_FAULT_KINDS, NODE_FAULT_NEVER, NODE_OUTAGE_CYCLES,
 };
 pub use canon::{
     canonical_key, case_from_json, case_to_json, hash_case_into, hash_machine_config_into,
     hash_protocol_into, hash_protocol_kind_into, hash_spec_state_into, spec_state_key,
     write_json_string, CanonHasher, Json, CANON_VERSION,
 };
-pub use diff::{run_case, CaseResult, Mismatch};
+pub use diff::{node_fault_legs, run_case, CaseResult, Mismatch};
 pub use fuzz::{
-    case_fails, fuzz, fuzz_jobs, parse_seed, render_case, replay, FuzzFailure, FuzzReport,
-    RACE_CASE_KEYS,
+    case_fails, fuzz, fuzz_jobs, parse_seed, render_case, replay, run_case_full, FuzzFailure,
+    FuzzReport, RACE_CASE_KEYS,
 };
 pub use generate::{CaseSpec, Op, ARR_A, ARR_OUT, TEMPLATE_SEEDS};
 pub use interleave::{

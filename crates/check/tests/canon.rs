@@ -6,9 +6,10 @@
 //! configurations would serve each other's cached results.
 
 use specrt_check::{canonical_key, CaseSpec, Op};
-use specrt_machine::{MachineConfig, RecoveryPolicy, ScheduleKind};
+use specrt_machine::{CheckpointConfig, MachineConfig, RecoveryPolicy, ScheduleKind};
 use specrt_proto::{
-    CacheConfig, FaultConfig, LatencyConfig, MemSystemConfig, NetConfig, RetryConfig, Topology,
+    CacheConfig, FaultConfig, LatencyConfig, MemSystemConfig, NetConfig, NodeFaultConfig,
+    NodeFaultKind, RetryConfig, Topology,
 };
 
 const PROTOCOL: &str = "hw-nonpriv";
@@ -161,6 +162,7 @@ fn every_machine_config_field_perturbs_the_hash() {
         dup_ppm: _,
         delay_ppm: _,
         delay_cycles: _,
+        node_fault: _,
     } = faults;
     let RetryConfig {
         timeout: _,
@@ -222,6 +224,48 @@ fn every_machine_config_field_perturbs_the_hash() {
     with("mem.net.faults.delay_cycles", &|c| {
         c.mem.net.faults.delay_cycles += 1
     });
+    with("mem.net.faults.node_fault", &|c| {
+        c.mem.net.faults.node_fault = Some(NodeFaultConfig {
+            kind: NodeFaultKind::Crash,
+            node: 1,
+            at_cycle: 100,
+        })
+    });
+    with("mem.net.faults.node_fault.kind", &|c| {
+        c.mem.net.faults.node_fault = Some(NodeFaultConfig {
+            kind: NodeFaultKind::Pause { for_cycles: 500 },
+            node: 1,
+            at_cycle: 100,
+        })
+    });
+    with("mem.net.faults.node_fault.kind shape", &|c| {
+        c.mem.net.faults.node_fault = Some(NodeFaultConfig {
+            kind: NodeFaultKind::Partition { for_cycles: 500 },
+            node: 1,
+            at_cycle: 100,
+        })
+    });
+    with("mem.net.faults.node_fault.for_cycles", &|c| {
+        c.mem.net.faults.node_fault = Some(NodeFaultConfig {
+            kind: NodeFaultKind::Pause { for_cycles: 501 },
+            node: 1,
+            at_cycle: 100,
+        })
+    });
+    with("mem.net.faults.node_fault.node", &|c| {
+        c.mem.net.faults.node_fault = Some(NodeFaultConfig {
+            kind: NodeFaultKind::Crash,
+            node: 2,
+            at_cycle: 100,
+        })
+    });
+    with("mem.net.faults.node_fault.at_cycle", &|c| {
+        c.mem.net.faults.node_fault = Some(NodeFaultConfig {
+            kind: NodeFaultKind::Crash,
+            node: 1,
+            at_cycle: 101,
+        })
+    });
     with("mem.dirty_read_downgrades", &|c| {
         c.mem.dirty_read_downgrades = !c.mem.dirty_read_downgrades
     });
@@ -243,6 +287,16 @@ fn every_machine_config_field_perturbs_the_hash() {
     });
     with("recovery/max_attempts", &|c| {
         c.recovery = RecoveryPolicy::RetrySpeculative { max_attempts: 2 }
+    });
+    with("recovery/checkpoint_restart", &|c| {
+        c.recovery = RecoveryPolicy::CheckpointRestart {
+            checkpoint: CheckpointConfig { every_iters: 16 },
+        }
+    });
+    with("recovery/checkpoint.every_iters", &|c| {
+        c.recovery = RecoveryPolicy::CheckpointRestart {
+            checkpoint: CheckpointConfig { every_iters: 32 },
+        }
     });
 
     // Every perturbation moves the key away from the base...

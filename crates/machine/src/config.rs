@@ -2,6 +2,28 @@
 
 use specrt_proto::{MemSystemConfig, NetConfig};
 
+/// Checkpointing cadence for [`RecoveryPolicy::CheckpointRestart`].
+///
+/// Speculative state quiesces at stamp-window barriers (all messages
+/// drained, failure checked, qualified tags reset), so that is where a
+/// checkpoint is cheap: the functional image, the accumulated last-writer
+/// map and the iteration base fully describe a resumable prefix. The
+/// machine snapshots at every window boundary, and windows are clamped to
+/// at most `every_iters` iterations so a checkpoint exists at least that
+/// often.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Maximum iterations between checkpoints (≥ 1; also an upper bound on
+    /// the stamp-window length while this policy is active).
+    pub every_iters: u64,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig { every_iters: 16 }
+    }
+}
+
 /// What the machine does when the hardware flags a speculation failure.
 ///
 /// The paper's policy (§3) is [`RecoveryPolicy::SerialReexec`]: abort the
@@ -23,13 +45,24 @@ pub enum RecoveryPolicy {
         /// distinguishable from [`RecoveryPolicy::SerialReexec`]).
         max_attempts: u32,
     },
+    /// Abort → roll back to the last window checkpoint → re-run only the
+    /// lost iterations speculatively on the surviving processors (a node
+    /// flagged `NodeUnreachable` is fenced out and its remaining chunk
+    /// redistributed); the serial safety net covers a failure with no
+    /// preceding checkpoint or a rerun that fails again.
+    CheckpointRestart {
+        /// Checkpointing cadence.
+        checkpoint: CheckpointConfig,
+    },
 }
 
 impl RecoveryPolicy {
     /// Speculative re-runs this policy allows after the initial attempt.
+    /// Checkpoint restart does not re-run the whole loop, so it has no
+    /// whole-loop retry budget.
     pub fn retries(&self) -> u32 {
         match self {
-            RecoveryPolicy::SerialReexec => 0,
+            RecoveryPolicy::SerialReexec | RecoveryPolicy::CheckpointRestart { .. } => 0,
             RecoveryPolicy::RetrySpeculative { max_attempts } => *max_attempts,
         }
     }
@@ -146,6 +179,13 @@ mod tests {
         assert_eq!(
             RecoveryPolicy::RetrySpeculative { max_attempts: 3 }.retries(),
             3
+        );
+        assert_eq!(
+            RecoveryPolicy::CheckpointRestart {
+                checkpoint: CheckpointConfig::default()
+            }
+            .retries(),
+            0
         );
         assert_eq!(
             MachineConfig::default().recovery,

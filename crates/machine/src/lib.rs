@@ -31,7 +31,7 @@ pub mod pool;
 pub mod scenario;
 pub mod sched;
 
-pub use config::{MachineConfig, RecoveryPolicy};
+pub use config::{CheckpointConfig, MachineConfig, RecoveryPolicy};
 pub use exec::{ExecEnd, ExecSummary, Executor, BARRIER_ARRAY};
 pub use loopspec::{ArrayDecl, LoopSpec, ScheduleKind};
 pub use pool::PooledMem;

@@ -33,10 +33,10 @@ use specrt_lrpd::phases::{
 use specrt_lrpd::shadow::{CNT_ATM, CNT_ATW, CNT_BAD_NP, CNT_BAD_WR, CNT_LEN};
 use specrt_lrpd::{instrument_for_proc, sw_private_copy_id, InstrumentConfig, ShadowIds};
 use specrt_mem::{ArrayBackup, ElemSize, MemoryImage, NodeId, PlacementPolicy, ProcId};
-use specrt_proto::{private_copy_id, MemSystem, NetSummary, TraceEvent};
-use specrt_spec::{IterationNumbering, ProtocolKind, TestPlan};
+use specrt_proto::{private_copy_id, FaultConfig, MemSystem, NetSummary, TraceEvent};
+use specrt_spec::{fault, FailReason, IterationNumbering, ProtocolKind, TestPlan};
 
-use crate::config::MachineConfig;
+use crate::config::{MachineConfig, RecoveryPolicy};
 use crate::exec::{ExecEnd, Executor};
 use crate::loopspec::{LoopSpec, ScheduleKind};
 use crate::sched::{BlockCyclic, DynamicSelf, Replicated, Scheduler, StaticChunked};
@@ -308,6 +308,50 @@ fn serial_reexec(
     image.register(crate::exec::BARRIER_ARRAY, 2);
     ms.configure_loop(TestPlan::new(), IterationNumbering::iteration_wise());
     let mut sched = StaticChunked::new(spec.iters, 1, cfg.sched_static_overhead);
+    let summary = Executor::new(
+        &cfg,
+        &mut ms,
+        &mut image,
+        vec![spec.body.clone()],
+        &mut sched,
+    )
+    .run();
+    assert_eq!(summary.end, ExecEnd::Completed, "re-execution cannot fail");
+    (summary.finish_time, summary.per_proc[0], image)
+}
+
+/// [`serial_reexec`] restricted to the suffix a checkpoint did not cover:
+/// re-runs only `[start, spec.iters)` serially, starting from the committed
+/// checkpoint image. Even this fallback path beats the whole-loop safety
+/// net whenever `start > 0`.
+fn serial_reexec_from(
+    spec: &LoopSpec,
+    restored: &MemoryImage,
+    start: u64,
+    cfg: MachineConfig,
+) -> (Cycles, TimeBreakdown, MemoryImage) {
+    let _prof = specrt_prof::scope("machine.serial_reexec");
+    let cfg = single_proc(cfg);
+    let mut ms = crate::pool::lease(cfg.mem);
+    let mut image = MemoryImage::new();
+    for a in &spec.arrays {
+        ms.alloc_array(a.id, a.len, a.elem, PlacementPolicy::Local(NodeId(0)));
+        image.register_with(a.id, restored.contents(a.id));
+    }
+    ms.alloc_array(
+        crate::exec::BARRIER_ARRAY,
+        2,
+        ElemSize::W8,
+        PlacementPolicy::Local(NodeId(0)),
+    );
+    image.register(crate::exec::BARRIER_ARRAY, 2);
+    ms.configure_loop(TestPlan::new(), IterationNumbering::iteration_wise());
+    let inner = Box::new(StaticChunked::new(
+        spec.iters - start,
+        1,
+        cfg.sched_static_overhead,
+    ));
+    let mut sched = crate::sched::Windowed::new(inner, start);
     let summary = Executor::new(
         &cfg,
         &mut ms,
@@ -623,6 +667,118 @@ fn setup_speculative_storage(
 // HW
 // ----------------------------------------------------------------------
 
+/// A resumable prefix snapshotted at a window barrier: the first iteration
+/// the rerun must execute, the committed memory image, the accumulated
+/// last-writer map, and the iterations completed so far.
+type Checkpoint = (
+    u64,
+    MemoryImage,
+    std::collections::BTreeMap<(ArrayId, u64), (u64, Scalar)>,
+    u64,
+);
+
+/// Checkpoint ring depth: recovery restores the most recent entry; older
+/// entries are bounded so a long loop cannot accumulate unbounded snapshot
+/// state.
+const CKPT_RING: usize = 4;
+
+/// What a successful checkpoint rerun hands back to `run_hw`: finish time,
+/// per-processor breakdowns, final image, last-writer map, iterations run,
+/// and the rerun machine's protocol statistics.
+type CkptRerun = (
+    Cycles,
+    Vec<TimeBreakdown>,
+    MemoryImage,
+    std::collections::BTreeMap<(ArrayId, u64), (u64, Scalar)>,
+    u64,
+    StatSet,
+);
+
+/// Re-runs the lost iterations `[start, spec.iters)` speculatively on a
+/// fresh `survivors`-processor machine seeded from the committed checkpoint
+/// image. The suspected node is fenced out and the survivors restart on a
+/// fault-free interconnect — re-injecting the same deterministic node fault
+/// would kill every recovery attempt (DESIGN.md §16 records the
+/// simplification). Returns `None` when the rerun fails again (a
+/// deterministic dependence violation in the suffix); the caller then
+/// re-executes the same suffix serially.
+fn checkpoint_rerun(
+    spec: &LoopSpec,
+    restored: &MemoryImage,
+    start: u64,
+    mut cfg: MachineConfig,
+    survivors: u32,
+) -> Option<CkptRerun> {
+    let _prof = specrt_prof::scope("machine.ckpt_rerun");
+    cfg.mem.procs = survivors;
+    cfg.mem.net.faults = FaultConfig::none();
+    cfg.trace_capacity = 0;
+    let mut ms = crate::pool::lease(cfg.mem);
+    let mut image = MemoryImage::new();
+    for a in &spec.arrays {
+        ms.alloc_array(a.id, a.len, a.elem, PlacementPolicy::RoundRobin);
+        image.register_with(a.id, restored.contents(a.id));
+    }
+    ms.alloc_array(
+        crate::exec::BARRIER_ARRAY,
+        2,
+        ElemSize::W8,
+        PlacementPolicy::Local(NodeId(0)),
+    );
+    image.register(crate::exec::BARRIER_ARRAY, 2);
+    let priv_arrays = spec.plan.priv_arrays();
+    for &arr in &priv_arrays {
+        for p in 0..survivors {
+            image.register(private_copy_id(arr, ProcId(p)), spec.array(arr).len);
+        }
+    }
+    ms.configure_loop(spec.plan.clone(), spec.numbering);
+    // Stamps restart relative to the checkpoint, exactly as the original
+    // machine's window barrier would have left them.
+    ms.reset_stamp_window(start);
+    let sparse: Vec<ArrayId> = spec
+        .backup_arrays()
+        .into_iter()
+        .filter(|&a| spec.array(a).sparse_backup)
+        .collect();
+    let inner = make_sched(spec.schedule, spec.iters - start, survivors, &cfg);
+    let mut sched = crate::sched::Windowed::new(inner, start);
+    let mut exec = Executor::new(
+        &cfg,
+        &mut ms,
+        &mut image,
+        vec![spec.body.clone(); survivors as usize],
+        &mut sched,
+    )
+    .route_privatized(true)
+    .speculative(true);
+    for &arr in &priv_arrays {
+        for p in 0..survivors {
+            exec = exec.track_copy_out(private_copy_id(arr, ProcId(p)), arr);
+        }
+    }
+    for &arr in &sparse {
+        exec = exec.track_copy_out(arr, arr);
+    }
+    let summary = exec.run();
+    ms.drain_all_messages();
+    if matches!(summary.end, ExecEnd::Completed) {
+        ms.merge_dirty_tags(summary.finish_time);
+    }
+    if !matches!(summary.end, ExecEnd::Completed) || ms.failure().is_some() {
+        return None;
+    }
+    let stats = ms.stats().clone();
+    Some((
+        summary.finish_time,
+        summary.per_proc,
+        image,
+        summary.winners,
+        summary.iterations,
+        stats,
+    ))
+}
+
 fn run_hw(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
     let procs = cfg.procs();
     let mut ms = crate::pool::lease(cfg.mem);
@@ -652,6 +808,20 @@ fn run_hw(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
         .filter(|_| !priv_arrays.is_empty())
         .unwrap_or(spec.iters)
         .max(1);
+    // Checkpoint cadence: under CheckpointRestart the loop always runs in
+    // windows of at most `every_iters`, so a window barrier — the quiescent
+    // point a checkpoint snapshots — occurs at least that often.
+    let ckpt_every = match cfg.recovery {
+        RecoveryPolicy::CheckpointRestart { checkpoint } => Some(checkpoint.every_iters.max(1)),
+        _ => None,
+    };
+    let window = ckpt_every.map_or(window, |every| window.min(every));
+    let mut ckpts: Vec<Checkpoint> = Vec::new();
+    // Pre-loop image, kept only to model the injected stale-snapshot bug
+    // (the checkpoint analogue of forgetting to merge dirty-line tags).
+    let stale_image = (ckpt_every.is_some()
+        && fault::active(fault::FaultKind::CkptSkipDirtySnapshot))
+    .then(|| image.clone());
 
     // Speculative attempts: the paper's policy (SerialReexec) runs the loop
     // once and falls straight back to serial re-execution on failure;
@@ -681,8 +851,47 @@ fn run_hw(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
                     loop_end = ExecEnd::Failed { reason, at };
                     break;
                 }
+                // Window-flushed verdict: a conflict hidden on a dirty line
+                // must surface *before* the prefix is declared committed
+                // (and snapshotted) — the same merge the loop-end verdict
+                // does, at every barrier.
+                ms.merge_dirty_tags(accum.now);
+                if let Some((reason, at)) = ms.failure() {
+                    loop_end = ExecEnd::Failed { reason, at };
+                    break;
+                }
                 ms.reset_stamp_window(start);
+                // Partial commit (§3.3): fold the accumulated last-writer
+                // values of the privatized arrays into the shared image.
+                // The stamp reset wipes the private directories, so the
+                // next window's read-ins go back to shared memory — which
+                // must hold every value the committed prefix wrote, or a
+                // processor re-reads-in stale data over its own
+                // earlier-window private write.
+                for (&(arr, idx), &(_, value)) in &winners {
+                    image.write(arr, idx, value);
+                }
                 accum.now += Cycles(cfg.barrier_overhead);
+                if ckpt_every.is_some() {
+                    // Snapshot the committed prefix (the winner values are
+                    // already folded into the image at this barrier), the
+                    // winner map, and the iteration count. The injected
+                    // `CkptSkipDirtySnapshot` bug records the pre-loop
+                    // image instead; the campaign's serial-oracle image
+                    // check must flag the stale rollback it causes.
+                    let snap = match &stale_image {
+                        Some(stale) => stale.clone(),
+                        None => image.clone(),
+                    };
+                    if ckpts.len() == CKPT_RING {
+                        ckpts.remove(0);
+                    }
+                    ckpts.push((start, snap, winners.clone(), iterations));
+                    ms.incr_stat("checkpoint.snapshots");
+                    // Committing the snapshot to safe storage costs one
+                    // more barrier episode on top of the window barrier.
+                    accum.now += Cycles(cfg.barrier_overhead);
+                }
             }
             let inner = make_sched(spec.schedule, len, procs, &cfg);
             let mut sched = crate::sched::Windowed::new(inner, start);
@@ -735,10 +944,10 @@ fn run_hw(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
             _ => None,
         };
         let failed = match (&loop_end, late_failure) {
-            (ExecEnd::Failed { reason, .. }, _) => Some(format!("{reason}")),
+            (ExecEnd::Failed { reason, .. }, _) => Some(*reason),
             (_, Some((reason, at))) => {
                 accum.now = accum.now.max(at + Cycles(cfg.abort_latency));
-                Some(format!("{reason}"))
+                Some(reason)
             }
             _ => None,
         };
@@ -791,11 +1000,132 @@ fn run_hw(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
     };
 
     if let Some(reason) = failed {
+        // Checkpoint restart: roll back to the last window checkpoint and
+        // re-run only the lost iterations — on the survivors when a node
+        // was declared unreachable (its remaining chunk is redistributed by
+        // the fresh schedule over `survivors` processors). The serial
+        // safety net only runs when no checkpoint precedes the failure, or
+        // when the rerun fails again — and then only over the lost suffix.
+        if let Some((ck_start, ck_image, ck_winners, ck_iters)) = ckpts.pop() {
+            if ms.tracer().enabled() {
+                let at = accum.now;
+                ms.tracer_mut().emit(TraceEvent::Recovery {
+                    at,
+                    action: "checkpoint-restart",
+                    attempt: attempt + 1,
+                });
+            }
+            ms.incr_stat("checkpoint.restores");
+            // Timed rollback: the same restore traffic any abort pays;
+            // functionally the checkpoint image then replaces the
+            // speculative one wholesale.
+            let sparse_counts: Vec<(ArrayId, u64)> = sparse
+                .iter()
+                .map(|&a| (a, written_count(&winners, a)))
+                .collect();
+            restore_phase(
+                spec,
+                &cfg,
+                &mut ms,
+                &mut image,
+                &mut accum,
+                &dense,
+                &sparse_counts,
+                &sparse_snapshot,
+            );
+            image = ck_image;
+            let survivors = match reason {
+                FailReason::NodeUnreachable { .. } => procs.saturating_sub(1).max(1),
+                _ => procs,
+            };
+            match checkpoint_rerun(spec, &image, ck_start, cfg, survivors) {
+                Some((
+                    rerun_time,
+                    rerun_bds,
+                    rerun_image,
+                    rerun_winners,
+                    rerun_iters,
+                    rerun_stats,
+                )) => {
+                    accum.now += rerun_time;
+                    for (bd, rb) in accum.per_proc.iter_mut().zip(&rerun_bds) {
+                        *bd = bd.merged(rb);
+                    }
+                    for a in &spec.arrays {
+                        image.set_contents(a.id, rerun_image.contents(a.id));
+                    }
+                    let mut all_winners = ck_winners;
+                    merge_winners(&mut all_winners, &rerun_winners);
+                    let mut stats = ms.stats().clone();
+                    stats.merge(&rerun_stats);
+                    copy_out_phase(
+                        spec,
+                        &cfg,
+                        &mut ms,
+                        &mut image,
+                        &mut accum,
+                        &live_priv,
+                        &all_winners,
+                        true,
+                    );
+                    return RunResult {
+                        scenario: Scenario::Hw,
+                        name: spec.name.clone(),
+                        total_cycles: accum.now,
+                        breakdown: accum.average(),
+                        passed: Some(true),
+                        failure: None,
+                        iterations: ck_iters + rerun_iters,
+                        final_image: image,
+                        stats,
+                        net: ms.net_summary(),
+                        trace: ms.take_event_trace(),
+                    };
+                }
+                None => {
+                    // The rerun failed again (a deterministic dependence
+                    // violation in the suffix): serial re-execution, but
+                    // only of the iterations the checkpoint does not cover.
+                    ms.incr_stat("checkpoint.serial_fallbacks");
+                    if ms.tracer().enabled() {
+                        let at = accum.now;
+                        ms.tracer_mut().emit(TraceEvent::Recovery {
+                            at,
+                            action: "serial-reexec",
+                            attempt: attempt + 1,
+                        });
+                    }
+                    let (serial_time, serial_bd, serial_image) =
+                        serial_reexec_from(spec, &image, ck_start, cfg);
+                    accum.now += serial_time;
+                    for bd in &mut accum.per_proc {
+                        *bd = bd.merged(&serial_bd);
+                    }
+                    for a in &spec.arrays {
+                        image.set_contents(a.id, serial_image.contents(a.id));
+                    }
+                    let stats = ms.stats().clone();
+                    return RunResult {
+                        scenario: Scenario::Hw,
+                        name: spec.name.clone(),
+                        total_cycles: accum.now,
+                        breakdown: accum.average(),
+                        passed: Some(false),
+                        failure: Some(reason.to_string()),
+                        iterations,
+                        final_image: image,
+                        stats,
+                        net: ms.net_summary(),
+                        trace: ms.take_event_trace(),
+                    };
+                }
+            }
+        }
         // Failure path: restore + serial re-execution.
-        // The Recovery event is only emitted under the non-default retry
-        // policy: the paper's SerialReexec baseline must stay byte-identical
-        // to the pre-resilience golden traces.
-        if retries > 0 && ms.tracer().enabled() {
+        // The Recovery event is only emitted under the non-default recovery
+        // policies: the paper's SerialReexec baseline must stay
+        // byte-identical to the pre-resilience golden traces.
+        if !matches!(cfg.recovery, RecoveryPolicy::SerialReexec) && ms.tracer().enabled() {
             let at = accum.now;
             ms.tracer_mut().emit(TraceEvent::Recovery {
                 at,
@@ -833,7 +1163,7 @@ fn run_hw(spec: &LoopSpec, cfg: MachineConfig) -> RunResult {
             total_cycles: accum.now,
             breakdown: accum.average(),
             passed: Some(false),
-            failure: Some(reason),
+            failure: Some(reason.to_string()),
             iterations,
             final_image: image,
             stats,
@@ -1140,6 +1470,7 @@ mod tests {
 
     const A: ArrayId = ArrayId(0);
     const K: ArrayId = ArrayId(1);
+    const OUT: ArrayId = ArrayId(2);
 
     /// Pins the determinism contract of [`merge_winners`]: the
     /// accumulated last-writer map must not depend on the order windows
@@ -1234,6 +1565,41 @@ mod tests {
             numbering: IterationNumbering::iteration_wise(),
             schedule: ScheduleKind::Static,
             live_after: vec![A],
+            stamp_window: None,
+        }
+    }
+
+    /// `OUT[i] = A[K[i]]` with A read-only under test. Every element read
+    /// that hits a resident *clean* line emits an asynchronous `ROnly`
+    /// update — and reads never dirty the lines — so protocol messages
+    /// flow across the whole loop, and again on every speculative retry
+    /// (the access bits reset, the lines stay clean). That makes this the
+    /// workload of choice for node-fault tests: a crash or pause anywhere
+    /// in the run reliably swallows some update and arms the watchdog.
+    fn gather_loop(n: u64) -> LoopSpec {
+        let mut b = ProgramBuilder::new();
+        let idx = b.load(K, Operand::Iter);
+        let v = b.load(A, Operand::Reg(idx));
+        b.store(OUT, Operand::Iter, Operand::Reg(v));
+        b.compute(120);
+        let body = b.build().unwrap();
+        let mut plan = TestPlan::new();
+        plan.set(A, ProtocolKind::NonPriv);
+        let k_init: Vec<Scalar> = (0..n).map(|i| Scalar::Int(((i * 7) % n) as i64)).collect();
+        let a_init: Vec<Scalar> = (0..n).map(|i| Scalar::Float(i as f64)).collect();
+        LoopSpec {
+            name: "gather".into(),
+            body,
+            iters: n,
+            arrays: vec![
+                ArrayDecl::with_init(A, ElemSize::W8, a_init),
+                ArrayDecl::with_init(K, ElemSize::W8, k_init),
+                ArrayDecl::zeroed(OUT, n, ElemSize::W8),
+            ],
+            plan,
+            numbering: IterationNumbering::iteration_wise(),
+            schedule: ScheduleKind::Static,
+            live_after: vec![A, OUT],
             stamp_window: None,
         }
     }
@@ -1438,6 +1804,7 @@ mod tests {
             dup_ppm: 0,
             delay_ppm: 0,
             delay_cycles: 0,
+            node_fault: None,
         };
         let mut cfg = MachineConfig::with_procs(4).with_net(NetConfig::flat().with_faults(faults));
         cfg.mem.retry.timeout = 64;
@@ -1505,6 +1872,226 @@ mod tests {
             )
         });
         assert!(serial_fallback, "exhaustion must emit the fallback event");
+    }
+
+    /// A `NodePause` outlasting every retransmission backoff exhausts the
+    /// `RetrySpeculative` budget: each attempt escalates to
+    /// `NodeUnreachable`, and after the budget burns the machine falls back
+    /// to serial re-execution with the serial-equivalent image. The
+    /// per-attempt cost (abort + restore + re-run to the same escalation
+    /// point) is probe-pinned: the node fault is a pure function of
+    /// (src, dst, cycle) and draws no RNG, so consecutive attempts cost
+    /// exactly the same number of cycles.
+    #[test]
+    fn retry_exhaustion_under_long_pause_falls_back_to_serial() {
+        use crate::config::RecoveryPolicy;
+        use specrt_proto::{FaultConfig, NetConfig, NodeFaultConfig, NodeFaultKind};
+
+        let spec = gather_loop(64);
+        let faults = FaultConfig {
+            node_fault: Some(NodeFaultConfig {
+                kind: NodeFaultKind::Pause {
+                    for_cycles: u64::MAX / 2,
+                },
+                node: 2,
+                at_cycle: 1,
+            }),
+            ..FaultConfig::none()
+        };
+        let run_with = |attempts: u32| {
+            let mut cfg =
+                MachineConfig::with_procs(4).with_net(NetConfig::flat().with_faults(faults));
+            cfg.mem.retry.timeout = 64;
+            cfg.mem.retry.max_retries = 2;
+            cfg.trace_capacity = 4096;
+            cfg.recovery = RecoveryPolicy::RetrySpeculative {
+                max_attempts: attempts,
+            };
+            run_scenario_configured(&spec, Scenario::Hw, cfg)
+        };
+        let serial = run_scenario(&spec, Scenario::Serial, 4);
+
+        let runs: Vec<RunResult> = [1u32, 2, 3].map(run_with).to_vec();
+        for run in &runs {
+            assert_eq!(run.passed, Some(false), "{:?}", run.failure);
+            assert!(
+                run.failure.as_deref().unwrap_or("").contains("unreachable"),
+                "expected watchdog escalation, got {:?}",
+                run.failure
+            );
+            assert!(run.stats.get("fault.node.unreachable") >= 1);
+            assert!(run
+                .final_image
+                .same_contents(&serial.final_image, &[A, OUT]));
+        }
+        assert_eq!(runs[0].stats.get("retry.speculative_reruns"), 1);
+        assert_eq!(runs[1].stats.get("retry.speculative_reruns"), 2);
+        assert_eq!(runs[2].stats.get("retry.speculative_reruns"), 3);
+        for (run, budget) in runs.iter().zip([1u32, 2, 3]) {
+            assert!(
+                run.trace.iter().any(|e| matches!(
+                    e,
+                    TraceEvent::Recovery {
+                        action: "serial-reexec",
+                        attempt,
+                        ..
+                    } if *attempt == budget
+                )),
+                "missing serial fallback event for budget {budget}"
+            );
+        }
+        // Probe-pinned per-attempt cost: cycle-exact linearity across
+        // budgets.
+        let t: Vec<u64> = runs.iter().map(|r| r.total_cycles.raw()).collect();
+        assert!(t[1] > t[0], "an extra attempt must cost time");
+        assert_eq!(
+            t[2] - t[1],
+            t[1] - t[0],
+            "per-attempt cost must be cycle-exact: {t:?}"
+        );
+    }
+
+    /// The acceptance scenario for the checkpoint plane: a node crash
+    /// mid-loop under `CheckpointRestart` rolls back to the last window
+    /// checkpoint and re-runs only the lost iterations on the survivors —
+    /// the loop still *passes*, no whole-loop serial re-execution happens,
+    /// and the final image is the serial one.
+    #[test]
+    fn checkpoint_restart_recovers_node_crash_without_full_reexec() {
+        use crate::config::{CheckpointConfig, RecoveryPolicy};
+        use specrt_proto::{FaultConfig, NetConfig, NodeFaultConfig, NodeFaultKind};
+
+        let spec = gather_loop(64);
+        let recovery = RecoveryPolicy::CheckpointRestart {
+            checkpoint: CheckpointConfig { every_iters: 16 },
+        };
+        let mk_cfg = |faults: FaultConfig| {
+            let mut cfg =
+                MachineConfig::with_procs(4).with_net(NetConfig::flat().with_faults(faults));
+            cfg.mem.retry.timeout = 64;
+            cfg.mem.retry.max_retries = 2;
+            cfg.trace_capacity = 4096;
+            cfg.recovery = recovery;
+            cfg
+        };
+        // Fault-free probe run under the same checkpointing cadence, to pin
+        // a crash time that lands past the first checkpoint.
+        let probe = run_scenario_configured(&spec, Scenario::Hw, mk_cfg(FaultConfig::none()));
+        assert_eq!(probe.passed, Some(true), "{:?}", probe.failure);
+        assert!(probe.stats.get("checkpoint.snapshots") >= 3);
+        assert_eq!(probe.stats.get("checkpoint.restores"), 0);
+        let crash_at = probe.total_cycles.raw() * 2 / 3;
+
+        let faults = FaultConfig {
+            node_fault: Some(NodeFaultConfig {
+                kind: NodeFaultKind::Crash,
+                node: 3,
+                at_cycle: crash_at,
+            }),
+            ..FaultConfig::none()
+        };
+        let serial = run_scenario(&spec, Scenario::Serial, 4);
+        let hw = run_scenario_configured(&spec, Scenario::Hw, mk_cfg(faults));
+        assert_eq!(hw.passed, Some(true), "{:?}", hw.failure);
+        assert_eq!(hw.iterations, 64, "every iteration must commit");
+        assert!(hw.stats.get("fault.node.unreachable") >= 1);
+        assert!(hw.stats.get("checkpoint.restores") >= 1);
+        assert_eq!(hw.stats.get("checkpoint.serial_fallbacks"), 0);
+        assert!(
+            hw.trace.iter().any(|e| matches!(
+                e,
+                TraceEvent::Recovery {
+                    action: "checkpoint-restart",
+                    ..
+                }
+            )),
+            "restart must be visible in the event trace"
+        );
+        assert!(
+            !hw.trace.iter().any(|e| matches!(
+                e,
+                TraceEvent::Recovery {
+                    action: "serial-reexec",
+                    ..
+                }
+            )),
+            "recovery must not fall back to serial re-execution"
+        );
+        assert!(hw.final_image.same_contents(&serial.final_image, &[A, OUT]));
+    }
+
+    /// With no checkpoint preceding the failure (crash before the first
+    /// window barrier), `CheckpointRestart` degrades to the serial safety
+    /// net — and a deterministic conflict makes the post-restore rerun fail
+    /// again, exercising the suffix-serial fallback. Both end on the serial
+    /// image.
+    #[test]
+    fn checkpoint_restart_serial_fallbacks_match_serial() {
+        use crate::config::{CheckpointConfig, RecoveryPolicy};
+        use specrt_proto::{FaultConfig, NetConfig, NodeFaultConfig, NodeFaultKind};
+
+        let recovery = RecoveryPolicy::CheckpointRestart {
+            checkpoint: CheckpointConfig { every_iters: 16 },
+        };
+
+        // Crash from cycle 0: the very first window dies (the permutation
+        // loop's early clean-line hits send updates before the first
+        // barrier), no checkpoint exists, and the whole loop re-executes
+        // serially.
+        let spec = permutation_loop(64);
+        let faults = FaultConfig {
+            node_fault: Some(NodeFaultConfig {
+                kind: NodeFaultKind::Crash,
+                node: 1,
+                at_cycle: 0,
+            }),
+            ..FaultConfig::none()
+        };
+        let mut cfg = MachineConfig::with_procs(4).with_net(NetConfig::flat().with_faults(faults));
+        cfg.mem.retry.timeout = 64;
+        cfg.mem.retry.max_retries = 2;
+        cfg.recovery = recovery;
+        let serial = run_scenario(&spec, Scenario::Serial, 4);
+        let hw = run_scenario_configured(&spec, Scenario::Hw, cfg);
+        assert_eq!(hw.passed, Some(false), "{:?}", hw.failure);
+        assert_eq!(hw.stats.get("checkpoint.restores"), 0);
+        assert!(hw.final_image.same_contents(&serial.final_image, &[A]));
+
+        // Deterministic late conflict: the first two windows pass and
+        // checkpoint, iterations 32+ all collide on A[0] — the restart
+        // reruns the suffix, fails again deterministically, and only the
+        // suffix re-executes serially from the checkpoint.
+        let mut spec = permutation_loop(64);
+        let k_init: Vec<Scalar> = (0..64)
+            .map(|i| Scalar::Int(if i < 32 { i } else { 0 }))
+            .collect();
+        spec.arrays[1] = ArrayDecl::with_init(K, ElemSize::W8, k_init);
+        spec.name = "late-collision".into();
+        let mut cfg = MachineConfig::with_procs(4);
+        cfg.recovery = recovery;
+        cfg.trace_capacity = 4096;
+        let serial = run_scenario(&spec, Scenario::Serial, 4);
+        let hw = run_scenario_configured(&spec, Scenario::Hw, cfg);
+        assert_eq!(hw.passed, Some(false));
+        assert!(hw.stats.get("checkpoint.restores") >= 1);
+        assert!(hw.stats.get("checkpoint.serial_fallbacks") >= 1);
+        assert!(
+            hw.trace.iter().any(|e| matches!(
+                e,
+                TraceEvent::Recovery {
+                    action: "checkpoint-restart",
+                    ..
+                }
+            )) && hw.trace.iter().any(|e| matches!(
+                e,
+                TraceEvent::Recovery {
+                    action: "serial-reexec",
+                    ..
+                }
+            )),
+            "both recovery stages must be visible in the event trace"
+        );
+        assert!(hw.final_image.same_contents(&serial.final_image, &[A]));
     }
 
     /// The FAIL broadcast rides the same interconnect as everything else:

@@ -27,6 +27,8 @@ mod fault;
 mod network;
 mod topology;
 
-pub use fault::{FaultAction, FaultConfig, FaultPlane, FaultStats, PPM};
+pub use fault::{
+    FaultAction, FaultConfig, FaultPlane, FaultStats, NodeFaultConfig, NodeFaultKind, PPM,
+};
 pub use network::{Delivery, LinkStat, NetConfig, NetSummary, Network, DEFAULT_MESH_LINK_SERVICE};
 pub use topology::{LinkId, Topology};

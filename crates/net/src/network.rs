@@ -250,6 +250,20 @@ impl Network {
         self.faults.stats()
     }
 
+    /// Whether an armed node-level fault swallows a message sent from
+    /// `src` to `dst` at cycle `at`. Stateless — a pure function of the
+    /// configuration — so it never perturbs the message-rate decision
+    /// stream; returns `None` when the message goes through, and the
+    /// suspected node (for watchdog escalation) when it is blocked.
+    pub fn node_fault_blocks(&self, src: NodeId, dst: NodeId, at: Cycles) -> Option<u32> {
+        let nf = self.cfg.faults.node_fault?;
+        if nf.blocks(src.0, dst.0, at.raw()) {
+            Some(nf.suspect(dst.0))
+        } else {
+            None
+        }
+    }
+
     /// Zero-load transit time from `src` to `dst`.
     pub fn unloaded(&self, src: NodeId, dst: NodeId) -> Cycles {
         let hops = u64::from(self.cfg.topology.hops(src, dst));

@@ -40,7 +40,7 @@ pub use latency::LatencyConfig;
 pub use specrt_cache::CacheConfig;
 pub use specrt_net::{
     Delivery, FaultAction, FaultConfig, FaultStats, LinkStat, NetConfig, NetSummary, Network,
-    Topology,
+    NodeFaultConfig, NodeFaultKind, Topology,
 };
 pub use specrt_trace::{HitKind, NullSink, RingBufferSink, TraceEvent, TraceSink, Tracer};
 pub use system::{private_copy_id, AccessOutcome, MemSystem, MemSystemConfig, RetryConfig};

@@ -499,7 +499,14 @@ impl MemSystem {
     pub fn reset_stamp_window(&mut self, base: u64) {
         self.stamp_base = base;
         self.priv_shared.clear();
-        self.priv_private.clear_stamps();
+        // The touched marks go too, not just the stamps: the barrier
+        // commits the prefix (the machine layer folds the winners into
+        // shared memory), so every stamped private copy is stale — another
+        // processor's committed write may supersede it, and the shared
+        // directory that would have caught the conflict was just cleared.
+        // The next access must re-run the read-in decision against the
+        // committed shared data.
+        self.priv_private.clear();
         #[cfg(debug_assertions)]
         self.spec_shadow.clear();
         for e in &mut self.cur_eff_iter {
@@ -507,6 +514,45 @@ impl MemSystem {
         }
         for c in &mut self.caches {
             c.clear_iteration_bits();
+        }
+        // Discard resident private-copy lines of the *stamped*
+        // privatization protocol for the same reason: a window-2 cache hit
+        // on a window-1 line would serve pre-commit data. Eviction is
+        // state-only here; the re-fetch misses of the next window carry
+        // the timing cost. The no-read-in variant keeps its lines — its
+        // sticky bits survive the reset, so cross-window conflicts are
+        // still detected and an undetected private value is by
+        // construction the processor's own.
+        let mut stale: Vec<(usize, LineAddr)> = Vec::new();
+        for (arr, per_proc) in &self.private_layouts {
+            match self.plan.kind_of(*arr) {
+                ProtocolKind::Priv { read_in, copy_out } if read_in || copy_out => {}
+                _ => continue,
+            }
+            for (p, layout) in per_proc.iter().enumerate() {
+                let Some(layout) = layout else { continue };
+                let first = layout.base.line().0;
+                for line in first..first + layout.line_count() {
+                    stale.push((p, LineAddr(line)));
+                }
+            }
+        }
+        for (p, line) in stale {
+            if let Some((state, _tags)) = self.caches[p].invalidate(line) {
+                // State-only directory bookkeeping (the quiescent-barrier
+                // analogue of `retire_victim`, with no routing charge): a
+                // private line's authoritative stamps live in the private
+                // store, so no tag merge is needed.
+                let home = self.numa.home_of(line.base());
+                let proc = ProcId(p as u32);
+                if state == LineState::Dirty {
+                    if self.dirs[home.0 as usize].state(line) == DirLineState::Dirty(proc) {
+                        self.dirs[home.0 as usize].writeback_to_uncached(line, proc);
+                    }
+                } else {
+                    self.dirs[home.0 as usize].remove_sharer(line, proc);
+                }
+            }
         }
         self.stats.incr("stamp_window_resets");
     }
@@ -737,6 +783,13 @@ impl MemSystem {
     /// Aggregate protocol statistics.
     pub fn stats(&self) -> &StatSet {
         &self.stats
+    }
+
+    /// Bumps one statistics counter from outside the protocol layer — the
+    /// machine-side recovery machinery (checkpoint snapshots/restores)
+    /// records its counters into the same [`StatSet`] the run reports.
+    pub fn incr_stat(&mut self, key: &'static str) {
+        self.stats.incr(key);
     }
 
     /// The interconnect in use.
@@ -2076,6 +2129,35 @@ impl MemSystem {
         let mut send_at = now;
         let mut attempt: u32 = 0;
         loop {
+            // An armed node-level fault swallows the message before the
+            // message-rate draw. The check is stateless (no RNG), so a
+            // config without a node fault keeps its decision stream — and
+            // its timings — bit-for-bit.
+            if let Some(suspect) = self.net.node_fault_blocks(from, to, send_at) {
+                self.stats.incr("fault.node.dropped");
+                self.emit_node_fault(send_at, from, to, suspect, attempt);
+                // The swallowed copy still occupied links up to the fault.
+                let _ = self.route(from, to, send_at);
+                let wait = Cycles(retry.timeout.checked_shl(attempt).unwrap_or(u64::MAX));
+                if attempt >= retry.max_retries {
+                    // Every retransmission vanished into the same silent
+                    // node: escalate past "a message was lost" to "the
+                    // node is gone".
+                    self.stats.incr("retry.exhausted");
+                    self.stats.incr("fault.node.unreachable");
+                    self.fail(
+                        FailReason::NodeUnreachable {
+                            node: ProcId(suspect),
+                        },
+                        send_at + wait,
+                    );
+                    return;
+                }
+                self.stats.incr("retry.resends");
+                send_at += wait;
+                attempt += 1;
+                continue;
+            }
             match self.net.fault_decide() {
                 FaultAction::Deliver => {
                     let arrive = self.route(from, to, send_at).arrive + Cycles(1);
@@ -2155,6 +2237,27 @@ impl MemSystem {
                 at,
                 src: from.0,
                 dst: to.0,
+                kind,
+                attempt: n,
+            });
+        }
+    }
+
+    /// Emits a [`TraceEvent::NodeFault`] for one send swallowed by a
+    /// node-level fault.
+    fn emit_node_fault(&mut self, at: Cycles, from: NodeId, to: NodeId, node: u32, n: u32) {
+        if self.tracer.enabled() {
+            let kind = self
+                .net
+                .config()
+                .faults
+                .node_fault
+                .map_or("node", |nf| nf.kind_label());
+            self.tracer.emit(TraceEvent::NodeFault {
+                at,
+                src: from.0,
+                dst: to.0,
+                node,
                 kind,
                 attempt: n,
             });
@@ -2854,10 +2957,13 @@ mod tests {
     }
 
     #[test]
-    fn stamp_window_reset_preserves_private_residency() {
-        // A write populates the private copy; after a §3.3 stamp reset and
-        // a cache flush, a read of the same element must NOT re-read-in
-        // from the shared array (which would clobber the private update).
+    fn stamp_window_reset_discards_private_copies() {
+        // A write populates the private copy; a §3.3 stamp reset marks the
+        // window boundary where the machine folds committed values back
+        // into the shared image, so the private copy is stale afterwards.
+        // A read in the next window must re-read-in from the shared array
+        // (served with the committed value by the machine layer) rather
+        // than hit a leftover private line from the previous window.
         let mut ms = small_system(2);
         ms.alloc_array(A, 32, ElemSize::W8, PlacementPolicy::RoundRobin);
         ms.configure_loop(priv_plan(), IterationNumbering::iteration_wise());
@@ -2865,13 +2971,11 @@ mod tests {
         let t = ms.write(P0, A, 2, Cycles(0)).complete_at;
         ms.drain_all_messages();
         ms.reset_stamp_window(16);
-        ms.flush_caches(t + Cycles(1000));
         ms.begin_iteration(P0, 16);
         let out = ms.read(P0, A, 2, t + Cycles(2000));
         assert!(
-            out.read_in.is_none(),
-            "residency must survive the stamp reset: {:?}",
-            out.read_in
+            out.read_in.is_some(),
+            "the next window must re-read-in the committed value"
         );
         ms.drain_all_messages();
         assert!(ms.failure().is_none(), "{:?}", ms.failure());
@@ -3039,6 +3143,7 @@ mod tests {
             dup_ppm: 0,
             delay_ppm: 0,
             delay_cycles: 0,
+            node_fault: None,
         });
         assert!(ms.stats().get("fault.dropped") > 0, "no drop ever fired");
         assert!(ms.stats().get("retry.resends") > 0, "drops must retransmit");
@@ -3059,6 +3164,7 @@ mod tests {
             dup_ppm: 1_000_000,
             delay_ppm: 0,
             delay_cycles: 0,
+            node_fault: None,
         });
         assert!(dup.stats().get("fault.duplicated") > 0);
         assert_eq!(dup.failure(), None, "duplicates must not fail a clean run");
@@ -3077,6 +3183,7 @@ mod tests {
             dup_ppm: 0,
             delay_ppm: 1_000_000,
             delay_cycles: 10_000,
+            node_fault: None,
         });
         assert!(ms.stats().get("fault.delayed") > 0);
         assert_eq!(
@@ -3094,6 +3201,7 @@ mod tests {
             dup_ppm: 0,
             delay_ppm: 0,
             delay_cycles: 0,
+            node_fault: None,
         });
         assert!(ms.stats().get("retry.exhausted") > 0);
         let (reason, _) = ms.failure().expect("total loss must abort");
@@ -3111,6 +3219,7 @@ mod tests {
             dup_ppm: 100_000,
             delay_ppm: 100_000,
             delay_cycles: 500,
+            node_fault: None,
         };
         let mut ms = MemSystem::new(MemSystemConfig {
             procs: 4,

@@ -18,9 +18,11 @@
 //! [`CanonHasher`].
 
 use specrt_check::{canonical_key, case_from_json, CanonHasher, CaseSpec, Json};
-use specrt_machine::{LoopSpec, MachineConfig, RecoveryPolicy, Scenario, SwVariant};
+use specrt_machine::{
+    CheckpointConfig, LoopSpec, MachineConfig, RecoveryPolicy, Scenario, SwVariant,
+};
 use specrt_par::Lane;
-use specrt_proto::NetConfig;
+use specrt_proto::{NetConfig, NodeFaultConfig, NodeFaultKind};
 use specrt_spec::ProtocolKind;
 use specrt_workloads::{all_workloads, Scale};
 
@@ -390,6 +392,12 @@ fn override_bool(v: &Json, key: &str) -> Result<bool, String> {
         .ok_or_else(|| format!("config.{key} must be a boolean"))
 }
 
+fn override_ppm(v: &Json, key: &str) -> Result<u32, String> {
+    let n = override_u64(v, key)?;
+    u32::try_from(n)
+        .map_err(|_| format!("config.{key}={n} out of range (accepted range: 0..=1_000_000 ppm)"))
+}
+
 /// Applies a flat `"config"` override object onto a [`MachineConfig`].
 ///
 /// Keys mirror the configuration fields (latencies by their
@@ -397,6 +405,14 @@ fn override_bool(v: &Json, key: &str) -> Result<bool, String> {
 /// installs [`NetConfig::mesh`] for the *current* processor count, so a
 /// `procs` override must precede it in effect — `procs` is therefore
 /// applied first regardless of field order.
+///
+/// Fault-plane keys (`fault_seed`, `drop_ppm`, `dup_ppm`, `delay_ppm`,
+/// `delay_cycles`) set message-level faults; rates are validated against
+/// the accepted `0..=1_000_000` ppm range. A node-level fault is assembled
+/// from `node_fault_kind` (`crash`/`pause`/`partition`), `node_fault_node`,
+/// optional `node_fault_at_cycle` (default 0) and — for pause/partition —
+/// `node_fault_for_cycles`. `checkpoint_every` selects
+/// [`RecoveryPolicy::CheckpointRestart`] with that snapshot cadence.
 pub fn apply_overrides(cfg: &mut MachineConfig, overrides: &Json) -> Result<(), String> {
     let fields = match overrides {
         Json::Obj(fields) => fields,
@@ -410,6 +426,12 @@ pub fn apply_overrides(cfg: &mut MachineConfig, overrides: &Json) -> Result<(), 
         }
         cfg.mem.procs = p as u32;
     }
+    // Node-fault parts are assembled after the loop (the shape needs
+    // several keys at once).
+    let mut nf_kind: Option<&str> = None;
+    let mut nf_node: Option<u64> = None;
+    let mut nf_at: Option<u64> = None;
+    let mut nf_for: Option<u64> = None;
     for (k, val) in fields {
         match k.as_str() {
             "procs" => {} // first pass
@@ -453,9 +475,81 @@ pub fn apply_overrides(cfg: &mut MachineConfig, overrides: &Json) -> Result<(), 
                     }
                 };
             }
+            "checkpoint_every" => {
+                cfg.recovery = RecoveryPolicy::CheckpointRestart {
+                    checkpoint: CheckpointConfig {
+                        every_iters: override_u64(val, k)?.max(1),
+                    },
+                };
+            }
+            "fault_seed" => cfg.mem.net.faults.seed = override_u64(val, k)?,
+            "drop_ppm" => cfg.mem.net.faults.drop_ppm = override_ppm(val, k)?,
+            "dup_ppm" => cfg.mem.net.faults.dup_ppm = override_ppm(val, k)?,
+            "delay_ppm" => cfg.mem.net.faults.delay_ppm = override_ppm(val, k)?,
+            "delay_cycles" => cfg.mem.net.faults.delay_cycles = override_u64(val, k)?,
+            "node_fault_kind" => {
+                nf_kind = Some(val.as_str().ok_or_else(|| {
+                    "config.node_fault_kind must be \"crash\", \"pause\" or \"partition\""
+                        .to_string()
+                })?)
+            }
+            "node_fault_node" => nf_node = Some(override_u64(val, k)?),
+            "node_fault_at_cycle" => nf_at = Some(override_u64(val, k)?),
+            "node_fault_for_cycles" => nf_for = Some(override_u64(val, k)?),
             other => return Err(format!("unknown config key {other:?}")),
         }
     }
+    if nf_kind.is_some() || nf_node.is_some() || nf_at.is_some() || nf_for.is_some() {
+        let kind = nf_kind.ok_or_else(|| {
+            "config.node_fault_kind is required to configure a node fault".to_string()
+        })?;
+        let node = nf_node.ok_or_else(|| {
+            "config.node_fault_node is required to configure a node fault".to_string()
+        })?;
+        if node >= u64::from(cfg.mem.procs) {
+            return Err(format!(
+                "config.node_fault_node={node} out of range (machine has {} nodes)",
+                cfg.mem.procs
+            ));
+        }
+        let kind = match kind {
+            "crash" => {
+                if nf_for.is_some() {
+                    return Err(
+                        "config.node_fault_for_cycles does not apply to \"crash\"".to_string()
+                    );
+                }
+                NodeFaultKind::Crash
+            }
+            "pause" => NodeFaultKind::Pause {
+                for_cycles: nf_for.ok_or_else(|| {
+                    "config.node_fault_for_cycles is required for \"pause\"".to_string()
+                })?,
+            },
+            "partition" => NodeFaultKind::Partition {
+                for_cycles: nf_for.ok_or_else(|| {
+                    "config.node_fault_for_cycles is required for \"partition\"".to_string()
+                })?,
+            },
+            other => {
+                return Err(format!(
+                    "unknown node_fault_kind {other:?} (crash|pause|partition)"
+                ))
+            }
+        };
+        cfg.mem.net.faults.node_fault = Some(NodeFaultConfig {
+            kind,
+            node: node as u32,
+            at_cycle: nf_at.unwrap_or(0),
+        });
+    }
+    // Reject rate combinations the fault plane would panic on, with the
+    // accepted range in the message.
+    cfg.mem
+        .net
+        .faults
+        .validate()
+        .map_err(|e| format!("config: {e}"))?;
     Ok(())
 }
 
@@ -533,6 +627,62 @@ mod tests {
             },
             _ => panic!("sim expected"),
         }
+    }
+
+    fn sim_key(line: &str) -> u64 {
+        match parse_request(line).unwrap().request {
+            Request::Sim { job, .. } => job.key,
+            _ => panic!("sim expected"),
+        }
+    }
+
+    #[test]
+    fn fault_and_checkpoint_overrides_separate_cache_keys() {
+        let base = sim_key(r#"{"op":"case","seed":3}"#);
+        let dropped = sim_key(r#"{"op":"case","seed":3,"config":{"drop_ppm":50000}}"#);
+        let crash = sim_key(
+            r#"{"op":"case","seed":3,"config":{"node_fault_kind":"crash","node_fault_node":1,"node_fault_at_cycle":500}}"#,
+        );
+        let ckpt = sim_key(r#"{"op":"case","seed":3,"config":{"checkpoint_every":8}}"#);
+        let keys = [base, dropped, crash, ckpt];
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "override {i} aliases {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn node_fault_overrides_are_validated() {
+        // Kind without node.
+        let r = parse_request(r#"{"op":"case","seed":3,"config":{"node_fault_kind":"crash"}}"#);
+        assert!(r.unwrap_err().contains("node_fault_node"));
+        // Node out of range for the case's machine.
+        let r = parse_request(
+            r#"{"op":"case","seed":3,"config":{"node_fault_kind":"crash","node_fault_node":99}}"#,
+        );
+        assert!(r.unwrap_err().contains("out of range"));
+        // Pause without a duration.
+        let r = parse_request(
+            r#"{"op":"case","seed":3,"config":{"node_fault_kind":"pause","node_fault_node":1}}"#,
+        );
+        assert!(r.unwrap_err().contains("node_fault_for_cycles"));
+        // Unknown kind.
+        let r = parse_request(
+            r#"{"op":"case","seed":3,"config":{"node_fault_kind":"melt","node_fault_node":1}}"#,
+        );
+        assert!(r.unwrap_err().contains("crash|pause|partition"));
+    }
+
+    #[test]
+    fn fault_rates_are_range_checked() {
+        let r = parse_request(r#"{"op":"case","seed":3,"config":{"drop_ppm":2000000}}"#);
+        assert!(r.unwrap_err().contains("0..=1_000_000"));
+        // Rates summing past 100% are rejected by the combined check.
+        let r = parse_request(
+            r#"{"op":"case","seed":3,"config":{"drop_ppm":600000,"dup_ppm":600000}}"#,
+        );
+        assert!(r.unwrap_err().contains("1_000_000"));
     }
 
     #[test]

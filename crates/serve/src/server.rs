@@ -33,13 +33,22 @@ where
     let (tx, rx) = mpsc::sync_channel::<Outcome>(PIPELINE_DEPTH);
     std::thread::scope(|s| {
         let drain = s.spawn(move || drain_outcomes(rx, writer));
+        // A panicking writer must not take the connection loop down with
+        // it: map the dead thread to a structured error and count it, so
+        // the accept loop logs and moves on.
+        let join_drain = |drain: std::thread::ScopedJoinHandle<'_, io::Result<bool>>| {
+            drain.join().unwrap_or_else(|_| {
+                core.count_writer_panic();
+                Err(io::Error::other("writer thread panicked"))
+            })
+        };
         for line in reader.lines() {
             let line = match line {
                 Ok(l) => l,
                 Err(e) => {
                     drop(tx);
                     // Keep whatever responses were already queued flowing.
-                    let _ = drain.join().expect("writer thread");
+                    let _ = join_drain(drain);
                     return Err(e);
                 }
             };
@@ -53,7 +62,7 @@ where
             }
         }
         drop(tx);
-        drain.join().expect("writer thread")
+        join_drain(drain)
     })
 }
 

@@ -188,6 +188,17 @@ impl ServeCore {
         f(&mut self.metrics.lock().expect("metrics lock"))
     }
 
+    /// Records a connection writer thread dying mid-stream (visible as
+    /// `serve.writer_panics` and counted into `serve.errors`); the
+    /// transport maps the dead thread to a structured I/O error instead of
+    /// propagating the panic into the connection loop.
+    pub fn count_writer_panic(&self) {
+        self.with_metrics(|m| {
+            m.incr("serve.writer_panics", 1);
+            m.incr("serve.errors", 1);
+        });
+    }
+
     /// Renders the full metrics snapshot: accumulated counters and
     /// latency histograms plus point-in-time gauges (queue depths, cache
     /// occupancy, pool telemetry) and derived p50/p99 request latency.

@@ -80,6 +80,17 @@ pub enum FailReason {
         /// Transmissions attempted (original send plus retries).
         attempts: u32,
     },
+    /// The retry watchdog exhausted its retransmission budget against a
+    /// node that never answered: every message to (or from) it vanished,
+    /// so the sender suspects the node itself is crashed, stalled, or
+    /// partitioned away rather than the interconnect losing isolated
+    /// messages. Recovery policy decides whether this means whole-loop
+    /// serial re-execution or a checkpoint rollback onto the survivors.
+    NodeUnreachable {
+        /// The node the sender suspects (dead/paused peer, or the
+        /// unreachable destination across a partition).
+        node: ProcId,
+    },
 }
 
 impl FailReason {
@@ -95,6 +106,7 @@ impl FailReason {
             FailReason::WriteBeforeReadFirst { .. } => "write_before_read_first",
             FailReason::Exception => "exception",
             FailReason::MessageLost { .. } => "message_lost",
+            FailReason::NodeUnreachable { .. } => "node_unreachable",
         }
     }
 
@@ -110,6 +122,7 @@ impl FailReason {
             FailReason::WriteBeforeReadFirst { .. } => "Fig. 9-j",
             FailReason::Exception => "§2.2",
             FailReason::MessageLost { .. } => "§3",
+            FailReason::NodeUnreachable { .. } => "§3",
         }
     }
 }
@@ -165,6 +178,9 @@ impl fmt::Display for FailReason {
             FailReason::MessageLost { attempts } => {
                 write!(f, "update message lost after {attempts} transmission(s)")?;
             }
+            FailReason::NodeUnreachable { node } => {
+                write!(f, "{node} unreachable after retransmission budget")?;
+            }
         }
         write!(f, " [{}]", self.figure())
     }
@@ -196,6 +212,7 @@ mod tests {
             },
             FailReason::Exception,
             FailReason::MessageLost { attempts: 5 },
+            FailReason::NodeUnreachable { node: ProcId(2) },
         ];
         let mut labels: Vec<_> = reasons.iter().map(|r| r.label()).collect();
         labels.sort_unstable();
@@ -241,6 +258,7 @@ mod tests {
             },
             FailReason::Exception,
             FailReason::MessageLost { attempts: 3 },
+            FailReason::NodeUnreachable { node: ProcId(1) },
         ];
         for r in reasons {
             let s = r.to_string();

@@ -33,14 +33,22 @@ pub enum FaultKind {
     /// MinW`): legal read-firsts FAIL and genuine flow dependences pass,
     /// corrupting the stamps in both directions.
     SwapTsCompare,
+    /// The checkpoint plane snapshots everything *except* the functional
+    /// memory image accumulated since the last window barrier — the
+    /// checkpoint-restart analogue of forgetting to merge dirty-line tags:
+    /// a rollback then resumes from stale array contents and the final
+    /// image diverges from the serial oracle. The node-fault campaign's
+    /// image check must catch this.
+    CkptSkipDirtySnapshot,
 }
 
 impl FaultKind {
     /// Every injectable fault, in CLI-listing order.
-    pub const ALL: [FaultKind; 3] = [
+    pub const ALL: [FaultKind; 4] = [
         FaultKind::DropROnlyCheck,
         FaultKind::DropMaxR1stUpdate,
         FaultKind::SwapTsCompare,
+        FaultKind::CkptSkipDirtySnapshot,
     ];
 
     /// Parses the CLI spelling used by `specrt-check fuzz --inject <bug>`.
@@ -54,6 +62,7 @@ impl FaultKind {
             FaultKind::DropROnlyCheck => "drop-ronly",
             FaultKind::DropMaxR1stUpdate => "drop-maxr1st",
             FaultKind::SwapTsCompare => "swap-ts-compare",
+            FaultKind::CkptSkipDirtySnapshot => "ckpt-skip-dirty",
         }
     }
 

@@ -143,12 +143,30 @@ pub enum TraceEvent {
         /// n = n-th retransmission).
         attempt: u32,
     },
+    /// A node-level fault (crash, pause, or partition) swallowed a
+    /// message: the interconnect force-dropped it because a whole node —
+    /// not a single message — is out of the conversation.
+    NodeFault {
+        /// Send time of the swallowed message.
+        at: Cycles,
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+        /// The node the sender will suspect if retries stay swallowed.
+        node: u32,
+        /// Fault shape (`crash`, `pause`, `partition`).
+        kind: &'static str,
+        /// Which transmission was swallowed (0 = original send).
+        attempt: u32,
+    },
     /// The machine exercised a recovery path after a speculation failure:
     /// a speculative retry, or the paper's serial re-execution safety net.
     Recovery {
         /// When recovery began.
         at: Cycles,
-        /// Recovery action (`retry-speculative`, `serial-reexec`).
+        /// Recovery action (`retry-speculative`, `checkpoint-restart`,
+        /// `serial-reexec`).
         action: &'static str,
         /// Attempt number (1-based across retries; serial fallback carries
         /// the attempt count that preceded it).
@@ -183,13 +201,14 @@ impl TraceEvent {
             | TraceEvent::Net { at, .. }
             | TraceEvent::Sched { at, .. }
             | TraceEvent::Fault { at, .. }
+            | TraceEvent::NodeFault { at, .. }
             | TraceEvent::Recovery { at, .. }
             | TraceEvent::Abort { at, .. } => *at,
         }
     }
 
     /// Stable kind label used by the exporters (`txn`, `spec`, `msg`,
-    /// `net`, `sched`, `fault`, `recovery`, `abort`).
+    /// `net`, `sched`, `fault`, `nodefault`, `recovery`, `abort`).
     pub fn kind(&self) -> &'static str {
         match self {
             TraceEvent::Transaction { .. } => "txn",
@@ -198,6 +217,7 @@ impl TraceEvent {
             TraceEvent::Net { .. } => "net",
             TraceEvent::Sched { .. } => "sched",
             TraceEvent::Fault { .. } => "fault",
+            TraceEvent::NodeFault { .. } => "nodefault",
             TraceEvent::Recovery { .. } => "recovery",
             TraceEvent::Abort { .. } => "abort",
         }
@@ -283,6 +303,18 @@ impl fmt::Display for TraceEvent {
             } => write!(
                 f,
                 "t={:<8} FAULT n{src}->n{dst} {kind} (attempt {attempt})",
+                at.raw(),
+            ),
+            TraceEvent::NodeFault {
+                at,
+                src,
+                dst,
+                node,
+                kind,
+                attempt,
+            } => write!(
+                f,
+                "t={:<8} NFLT  n{src}->n{dst} {kind} n{node} (attempt {attempt})",
                 at.raw(),
             ),
             TraceEvent::Recovery {

@@ -136,6 +136,20 @@ fn event_json(e: &TraceEvent) -> String {
                 ",\"src\":{src},\"dst\":{dst},\"fault\":\"{kind}\",\"attempt\":{attempt}"
             );
         }
+        TraceEvent::NodeFault {
+            src,
+            dst,
+            node,
+            kind,
+            attempt,
+            ..
+        } => {
+            let _ = write!(
+                s,
+                ",\"src\":{src},\"dst\":{dst},\"node\":{node},\"fault\":\"{kind}\",\
+                 \"attempt\":{attempt}"
+            );
+        }
         TraceEvent::Recovery {
             action, attempt, ..
         } => {
@@ -259,6 +273,18 @@ fn chrome_event(e: &TraceEvent) -> String {
         } => format!(
             "{{\"name\":\"fault {kind} n{src}->n{dst}\",\"cat\":\"fault\",\"ph\":\"i\",\
              \"s\":\"p\",\"ts\":{},\"pid\":0,\"tid\":{src},\"args\":{args}}}",
+            at.raw(),
+        ),
+        TraceEvent::NodeFault {
+            at,
+            src,
+            dst,
+            node,
+            kind,
+            ..
+        } => format!(
+            "{{\"name\":\"nodefault {kind} n{node} n{src}->n{dst}\",\"cat\":\"fault\",\
+             \"ph\":\"i\",\"s\":\"p\",\"ts\":{},\"pid\":0,\"tid\":{src},\"args\":{args}}}",
             at.raw(),
         ),
         TraceEvent::Recovery { at, action, .. } => format!(
@@ -470,6 +496,24 @@ mod tests {
         let chrome = chrome_trace(&[f, r]);
         assert!(chrome.contains("\"cat\":\"fault\""));
         assert!(chrome.contains("recovery retry-speculative"));
+    }
+
+    #[test]
+    fn node_fault_events_export() {
+        let e = TraceEvent::NodeFault {
+            at: Cycles(70),
+            src: 0,
+            dst: 2,
+            node: 2,
+            kind: "crash",
+            attempt: 1,
+        };
+        let lines = jsonl(std::slice::from_ref(&e));
+        assert!(lines.contains("\"kind\":\"nodefault\""), "{lines}");
+        assert!(lines.contains("\"node\":2"), "{lines}");
+        assert!(lines.contains("\"fault\":\"crash\""), "{lines}");
+        let chrome = chrome_trace(&[e]);
+        assert!(chrome.contains("nodefault crash n2 n0->n2"), "{chrome}");
     }
 
     #[test]
